@@ -1,0 +1,108 @@
+#pragma once
+// Shared harness for the table benchmarks: runs one allocation experiment
+// (simulated-annealing baseline + SAT optimizer with warm start), verifies
+// the result, and prints paper-style rows (result, runtime, #vars, #lits).
+//
+// Environment knobs:
+//   OPTALLOC_BENCH_SECONDS  per-experiment SAT time budget (default 120;
+//                           rows that exhaust it report the best-so-far
+//                           anytime result and the remaining bound gap)
+//   OPTALLOC_SA_ITERS       annealing iterations (default 8000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "alloc/optimizer.hpp"
+#include "heur/annealing.hpp"
+#include "rt/verify.hpp"
+#include "util/stopwatch.hpp"
+#include "workload/generator.hpp"
+
+namespace optalloc::bench {
+
+inline double budget_seconds() {
+  if (const char* env = std::getenv("OPTALLOC_BENCH_SECONDS")) {
+    return std::atof(env);
+  }
+  return 120.0;
+}
+
+inline int sa_iterations() {
+  if (const char* env = std::getenv("OPTALLOC_SA_ITERS")) {
+    return std::atoi(env);
+  }
+  return 8000;
+}
+
+struct RunOutcome {
+  heur::AnnealingResult sa;
+  alloc::OptimizeResult sat;
+  bool verified = false;
+  double sa_seconds = 0.0;
+};
+
+/// SA baseline, then SAT optimization seeded with it; verifies the SAT
+/// allocation through the independent analyzer.
+inline RunOutcome run_experiment(const alloc::Problem& problem,
+                                 alloc::Objective objective,
+                                 double time_limit = 0.0,
+                                 alloc::OptimizeOptions base_options = {}) {
+  RunOutcome out;
+  Stopwatch sw;
+  heur::AnnealingOptions sa_opts;
+  sa_opts.iterations = sa_iterations();
+  out.sa = heur::anneal(problem, objective, sa_opts);
+  out.sa_seconds = sw.seconds();
+
+  alloc::OptimizeOptions opts = base_options;
+  opts.time_limit_s = time_limit > 0.0 ? time_limit : budget_seconds();
+  if (out.sa.feasible) {
+    opts.initial_upper = out.sa.cost;
+    opts.warm_start = out.sa.allocation;
+  }
+  out.sat = alloc::optimize(problem, objective, opts);
+  if (out.sat.has_allocation) {
+    out.verified = rt::verify(problem.tasks, problem.arch,
+                              out.sat.allocation)
+                       .feasible;
+  }
+  return out;
+}
+
+/// "13 ticks (3.25 ms)" — tick values with their ms equivalent.
+inline std::string ms_string(std::int64_t ticks) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%lld ticks (%.2f ms)",
+                static_cast<long long>(ticks), workload::to_ms(ticks));
+  return buf;
+}
+
+/// Status cell: "13 (optimal)" or "14 [>=12] (budget)".
+inline std::string result_cell(const alloc::OptimizeResult& res) {
+  char buf[96];
+  if (res.status == alloc::OptimizeResult::Status::kOptimal) {
+    std::snprintf(buf, sizeof buf, "%lld (optimal)",
+                  static_cast<long long>(res.cost));
+  } else if (res.status == alloc::OptimizeResult::Status::kInfeasible) {
+    std::snprintf(buf, sizeof buf, "infeasible");
+  } else if (res.has_allocation) {
+    std::snprintf(buf, sizeof buf, "%lld [>=%lld] (budget)",
+                  static_cast<long long>(res.cost),
+                  static_cast<long long>(res.lower_bound));
+  } else {
+    std::snprintf(buf, sizeof buf, "timeout");
+  }
+  return buf;
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper reference: %s\n", paper_note);
+  std::printf("budget: %.0f s per experiment (OPTALLOC_BENCH_SECONDS)\n",
+              budget_seconds());
+  std::printf("==================================================================\n");
+}
+
+}  // namespace optalloc::bench

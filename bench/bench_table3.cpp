@@ -1,0 +1,36 @@
+// Table 3 reproduction: complexity vs task-set size. Prefixes of the
+// Tindell-style system (7..43 tasks) on the 8-ECU ring. Paper: 23 s at 7
+// tasks to 48 min at 43; vars 5k -> 174k, lits 22k -> 995k — an almost
+// exponential blow-up with the task count (the number of preemption
+// formulae is quadratic in tasks, and each grows the search space).
+
+#include "bench_common.hpp"
+#include "workload/tindell.hpp"
+
+using namespace optalloc;
+
+int main() {
+  bench::print_header(
+      "Table 3 — complexity vs task-set size (8 ECUs, token ring)",
+      "7..43 tasks: 23s..48min, 5k..174k vars, 22k..995k lits");
+
+  std::printf("%-6s %-22s %-14s %-10s %-9s %-9s %s\n", "tasks", "result",
+              "SA baseline", "time", "vars", "lits", "verified");
+  for (const int tasks : {7, 12, 20, 30, 43}) {
+    const alloc::Problem p = workload::tindell_prefix(tasks);
+    const auto out = bench::run_experiment(p, alloc::Objective::ring_trt(0),
+                                           tasks >= 43 ? 200.0 : 0.0);
+    std::printf("%-6d %-22s %-14s %-10s %-9lld %-9llu %s\n", tasks,
+                bench::result_cell(out.sat).c_str(),
+                out.sa.feasible
+                    ? std::to_string(out.sa.cost).c_str()
+                    : "infeasible",
+                Stopwatch::pretty_seconds(out.sat.stats.seconds).c_str(),
+                static_cast<long long>(out.sat.stats.boolean_vars),
+                static_cast<unsigned long long>(
+                    out.sat.stats.boolean_literals),
+                out.verified ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// File-driven allocator CLI: read a problem description, optimize the
+// chosen objective, print the allocation, and re-verify it.
+//
+//   $ ./allocate_file system.prob trt:0
+//   $ ./allocate_file system.prob can-load:1 --time 60
+//   $ ./allocate_file system.prob trt:0 --report   # schedulability report
+//   $ ./allocate_file system.prob trt:0 --dot      # graphviz topology
+//   $ ./allocate_file - feasibility < system.prob
+//
+// Objectives: feasibility | trt:<medium> | sum-trt | can-load:<medium> |
+// max-util. The optional --time budget (seconds) turns the run into an
+// anytime optimization that reports best-so-far plus bounds.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "alloc/io.hpp"
+#include "net/dot.hpp"
+#include "rt/report.hpp"
+#include "alloc/optimizer.hpp"
+#include "heur/annealing.hpp"
+#include "rt/verify.hpp"
+
+using namespace optalloc;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <file|-> <objective> [--time <seconds>]\n",
+                 argv[0]);
+    return 2;
+  }
+  alloc::Problem problem;
+  alloc::Objective objective;
+  try {
+    if (std::strcmp(argv[1], "-") == 0) {
+      problem = alloc::parse_problem(std::cin);
+    } else {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+        return 2;
+      }
+      problem = alloc::parse_problem(in);
+    }
+    objective = alloc::parse_objective(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  alloc::OptimizeOptions opts;
+  bool want_report = false;
+  bool want_dot = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--time") == 0 && i + 1 < argc) {
+      opts.time_limit_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      want_report = true;
+    } else if (std::strcmp(argv[i], "--dot") == 0) {
+      want_dot = true;
+    }
+  }
+
+  // Heuristic seed (also the anytime fallback under tight budgets).
+  const auto sa = heur::anneal(problem, objective, {.iterations = 8000});
+  if (sa.feasible) opts.warm_start = sa.allocation;
+
+  const alloc::OptimizeResult res = alloc::optimize(problem, objective, opts);
+  std::printf("objective: %s\n", objective.describe().c_str());
+  std::printf("status:    %s\n", res.status_string().c_str());
+  if (res.status == alloc::OptimizeResult::Status::kInfeasible) return 1;
+  std::printf("cost:      %lld", static_cast<long long>(res.cost));
+  if (res.status == alloc::OptimizeResult::Status::kBudgetExhausted) {
+    std::printf("  (bounds: >= %lld)", static_cast<long long>(res.lower_bound));
+  }
+  std::printf("\n");
+  if (!res.has_allocation) return 1;
+
+  for (std::size_t i = 0; i < problem.tasks.tasks.size(); ++i) {
+    std::printf("task %-16s -> ECU %d  (priority %d)\n",
+                problem.tasks.tasks[i].name.c_str(),
+                res.allocation.task_ecu[i], res.allocation.task_prio[i]);
+  }
+  const auto refs = problem.tasks.message_refs();
+  for (std::size_t g = 0; g < refs.size(); ++g) {
+    std::printf("message %-13s",
+                (problem.tasks.tasks[static_cast<std::size_t>(refs[g].task)]
+                     .name +
+                 "#" + std::to_string(refs[g].index))
+                    .c_str());
+    if (res.allocation.msg_route[g].empty()) {
+      std::printf(" local\n");
+      continue;
+    }
+    std::printf(" via");
+    for (std::size_t l = 0; l < res.allocation.msg_route[g].size(); ++l) {
+      const int k = res.allocation.msg_route[g][l];
+      std::printf(" %s(d=%lld)",
+                  problem.arch.media[static_cast<std::size_t>(k)].name.c_str(),
+                  static_cast<long long>(
+                      res.allocation.msg_local_deadline[g][l]));
+    }
+    std::printf("\n");
+  }
+  for (std::size_t k = 0; k < problem.arch.media.size(); ++k) {
+    if (problem.arch.media[k].type != rt::MediumType::kTokenRing) continue;
+    std::printf("slots %-15s", problem.arch.media[k].name.c_str());
+    for (const rt::Ticks s : res.allocation.slots[k]) {
+      std::printf(" %lld", static_cast<long long>(s));
+    }
+    std::printf("\n");
+  }
+  const rt::VerifyReport report =
+      rt::verify(problem.tasks, problem.arch, res.allocation);
+  std::printf("verified:  %s\n", report.feasible ? "feasible" : "INFEASIBLE");
+  if (want_report) {
+    std::printf("%s", rt::render_report(problem.tasks, problem.arch,
+                                        res.allocation)
+                          .c_str());
+  }
+  if (want_dot) {
+    std::printf("%s", net::to_dot(problem.tasks, problem.arch,
+                                  res.allocation)
+                          .c_str());
+  }
+  return report.feasible ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Export the bundled benchmark instances as problem files, so they can be
+// inspected, edited, and fed back through the `allocate_file` CLI:
+//
+//   $ ./export_workload tindell > tindell.prob
+//   $ ./allocate_file tindell.prob trt:0
+//
+// Instances: tindell, tindell:<n> (prefix), can43, archA, archB, archC,
+// archC+can, scaling:<ecus>.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "alloc/io.hpp"
+#include "workload/generator.hpp"
+#include "workload/tindell.hpp"
+
+using namespace optalloc;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <tindell|tindell:N|can43|archA|archB|archC|"
+                 "archC+can|scaling:E>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string spec = argv[1];
+  alloc::Problem problem;
+  try {
+    if (spec == "tindell") {
+      problem = workload::tindell_system();
+    } else if (spec.rfind("tindell:", 0) == 0) {
+      problem = workload::tindell_prefix(std::stoi(spec.substr(8)));
+    } else if (spec == "can43") {
+      problem = workload::with_can_bus(workload::tindell_system());
+    } else if (spec == "archA") {
+      problem = workload::architecture_a();
+    } else if (spec == "archB") {
+      problem = workload::architecture_b();
+    } else if (spec == "archC") {
+      problem = workload::architecture_c();
+    } else if (spec == "archC+can") {
+      problem = workload::architecture_c(/*can_upper=*/true);
+    } else if (spec.rfind("scaling:", 0) == 0) {
+      problem = workload::scaling_system(std::stoi(spec.substr(8)));
+    } else {
+      std::fprintf(stderr, "unknown instance '%s'\n", spec.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("# optalloc instance '%s' (1 tick = %.2f ms)\n", spec.c_str(),
+              workload::kMsPerTick);
+  alloc::write_problem(std::cout, problem);
+  return 0;
+}

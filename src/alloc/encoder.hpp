@@ -1,0 +1,148 @@
+#pragma once
+// Transformation of the allocation problem into a bounded-integer
+// constraint system (paper Sections 3-4) and its reduction to SAT
+// (Section 5.1). One AllocEncoder owns the whole pipeline for a problem
+// instance: IR context, SAT solver, PB propagator, bit-blaster.
+//
+// Variable inventory (mirroring the paper's notation):
+//   a_i            integer allocation variable of task i          (eq. 4)
+//   wcet_i         WCET selected by a_i                           (eq. 5)
+//   r_i            task response time, range-capped at d_i        (eqs. 6,13)
+//   I_i^j, pc_i^j  preemption count / cost per ordered pair       (eqs. 7-12)
+//   p_i^j          tie-break priority bools for equal deadlines   (eqs. 9-10)
+//   Pf_m           route (path-closure sub-path) selectors        (eq. 14)
+//   K_m^k          medium-usage indicators (derived from Pf)      (eq. 14)
+//   d_m^k          per-medium deadline budgets                    (Sec. 4)
+//   J_m^k          per-medium inherited jitter                    (Sec. 4)
+//   stn, osl       sending station and its TDMA slot length       (Sec. 3)
+//   Imb_m^k        TDMA round count — the non-linear blocking     (eq. 3)
+//   lambda_k,j     TDMA slot-length variables; Lambda_k their sum
+//   cost           the objective variable minimized by BIN_SEARCH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "alloc/problem.hpp"
+#include "encode/bitblast.hpp"
+#include "ir/expr.hpp"
+#include "net/paths.hpp"
+#include "pb/propagator.hpp"
+#include "rt/verify.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::alloc {
+
+struct EncoderConfig {
+  encode::Backend backend = encode::Backend::kCnf;
+  /// Model the paper's free tie-break priorities p_i^j for equal
+  /// deadlines (with transitivity enforced per deadline group). When
+  /// false, ties are broken by task index at encode time.
+  bool free_tie_priorities = true;
+  /// Add redundant per-ECU utilization <= 100% pseudo-Boolean constraints
+  /// over the allocation indicator literals. Implied by response-time
+  /// feasibility (d <= t), but propagates much earlier — a large
+  /// practical speedup on loaded instances.
+  bool redundant_utilization = true;
+};
+
+class AllocEncoder {
+ public:
+  AllocEncoder(const Problem& problem, Objective objective,
+               EncoderConfig config = {});
+
+  /// Build and assert the full constraint system. Returns false if the
+  /// instance is unsatisfiable already at encode time.
+  bool build();
+
+  /// Inclusive range of the cost variable.
+  ir::Range cost_range() const { return cost_range_; }
+
+  /// Solve the asserted system under optional cost bounds (incremental:
+  /// bounds enter as assumption literals, so learned clauses survive
+  /// across calls — the paper's Section 7 improvement).
+  sat::LBool solve(std::optional<std::int64_t> cost_lo,
+                   std::optional<std::int64_t> cost_hi,
+                   sat::Budget budget = {});
+
+  /// Assert cost bounds permanently (used by the non-incremental mode).
+  bool assert_cost_bounds(std::int64_t lo, std::int64_t hi);
+
+  /// After a kTrue solve: objective value and decoded allocation.
+  std::int64_t decode_cost() const;
+  rt::Allocation decode() const;
+
+  /// Warm start: bias the solver's first descent toward a known (e.g.
+  /// heuristic) solution. Call after build().
+  void hint(const rt::Allocation& allocation);
+
+  sat::Solver& solver() { return *solver_; }
+  const sat::Solver& solver() const { return *solver_; }
+  const pb::PbPropagator& pb() const { return *pb_; }
+  const net::PathClosures& closures() const { return *closures_; }
+
+ private:
+  using NodeId = ir::NodeId;
+
+  // Construction stages.
+  void build_tasks();        // eqs. 4-13
+  void build_slots();        // lambda variables and Lambda sums
+  void build_messages();     // Section 4 + eqs. 2-3 analogues
+  void build_cost();         // objective wiring
+
+  /// a-membership in an ECU set (range form when contiguous).
+  NodeId member_of(NodeId a, std::vector<int> ecus);
+
+  /// Assert an IR formula, tracking encoder-time unsatisfiability.
+  void require(NodeId formula);
+
+  const Problem& problem_;
+  Objective objective_;
+  EncoderConfig config_;
+
+  ir::Context ctx_;
+  std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<pb::PbPropagator> pb_;
+  std::unique_ptr<encode::BitBlaster> blaster_;
+  std::unique_ptr<net::PathClosures> closures_;
+
+  bool ok_ = true;
+  bool built_ = false;
+
+  // Task variables.
+  std::vector<NodeId> a_;      // allocation vars
+  std::vector<NodeId> wcet_;
+  std::vector<NodeId> r_;
+  /// higher_[i][j]: formula "task i has higher priority than task j"
+  /// (constant for distinct deadlines, a tie bool otherwise).
+  std::vector<std::vector<NodeId>> higher_;
+
+  // Message variables (indexed by global message id from message_refs()).
+  std::vector<rt::TaskSet::MsgRef> refs_;
+  struct MsgVars {
+    std::vector<int> routes;          ///< candidate route ids (closures)
+    std::vector<NodeId> rsel;         ///< selector per candidate
+    std::vector<NodeId> used;         ///< K_m^k per medium (kInvalidNode if
+                                      ///< no candidate route crosses k)
+    std::vector<NodeId> local_dl;     ///< d_m^k per medium
+    std::vector<NodeId> jitter;       ///< J_m^k per medium
+    std::vector<NodeId> station;      ///< stn per medium (TDMA legs only)
+    std::vector<NodeId> slot_len;     ///< osl per medium (TDMA legs only)
+    std::vector<NodeId> response;     ///< r_m^k per medium
+  };
+  std::vector<MsgVars> msg_;
+
+  // Slot variables per medium (token rings); Lambda sums.
+  std::vector<std::vector<NodeId>> slot_vars_;
+  std::vector<NodeId> lambda_;
+
+  NodeId cost_ = ir::kInvalidNode;
+  ir::Range cost_range_{0, 0};
+
+  /// Guard literals already built for (lo,hi) bound pairs.
+  std::map<std::pair<std::int64_t, std::int64_t>, sat::Lit> bound_guards_;
+};
+
+}  // namespace optalloc::alloc

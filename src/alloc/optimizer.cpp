@@ -1,0 +1,207 @@
+#include "alloc/optimizer.hpp"
+
+#include <memory>
+
+#include "alloc/cost.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace optalloc::alloc {
+
+namespace {
+
+/// Accumulate solver statistics into the result.
+void absorb_stats(OptimizeStats& stats, const AllocEncoder& enc) {
+  stats.boolean_vars += enc.solver().num_vars();
+  stats.boolean_literals += enc.solver().stats().added_literals;
+  stats.conflicts += enc.solver().stats().conflicts;
+  stats.pb_constraints += enc.pb().stats().constraints;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const Problem& problem, Objective objective,
+                        const OptimizeOptions& options) {
+  OptimizeResult result;
+  Stopwatch total;
+
+  auto out_of_time = [&] {
+    if (options.stop != nullptr &&
+        options.stop->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return options.time_limit_s > 0.0 && total.seconds() >= options.time_limit_s;
+  };
+  auto call_budget = [&]() -> sat::Budget {
+    sat::Budget b = options.per_call;
+    b.stop = options.stop;
+    if (options.time_limit_s > 0.0) {
+      const double remaining = options.time_limit_s - total.seconds();
+      if (b.seconds <= 0.0 || remaining < b.seconds) {
+        b.seconds = std::max(0.001, remaining);
+      }
+    }
+    return b;
+  };
+
+  // --- Incremental mode: one encoder, bounds as assumptions. ------------
+  if (options.incremental) {
+    AllocEncoder enc(problem, objective, options.encoder);
+    const bool built = enc.build();
+    auto finish = [&](OptimizeResult::Status status) {
+      result.status = status;
+      absorb_stats(result.stats, enc);
+      result.stats.seconds = total.seconds();
+      return result;
+    };
+    if (!built) return finish(OptimizeResult::Status::kInfeasible);
+
+    // R := SOLVE(phi): the first query yields an upper estimate. A
+    // verified warm-start allocation short-circuits it entirely — its
+    // objective value *is* a feasible R — and additionally biases the
+    // solver's phases for the search steps that follow.
+    std::int64_t upper = 0;
+    bool have_upper = false;
+    if (options.warm_start) {
+      enc.hint(*options.warm_start);
+      const auto warm_cost =
+          evaluate_allocation(problem, objective, *options.warm_start);
+      if (warm_cost) {
+        upper = *warm_cost;
+        result.cost = upper;
+        result.allocation = *options.warm_start;
+        result.has_allocation = true;
+        have_upper = true;
+      }
+    }
+    sat::LBool verdict = sat::LBool::kUndef;
+    if (!have_upper) {
+      ++result.stats.sat_calls;
+      verdict = enc.solve({}, options.initial_upper, call_budget());
+      if (verdict == sat::LBool::kFalse && options.initial_upper) {
+        ++result.stats.sat_calls;
+        verdict = enc.solve({}, {}, call_budget());
+      }
+      if (verdict == sat::LBool::kFalse) {
+        return finish(OptimizeResult::Status::kInfeasible);
+      }
+      if (verdict == sat::LBool::kUndef) {
+        return finish(OptimizeResult::Status::kBudgetExhausted);
+      }
+      upper = enc.decode_cost();
+      result.cost = upper;
+      result.allocation = enc.decode();
+      result.has_allocation = true;
+    }
+    std::int64_t lower = enc.cost_range().lo;
+    log_info("optimize: initial solution cost=%lld, searching [%lld, %lld]",
+             static_cast<long long>(upper), static_cast<long long>(lower),
+             static_cast<long long>(upper));
+
+    // BIN_SEARCH(phi). The paper's loop sets L := M on an UNSAT interval
+    // [L, M]; since the optimum then lies in (M, R], we advance to M + 1
+    // (fixing the paper's off-by-one, which would not terminate for
+    // R = L + 1).
+    while (lower < upper) {
+      if (out_of_time()) {
+        result.lower_bound = lower;
+        return finish(OptimizeResult::Status::kBudgetExhausted);
+      }
+      const std::int64_t mid =
+          options.strategy == SearchStrategy::kBisection
+              ? lower + (upper - lower) / 2
+              : upper - 1;
+      ++result.stats.sat_calls;
+      verdict = enc.solve(lower, mid, call_budget());
+      if (verdict == sat::LBool::kUndef) {
+        result.lower_bound = lower;
+        return finish(OptimizeResult::Status::kBudgetExhausted);
+      }
+      if (verdict == sat::LBool::kFalse) {
+        lower = mid + 1;
+      } else {
+        upper = enc.decode_cost();
+        result.cost = upper;
+        result.allocation = enc.decode();
+        result.has_allocation = true;
+      }
+      log_info("optimize: interval [%lld, %lld]",
+               static_cast<long long>(lower), static_cast<long long>(upper));
+    }
+    result.cost = upper;
+    result.lower_bound = upper;
+    return finish(OptimizeResult::Status::kOptimal);
+  }
+
+  // --- Scratch mode: fresh encoder per SOLVE (paper's base procedure). --
+  auto scratch_solve = [&](std::optional<std::int64_t> lo,
+                           std::optional<std::int64_t> hi,
+                           std::int64_t& cost_out,
+                           rt::Allocation& alloc_out,
+                           ir::Range& cost_range_out) -> sat::LBool {
+    AllocEncoder enc(problem, objective, options.encoder);
+    const bool built = enc.build();
+    cost_range_out = enc.cost_range();
+    ++result.stats.sat_calls;
+    sat::LBool verdict = sat::LBool::kFalse;
+    if (built && (!lo || !hi || enc.assert_cost_bounds(*lo, *hi))) {
+      verdict = enc.solve({}, {}, call_budget());
+    }
+    if (verdict == sat::LBool::kTrue) {
+      cost_out = enc.decode_cost();
+      alloc_out = enc.decode();
+    }
+    absorb_stats(result.stats, enc);
+    return verdict;
+  };
+
+  std::int64_t cost = -1;
+  rt::Allocation alloc;
+  ir::Range cost_range{0, 0};
+  sat::LBool verdict = scratch_solve({}, {}, cost, alloc, cost_range);
+  if (verdict == sat::LBool::kFalse) {
+    result.status = OptimizeResult::Status::kInfeasible;
+    result.stats.seconds = total.seconds();
+    return result;
+  }
+  if (verdict == sat::LBool::kUndef) {
+    result.status = OptimizeResult::Status::kBudgetExhausted;
+    result.stats.seconds = total.seconds();
+    return result;
+  }
+  std::int64_t upper = cost;
+  std::int64_t lower = cost_range.lo;
+  result.cost = upper;
+  result.allocation = alloc;
+  result.has_allocation = true;
+  while (lower < upper) {
+    if (out_of_time()) {
+      result.status = OptimizeResult::Status::kBudgetExhausted;
+      result.lower_bound = lower;
+      result.stats.seconds = total.seconds();
+      return result;
+    }
+    const std::int64_t mid = lower + (upper - lower) / 2;
+    verdict = scratch_solve(lower, mid, cost, alloc, cost_range);
+    if (verdict == sat::LBool::kUndef) {
+      result.status = OptimizeResult::Status::kBudgetExhausted;
+      result.lower_bound = lower;
+      result.stats.seconds = total.seconds();
+      return result;
+    }
+    if (verdict == sat::LBool::kFalse) {
+      lower = mid + 1;
+    } else {
+      upper = cost;
+      result.cost = upper;
+      result.allocation = alloc;
+    }
+  }
+  result.status = OptimizeResult::Status::kOptimal;
+  result.cost = upper;
+  result.lower_bound = upper;
+  result.stats.seconds = total.seconds();
+  return result;
+}
+
+}  // namespace optalloc::alloc

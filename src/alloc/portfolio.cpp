@@ -1,0 +1,78 @@
+#include "alloc/portfolio.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace optalloc::alloc {
+
+namespace {
+
+std::vector<OptimizeOptions> default_configs() {
+  OptimizeOptions bisect;  // paper's BIN_SEARCH
+  OptimizeOptions descend;
+  descend.strategy = SearchStrategy::kDescending;
+  OptimizeOptions pbmix;
+  pbmix.encoder.backend = encode::Backend::kPbMixed;
+  return {bisect, descend, pbmix};
+}
+
+}  // namespace
+
+PortfolioResult optimize_portfolio(const Problem& problem,
+                                   Objective objective,
+                                   const PortfolioOptions& options) {
+  std::vector<OptimizeOptions> configs =
+      options.configs.empty() ? default_configs() : options.configs;
+  std::atomic<bool> stop{false};
+
+  PortfolioResult result;
+  result.per_config.assign(configs.size(),
+                           OptimizeResult::Status::kBudgetExhausted);
+  std::mutex mutex;  // guards result.best / result.winner
+
+  auto runner = [&](int index) {
+    OptimizeOptions opts = configs[static_cast<std::size_t>(index)];
+    opts.stop = &stop;
+    if (options.time_limit_s > 0.0 &&
+        (opts.time_limit_s <= 0.0 ||
+         opts.time_limit_s > options.time_limit_s)) {
+      opts.time_limit_s = options.time_limit_s;
+    }
+    OptimizeResult local = optimize(problem, objective, opts);
+    std::lock_guard<std::mutex> lock(mutex);
+    result.per_config[static_cast<std::size_t>(index)] = local.status;
+    auto definitive = [](const OptimizeResult& r) {
+      return r.status == OptimizeResult::Status::kOptimal ||
+             r.status == OptimizeResult::Status::kInfeasible;
+    };
+    bool take = false;
+    if (result.winner < 0) {
+      take = true;  // first result of any kind
+    } else if (definitive(local) && !definitive(result.best)) {
+      take = true;  // definitive beats anytime
+    } else if (!definitive(local) && !definitive(result.best) &&
+               local.has_allocation &&
+               (!result.best.has_allocation ||
+                local.cost < result.best.cost)) {
+      take = true;  // better anytime incumbent
+    }
+    if (take) {
+      result.best = std::move(local);
+      result.winner = index;
+    }
+    if (definitive(result.best)) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(configs.size());
+  for (int i = 0; i < static_cast<int>(configs.size()); ++i) {
+    threads.emplace_back(runner, i);
+  }
+  for (std::thread& t : threads) t.join();
+  return result;
+}
+
+}  // namespace optalloc::alloc

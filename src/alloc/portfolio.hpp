@@ -1,0 +1,33 @@
+#pragma once
+// Parallel portfolio optimization: run several optimizer configurations
+// (search strategies, encoder backends, warm starts) concurrently on the
+// same problem; the first definitive answer (optimal or infeasible) wins
+// and cancels the others cooperatively. Since every configuration solves
+// the identical constraint system, any "optimal" verdict is *the* global
+// optimum — the portfolio only changes how fast it is reached.
+
+#include <vector>
+
+#include "alloc/optimizer.hpp"
+
+namespace optalloc::alloc {
+
+struct PortfolioOptions {
+  /// Configurations to race; empty = a sensible default set (bisection,
+  /// descending, PB backend).
+  std::vector<OptimizeOptions> configs;
+  /// Overall wall-clock limit (0 = unlimited).
+  double time_limit_s = 0.0;
+};
+
+struct PortfolioResult {
+  OptimizeResult best;
+  int winner = -1;  ///< index of the winning configuration
+  std::vector<OptimizeResult::Status> per_config;
+};
+
+PortfolioResult optimize_portfolio(const Problem& problem,
+                                   Objective objective,
+                                   const PortfolioOptions& options = {});
+
+}  // namespace optalloc::alloc

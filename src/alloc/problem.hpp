@@ -1,0 +1,56 @@
+#pragma once
+// The task/message allocation problem instance and the optimization
+// objectives the paper evaluates.
+
+#include <string>
+
+#include "rt/model.hpp"
+
+namespace optalloc::alloc {
+
+struct Problem {
+  rt::TaskSet tasks;
+  rt::Architecture arch;
+};
+
+enum class ObjectiveKind {
+  kFeasibility,   ///< any valid allocation (cost identically 0)
+  kTokenRingTrt,  ///< minimize the TRT (round length Lambda) of one ring
+  kSumTrt,        ///< minimize the sum of TRTs over all token rings (Table 4)
+  kCanLoad,       ///< minimize the bus load of one CAN medium (Table 1)
+  kMaxUtilization,  ///< minimize the maximum per-ECU load (the paper's
+                    ///< in-text "utilization optimization" example)
+};
+
+struct Objective {
+  ObjectiveKind kind = ObjectiveKind::kFeasibility;
+  int medium = -1;  ///< target medium for kTokenRingTrt / kCanLoad
+
+  static Objective feasibility() { return {ObjectiveKind::kFeasibility, -1}; }
+  static Objective ring_trt(int medium) {
+    return {ObjectiveKind::kTokenRingTrt, medium};
+  }
+  static Objective sum_trt() { return {ObjectiveKind::kSumTrt, -1}; }
+  static Objective can_load(int medium) {
+    return {ObjectiveKind::kCanLoad, medium};
+  }
+  static Objective max_utilization() {
+    return {ObjectiveKind::kMaxUtilization, -1};
+  }
+
+  std::string describe() const {
+    switch (kind) {
+      case ObjectiveKind::kFeasibility: return "feasibility";
+      case ObjectiveKind::kTokenRingTrt:
+        return "min TRT(medium " + std::to_string(medium) + ")";
+      case ObjectiveKind::kSumTrt: return "min sum of TRTs";
+      case ObjectiveKind::kCanLoad:
+        return "min U_CAN(medium " + std::to_string(medium) + ")";
+      case ObjectiveKind::kMaxUtilization:
+        return "min max per-ECU utilization";
+    }
+    return "?";
+  }
+};
+
+}  // namespace optalloc::alloc

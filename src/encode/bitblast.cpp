@@ -1,0 +1,480 @@
+#include "encode/bitblast.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace optalloc::encode {
+
+using ir::NodeId;
+using ir::Op;
+using sat::Lit;
+
+namespace {
+
+bool same_bit(Bit a, Bit b) {
+  return a.kind == b.kind && (a.is_const() || a.lit == b.lit);
+}
+bool complement_bits(Bit a, Bit b) {
+  if (a.kind == Bit::Kind::kVar && b.kind == Bit::Kind::kVar) {
+    return a.lit == ~b.lit;
+  }
+  return a.is_const() && b.is_const() && a.const_value() != b.const_value();
+}
+
+}  // namespace
+
+BitBlaster::BitBlaster(const ir::Context& ctx, sat::Solver& solver,
+                       pb::PbPropagator* pb, Options options)
+    : ctx_(ctx), solver_(solver), pb_(pb), options_(options) {
+  if (options_.backend == Backend::kPbMixed && pb_ == nullptr) {
+    throw std::invalid_argument(
+        "BitBlaster: kPbMixed backend requires a PB propagator");
+  }
+}
+
+int BitBlaster::width_for(ir::Range r) {
+  int w = 1;
+  while (r.lo < -(std::int64_t{1} << (w - 1)) ||
+         r.hi > (std::int64_t{1} << (w - 1)) - 1) {
+    ++w;
+    assert(w <= 62);
+  }
+  return w;
+}
+
+void BitBlaster::add_clause(std::initializer_list<Lit> lits) {
+  ok_ = solver_.add_clause(lits) && ok_;
+}
+
+Bit BitBlaster::fresh() { return Bit::var(sat::pos(solver_.new_var())); }
+
+Lit BitBlaster::lit_of(Bit b) {
+  if (b.kind == Bit::Kind::kVar) return b.lit;
+  if (true_lit_ == sat::kUndefLit) {
+    true_lit_ = sat::pos(solver_.new_var());
+    ok_ = solver_.add_unit(true_lit_) && ok_;
+  }
+  return b.const_value() ? true_lit_ : ~true_lit_;
+}
+
+Bit BitBlaster::b_not(Bit a) {
+  if (a.is_const()) return Bit::konst(!a.const_value());
+  return Bit::var(~a.lit);
+}
+
+Bit BitBlaster::b_and(Bit a, Bit b) {
+  if (a.is_const()) return a.const_value() ? b : Bit::konst(false);
+  if (b.is_const()) return b.const_value() ? a : Bit::konst(false);
+  if (same_bit(a, b)) return a;
+  if (complement_bits(a, b)) return Bit::konst(false);
+  const Bit z = fresh();
+  add_clause({~z.lit, a.lit});
+  add_clause({~z.lit, b.lit});
+  add_clause({z.lit, ~a.lit, ~b.lit});
+  return z;
+}
+
+Bit BitBlaster::b_or(Bit a, Bit b) { return b_not(b_and(b_not(a), b_not(b))); }
+
+Bit BitBlaster::b_xor(Bit a, Bit b) {
+  if (a.is_const()) return a.const_value() ? b_not(b) : b;
+  if (b.is_const()) return b.const_value() ? b_not(a) : a;
+  if (same_bit(a, b)) return Bit::konst(false);
+  if (complement_bits(a, b)) return Bit::konst(true);
+  const Bit z = fresh();
+  add_clause({~z.lit, a.lit, b.lit});
+  add_clause({~z.lit, ~a.lit, ~b.lit});
+  add_clause({z.lit, ~a.lit, b.lit});
+  add_clause({z.lit, a.lit, ~b.lit});
+  return z;
+}
+
+Bit BitBlaster::b_ite(Bit c, Bit t, Bit e) {
+  if (c.is_const()) return c.const_value() ? t : e;
+  if (same_bit(t, e)) return t;
+  if (t.is_const() && e.is_const()) {
+    // t != e here; ite(c, 1, 0) == c, ite(c, 0, 1) == ~c.
+    return t.const_value() ? c : b_not(c);
+  }
+  if (t.is_const()) {
+    return t.const_value() ? b_or(c, e) : b_and(b_not(c), e);
+  }
+  if (e.is_const()) {
+    return e.const_value() ? b_or(b_not(c), t) : b_and(c, t);
+  }
+  const Bit z = fresh();
+  add_clause({~z.lit, ~c.lit, t.lit});
+  add_clause({~z.lit, c.lit, e.lit});
+  add_clause({z.lit, ~c.lit, ~t.lit});
+  add_clause({z.lit, c.lit, ~e.lit});
+  return z;
+}
+
+Bit BitBlaster::b_maj(Bit a, Bit b, Bit c) {
+  if (a.is_const()) return a.const_value() ? b_or(b, c) : b_and(b, c);
+  if (b.is_const()) return b.const_value() ? b_or(a, c) : b_and(a, c);
+  if (c.is_const()) return c.const_value() ? b_or(a, b) : b_and(a, b);
+  if (same_bit(a, b)) return a;
+  if (same_bit(a, c)) return a;
+  if (same_bit(b, c)) return b;
+  if (complement_bits(a, b)) return c;
+  if (complement_bits(a, c)) return b;
+  if (complement_bits(b, c)) return a;
+  const Bit z = fresh();
+  if (options_.backend == Backend::kPbMixed) {
+    // The paper's eq. (19) carry axioms as two PB constraints:
+    //   x + y + cin - 2z >= 0   and   2z - x - y - cin >= -1.
+    ok_ = pb_->add_ge(std::vector<pb::Term>{{1, a.lit},
+                                            {1, b.lit},
+                                            {1, c.lit},
+                                            {-2, z.lit}},
+                      0) &&
+          ok_;
+    ok_ = pb_->add_ge(std::vector<pb::Term>{{2, z.lit},
+                                            {-1, a.lit},
+                                            {-1, b.lit},
+                                            {-1, c.lit}},
+                      -1) &&
+          ok_;
+    return z;
+  }
+  add_clause({~a.lit, ~b.lit, z.lit});
+  add_clause({~a.lit, ~c.lit, z.lit});
+  add_clause({~b.lit, ~c.lit, z.lit});
+  add_clause({a.lit, b.lit, ~z.lit});
+  add_clause({a.lit, c.lit, ~z.lit});
+  add_clause({b.lit, c.lit, ~z.lit});
+  return z;
+}
+
+std::pair<Bit, Bit> BitBlaster::full_adder(Bit x, Bit y, Bit cin) {
+  return {b_xor(b_xor(x, y), cin), b_maj(x, y, cin)};
+}
+
+BitVec BitBlaster::const_vec(std::int64_t v, int width) const {
+  BitVec bits(static_cast<std::size_t>(width));
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < width; ++i) {
+    bits[static_cast<std::size_t>(i)] = Bit::konst((u >> i) & 1u);
+  }
+  return bits;
+}
+
+BitVec BitBlaster::extend(const BitVec& v, int width) const {
+  BitVec out(v);
+  if (static_cast<int>(out.size()) > width) {
+    out.resize(static_cast<std::size_t>(width));
+  } else {
+    const Bit sign = out.empty() ? Bit::konst(false) : out.back();
+    while (static_cast<int>(out.size()) < width) out.push_back(sign);
+  }
+  return out;
+}
+
+BitVec BitBlaster::add_vec(const BitVec& a, const BitVec& b, Bit cin,
+                           int width) {
+  const BitVec ea = extend(a, width);
+  const BitVec eb = extend(b, width);
+  BitVec out(static_cast<std::size_t>(width));
+  Bit carry = cin;
+  for (int i = 0; i < width; ++i) {
+    auto [sum, cout] = full_adder(ea[static_cast<std::size_t>(i)],
+                                  eb[static_cast<std::size_t>(i)], carry);
+    out[static_cast<std::size_t>(i)] = sum;
+    carry = cout;
+  }
+  return out;
+}
+
+BitVec BitBlaster::sub_vec(const BitVec& a, const BitVec& b, int width) {
+  BitVec nb = extend(b, width);
+  for (Bit& bit : nb) bit = b_not(bit);
+  return add_vec(extend(a, width), nb, Bit::konst(true), width);
+}
+
+BitVec BitBlaster::mul_vec(const BitVec& a, const BitVec& b, int width) {
+  const BitVec ea = extend(a, width);
+  const BitVec eb = extend(b, width);
+  // Use the operand with fewer variable bits to select partial products.
+  auto count_vars = [](const BitVec& v) {
+    int n = 0;
+    for (const Bit bit : v) n += !bit.is_const();
+    return n;
+  };
+  const BitVec& rows_of = count_vars(eb) <= count_vars(ea) ? eb : ea;
+  const BitVec& addend = count_vars(eb) <= count_vars(ea) ? ea : eb;
+
+  BitVec acc = const_vec(0, width);
+  for (int j = 0; j < width; ++j) {
+    const Bit sel = rows_of[static_cast<std::size_t>(j)];
+    if (sel.is_const() && !sel.const_value()) continue;
+    // row = (addend << j) AND sel, truncated at `width`.
+    BitVec row(static_cast<std::size_t>(width), Bit::konst(false));
+    for (int i = 0; i + j < width; ++i) {
+      row[static_cast<std::size_t>(i + j)] =
+          b_and(addend[static_cast<std::size_t>(i)], sel);
+    }
+    acc = add_vec(acc, row, Bit::konst(false), width);
+  }
+  return acc;
+}
+
+BitVec BitBlaster::ite_vec(Bit c, const BitVec& t, const BitVec& e,
+                           int width) {
+  const BitVec et = extend(t, width);
+  const BitVec ee = extend(e, width);
+  BitVec out(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        b_ite(c, et[static_cast<std::size_t>(i)],
+              ee[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Bit BitBlaster::less_equal(const BitVec& a, const BitVec& b) {
+  // a <= b  iff  0 <= b - a  iff  the sign bit of (b - a) is clear,
+  // computed at a width where the subtraction cannot wrap.
+  const int w = static_cast<int>(std::max(a.size(), b.size())) + 1;
+  const BitVec d = sub_vec(b, a, w);
+  return b_not(d.back());
+}
+
+Bit BitBlaster::equal(const BitVec& a, const BitVec& b) {
+  const int w = static_cast<int>(std::max(a.size(), b.size()));
+  const BitVec ea = extend(a, w);
+  const BitVec eb = extend(b, w);
+  Bit acc = Bit::konst(true);
+  for (int i = 0; i < w; ++i) {
+    acc = b_and(acc, b_iff(ea[static_cast<std::size_t>(i)],
+                           eb[static_cast<std::size_t>(i)]));
+  }
+  return acc;
+}
+
+const BitVec& BitBlaster::encode_int(NodeId id) {
+  const auto key = static_cast<std::int32_t>(id);
+  if (const auto it = int_cache_.find(key); it != int_cache_.end()) {
+    return it->second;
+  }
+  const ir::Node& n = ctx_.node(id);
+  const int w = width_for(n.range);
+  BitVec result;
+  switch (n.op) {
+    case Op::kConst:
+      result = const_vec(n.value, w);
+      break;
+    case Op::kIntVar: {
+      result.reserve(static_cast<std::size_t>(w));
+      for (int i = 0; i < w; ++i) result.push_back(fresh());
+      // Constrain to the declared range where the width is not exact.
+      const std::int64_t repr_lo = -(std::int64_t{1} << (w - 1));
+      const std::int64_t repr_hi = (std::int64_t{1} << (w - 1)) - 1;
+      if (n.range.lo > repr_lo) {
+        const Bit ok_bit = less_equal(const_vec(n.range.lo, w), result);
+        ok_ = solver_.add_unit(lit_of(ok_bit)) && ok_;
+      }
+      if (n.range.hi < repr_hi) {
+        const Bit ok_bit = less_equal(result, const_vec(n.range.hi, w));
+        ok_ = solver_.add_unit(lit_of(ok_bit)) && ok_;
+      }
+      break;
+    }
+    // NOTE: operands are copied into locals because encode_int returns a
+    // reference into int_cache_, which recursive calls may rehash.
+    case Op::kAdd: {
+      const BitVec va = encode_int(n.a);
+      const BitVec vb = encode_int(n.b);
+      result = add_vec(va, vb, Bit::konst(false), w);
+      break;
+    }
+    case Op::kSub: {
+      const BitVec va = encode_int(n.a);
+      const BitVec vb = encode_int(n.b);
+      result = sub_vec(va, vb, w);
+      break;
+    }
+    case Op::kMul: {
+      const BitVec va = encode_int(n.a);
+      const BitVec vb = encode_int(n.b);
+      result = mul_vec(va, vb, w);
+      break;
+    }
+    case Op::kIte: {
+      const Bit cond = encode_bool(n.a);
+      const BitVec vt = encode_int(n.b);
+      const BitVec ve = encode_int(n.c);
+      result = ite_vec(cond, vt, ve, w);
+      break;
+    }
+    default:
+      throw std::logic_error("encode_int: boolean node");
+  }
+  return int_cache_.emplace(key, std::move(result)).first->second;
+}
+
+Bit BitBlaster::encode_bool(NodeId id) {
+  const auto key = static_cast<std::int32_t>(id);
+  if (const auto it = bool_cache_.find(key); it != bool_cache_.end()) {
+    return it->second;
+  }
+  const ir::Node& n = ctx_.node(id);
+  Bit result;
+  switch (n.op) {
+    case Op::kBoolConst:
+      result = Bit::konst(n.value != 0);
+      break;
+    case Op::kBoolVar:
+      result = fresh();
+      break;
+    case Op::kNot:
+      result = b_not(encode_bool(n.a));
+      break;
+    case Op::kAnd:
+      result = b_and(encode_bool(n.a), encode_bool(n.b));
+      break;
+    case Op::kOr:
+      result = b_or(encode_bool(n.a), encode_bool(n.b));
+      break;
+    case Op::kImplies:
+      result = b_or(b_not(encode_bool(n.a)), encode_bool(n.b));
+      break;
+    case Op::kIff:
+      result = b_iff(encode_bool(n.a), encode_bool(n.b));
+      break;
+    case Op::kEq:
+    case Op::kNe: {
+      const BitVec va = encode_int(n.a);
+      const BitVec vb = encode_int(n.b);
+      const Bit e = equal(va, vb);
+      result = n.op == Op::kEq ? e : b_not(e);
+      break;
+    }
+    case Op::kLe:
+    case Op::kGt: {
+      const BitVec va = encode_int(n.a);
+      const BitVec vb = encode_int(n.b);
+      const Bit le_bit = less_equal(va, vb);
+      result = n.op == Op::kLe ? le_bit : b_not(le_bit);
+      break;
+    }
+    case Op::kGe:
+    case Op::kLt: {
+      const BitVec va = encode_int(n.a);
+      const BitVec vb = encode_int(n.b);
+      const Bit ge_bit = less_equal(vb, va);
+      result = n.op == Op::kGe ? ge_bit : b_not(ge_bit);
+      break;
+    }
+    default:
+      throw std::logic_error("encode_bool: integer node");
+  }
+  return bool_cache_.emplace(key, result).first->second;
+}
+
+bool BitBlaster::assert_true(NodeId formula) {
+  // CNF-aware assertion: top-level conjunctions split, top-level
+  // disjunctions become one clause over the Tseitin literals of their
+  // disjuncts. This turns the encoder's guard implications
+  // (g -> constraint), i.e. (~g \/ c), into plain binary clauses instead
+  // of gate stacks.
+  const ir::Node& n = ctx_.node(formula);
+  if (n.op == Op::kAnd) {
+    const bool first = assert_true(n.a);
+    return assert_true(n.b) && first;
+  }
+  std::vector<Lit> clause;
+  bool tautology = false;
+  collect_or(formula, clause, tautology);
+  if (tautology) return ok_;
+  ok_ = solver_.add_clause(clause) && ok_;
+  return ok_;
+}
+
+void BitBlaster::collect_or(NodeId formula, std::vector<Lit>& out,
+                            bool& tautology) {
+  const ir::Node& n = ctx_.node(formula);
+  if (n.op == Op::kOr) {
+    collect_or(n.a, out, tautology);
+    if (!tautology) collect_or(n.b, out, tautology);
+    return;
+  }
+  const Bit b = encode_bool(formula);
+  if (b.is_const()) {
+    if (b.const_value()) tautology = true;
+    return;  // false literals are simply dropped
+  }
+  out.push_back(b.lit);
+}
+
+Lit BitBlaster::formula_lit(NodeId formula) {
+  return lit_of(encode_bool(formula));
+}
+
+const BitVec& BitBlaster::bits(NodeId node) const {
+  const auto it = int_cache_.find(static_cast<std::int32_t>(node));
+  if (it == int_cache_.end()) {
+    throw std::logic_error("bits: node was never encoded");
+  }
+  return it->second;
+}
+
+std::int64_t BitBlaster::int_value(NodeId node) const {
+  const ir::Node& n = ctx_.node(node);
+  if (n.op == Op::kConst) return n.value;
+  const BitVec& v = bits(node);
+  std::int64_t value = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    bool set;
+    if (v[i].is_const()) {
+      set = v[i].const_value();
+    } else {
+      const sat::LBool mv = solver_.model_value(v[i].lit);
+      if (mv == sat::LBool::kUndef) {
+        throw std::logic_error("int_value: unassigned bit (no model?)");
+      }
+      set = (mv == sat::LBool::kTrue);
+    }
+    if (set) {
+      value += (i + 1 == v.size()) ? -(std::int64_t{1} << i)
+                                   : (std::int64_t{1} << i);
+    }
+  }
+  return value;
+}
+
+void BitBlaster::hint_int(NodeId int_var, std::int64_t value) {
+  const BitVec& v = encode_int(int_var);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].is_const()) continue;
+    const bool bit_set = (static_cast<std::uint64_t>(value) >> i) & 1u;
+    // Polarity is the *sign* of the branching literal: sign==false tries
+    // the positive literal (variable true) first. The activity boost makes
+    // hinted variables the first decisions, so derived circuit variables
+    // follow by propagation instead of overriding the hint.
+    solver_.set_polarity(v[i].lit.var(), v[i].lit.sign() ? bit_set
+                                                         : !bit_set);
+    solver_.boost_activity(v[i].lit.var());
+  }
+}
+
+void BitBlaster::hint_bool(NodeId bool_var, bool value) {
+  const Bit b = encode_bool(bool_var);
+  if (b.is_const()) return;
+  solver_.set_polarity(b.lit.var(), b.lit.sign() ? value : !value);
+  solver_.boost_activity(b.lit.var());
+}
+
+bool BitBlaster::bool_value(NodeId node) const {
+  const ir::Node& n = ctx_.node(node);
+  if (n.op == Op::kBoolConst) return n.value != 0;
+  const auto it = bool_cache_.find(static_cast<std::int32_t>(node));
+  if (it == bool_cache_.end()) {
+    throw std::logic_error("bool_value: node was never encoded");
+  }
+  const Bit b = it->second;
+  if (b.is_const()) return b.const_value();
+  return solver_.model_value(b.lit) == sat::LBool::kTrue;
+}
+
+}  // namespace optalloc::encode

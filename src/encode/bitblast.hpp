@@ -1,0 +1,151 @@
+#pragma once
+// Reduction of bounded-integer constraint systems (ir::Context formulas) to
+// propositional satisfiability — the paper's Section 5.1 pipeline:
+//
+//   1. Tseitin-style decomposition into "triplets" (here: structural
+//      recursion over the hash-consed IR DAG, which is the same thing: each
+//      subexpression gets one propositional / bit-vector definition).
+//   2. 2's-complement bit-blasting of the arithmetic triplets. Addition is
+//      a ripple-carry chain of full adders (paper eq. 19); multiplication
+//      is a shift-add array (needed for the non-linear TDMA blocking
+//      terms); comparisons go through a subtractor's sign bit.
+//
+// Two backends, selected by Options::backend:
+//   kCnf     — every gate axiomatized by clauses.
+//   kPbMixed — adder carries emitted as pseudo-Boolean constraints
+//              (2c + x + y + cin style, exactly the paper's encoding) via
+//              the native PB propagator; parity stays clausal.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "pb/propagator.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::encode {
+
+enum class Backend {
+  kCnf,
+  kPbMixed,
+};
+
+struct Options {
+  Backend backend = Backend::kCnf;
+};
+
+/// A propositional bit: constant or solver literal.
+struct Bit {
+  enum class Kind : std::uint8_t { kFalse, kTrue, kVar };
+  Kind kind = Kind::kFalse;
+  sat::Lit lit{};
+
+  static Bit konst(bool v) {
+    return {v ? Kind::kTrue : Kind::kFalse, sat::kUndefLit};
+  }
+  static Bit var(sat::Lit l) { return {Kind::kVar, l}; }
+  bool is_const() const { return kind != Kind::kVar; }
+  bool const_value() const { return kind == Kind::kTrue; }
+};
+
+/// 2's-complement bit vector, LSB first. The last bit is the sign bit.
+using BitVec = std::vector<Bit>;
+
+/// Incremental encoder: translates IR formulas into a solver (and
+/// optionally a PB store). May be used across multiple solve() calls —
+/// the optimizer encodes new cost bounds between calls, which is what
+/// enables learned-clause reuse during the binary search (paper Section 7).
+class BitBlaster {
+ public:
+  /// `pb` may be null for the kCnf backend; required for kPbMixed.
+  BitBlaster(const ir::Context& ctx, sat::Solver& solver,
+             pb::PbPropagator* pb = nullptr, Options options = {});
+
+  /// Assert a Boolean IR formula at the top level. Returns false if the
+  /// formula system became unsatisfiable during encoding.
+  bool assert_true(ir::NodeId formula);
+
+  /// Tseitin literal equivalent to `formula` (not asserted). Useful as a
+  /// solve-time assumption, e.g. for the optimizer's cost-interval guards.
+  sat::Lit formula_lit(ir::NodeId formula);
+
+  /// Force an integer variable to be represented (so its value can be
+  /// decoded even if no asserted formula mentions it).
+  void touch(ir::NodeId int_var) { encode_int(int_var); }
+
+  /// Decode values from the solver's current model (call after kTrue).
+  std::int64_t int_value(ir::NodeId node) const;
+  bool bool_value(ir::NodeId node) const;
+
+  /// Warm-start hints: bias the solver's initial phases so that the given
+  /// node decodes to `value` on the first descent. No-op for constants.
+  void hint_int(ir::NodeId int_var, std::int64_t value);
+  void hint_bool(ir::NodeId bool_var, bool value);
+
+  /// Bits of an encoded integer node (LSB first; for tests).
+  const BitVec& bits(ir::NodeId node) const;
+
+  const ir::Context& ctx() const { return ctx_; }
+  sat::Solver& solver() { return solver_; }
+
+ private:
+  // Node encodings (memoized on the hash-consed IR DAG).
+  const BitVec& encode_int(ir::NodeId id);
+  Bit encode_bool(ir::NodeId id);
+
+  /// Gather the literals of a disjunction for clause-level assertion.
+  void collect_or(ir::NodeId formula, std::vector<sat::Lit>& out,
+                  bool& tautology);
+
+  // Gate constructors with eager constant folding.
+  Bit fresh();
+  Bit b_not(Bit a);
+  Bit b_and(Bit a, Bit b);
+  Bit b_or(Bit a, Bit b);
+  Bit b_xor(Bit a, Bit b);
+  Bit b_iff(Bit a, Bit b) { return b_not(b_xor(a, b)); }
+  Bit b_ite(Bit c, Bit t, Bit e);
+  Bit b_maj(Bit a, Bit b, Bit c);
+
+  /// Full adder; returns {sum, carry}.
+  std::pair<Bit, Bit> full_adder(Bit x, Bit y, Bit cin);
+
+  /// a + b (+ cin) over `width` bits, inputs sign-extended, result
+  /// truncated to `width` (correct when the true result fits `width`
+  /// signed bits).
+  BitVec add_vec(const BitVec& a, const BitVec& b, Bit cin, int width);
+  BitVec sub_vec(const BitVec& a, const BitVec& b, int width);
+  BitVec mul_vec(const BitVec& a, const BitVec& b, int width);
+  BitVec ite_vec(Bit c, const BitVec& t, const BitVec& e, int width);
+
+  /// Sign-extend (or truncate) to `width` bits.
+  BitVec extend(const BitVec& v, int width) const;
+
+  /// Bit encoding of a constant.
+  BitVec const_vec(std::int64_t v, int width) const;
+
+  /// Literal encoding of bit `b`, materializing constants through the
+  /// dedicated constant-true variable.
+  sat::Lit lit_of(Bit b);
+
+  /// b <= a ? ... comparator helpers.
+  Bit less_equal(const BitVec& a, const BitVec& b);
+  Bit equal(const BitVec& a, const BitVec& b);
+
+  /// Smallest width whose signed range covers [r.lo, r.hi].
+  static int width_for(ir::Range r);
+
+  void add_clause(std::initializer_list<sat::Lit> lits);
+
+  const ir::Context& ctx_;
+  sat::Solver& solver_;
+  pb::PbPropagator* pb_;
+  Options options_;
+  std::unordered_map<std::int32_t, BitVec> int_cache_;
+  std::unordered_map<std::int32_t, Bit> bool_cache_;
+  sat::Lit true_lit_ = sat::kUndefLit;  ///< lazily created constant-true
+  bool ok_ = true;
+};
+
+}  // namespace optalloc::encode

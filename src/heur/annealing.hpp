@@ -1,0 +1,40 @@
+#pragma once
+// Simulated-annealing allocator in the style of Tindell, Burns & Wellings
+// [5] — the heuristic the paper's Table 1 compares against. The state is a
+// task->ECU mapping plus per-station TDMA slot enlargements; moves either
+// reassign a random task or nudge a slot. Infeasible states are admitted
+// with a penalty proportional to the number of violations so the search
+// can traverse infeasible regions (as in [5]).
+
+#include <cstdint>
+#include <optional>
+
+#include "alloc/problem.hpp"
+#include "rt/model.hpp"
+
+namespace optalloc::heur {
+
+struct AnnealingOptions {
+  std::uint64_t seed = 1;
+  int iterations = 20000;
+  double initial_temperature = 50.0;
+  double cooling = 0.999;        ///< geometric factor per iteration
+  double infeasible_penalty = 1000.0;  ///< per violation
+  double slot_move_probability = 0.3;  ///< vs task-move
+};
+
+struct AnnealingResult {
+  bool feasible = false;
+  std::int64_t cost = -1;
+  rt::Allocation allocation;
+  int iterations_run = 0;
+  int accepted_moves = 0;
+};
+
+/// Run simulated annealing; returns the best feasible solution found (if
+/// any). Deterministic for a fixed seed.
+AnnealingResult anneal(const alloc::Problem& problem,
+                       alloc::Objective objective,
+                       const AnnealingOptions& options = {});
+
+}  // namespace optalloc::heur

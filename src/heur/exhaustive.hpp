@@ -1,0 +1,41 @@
+#pragma once
+// Exhaustive search over task placements (and, for single-ring problems,
+// TDMA slot tables) — the ground-truth oracle the SAT optimizer is
+// property-tested against on small instances.
+//
+// Exactness caveat: routes, deadline budgets and (for multi-ring problems)
+// slot tables are completed heuristically, so for multi-hop instances the
+// result is an UPPER bound on the true optimum; the property tests use
+//   sat_cost <= exhaustive_cost
+// in general and exact equality where the completion is provably optimal
+// (no messages, or single-medium instances with enumerable slot tables).
+
+#include <cstdint>
+#include <optional>
+
+#include "alloc/problem.hpp"
+#include "rt/model.hpp"
+
+namespace optalloc::heur {
+
+struct ExhaustiveOptions {
+  /// Abort when the placement grid exceeds this many combinations.
+  std::uint64_t max_combinations = 5'000'000;
+  /// Also enumerate slot tables exactly (single token-ring problems only;
+  /// bounded by max_combinations as well).
+  bool enumerate_slots = true;
+};
+
+struct ExhaustiveResult {
+  bool feasible = false;
+  std::int64_t cost = -1;
+  rt::Allocation allocation;
+  std::uint64_t combinations_tried = 0;
+  bool exact = false;  ///< true when the reported cost is the true optimum
+};
+
+std::optional<ExhaustiveResult> exhaustive_search(
+    const alloc::Problem& problem, alloc::Objective objective,
+    const ExhaustiveOptions& options = {});
+
+}  // namespace optalloc::heur

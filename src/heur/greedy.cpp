@@ -1,0 +1,85 @@
+#include "heur/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "heur/common.hpp"
+#include "net/paths.hpp"
+#include "rt/analysis.hpp"
+
+namespace optalloc::heur {
+
+GreedyResult greedy_allocate(const alloc::Problem& problem,
+                             alloc::Objective objective) {
+  GreedyResult result;
+  const net::PathClosures closures(problem.arch);
+  const auto n = problem.tasks.tasks.size();
+
+  // Process tasks by increasing deadline (hardest first).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return problem.tasks.tasks[a].deadline < problem.tasks.tasks[b].deadline;
+  });
+
+  std::vector<int> placement(n, -1);
+  // Per-ECU utilisation plus a communication-affinity bonus: co-locating
+  // chain partners keeps messages off the bus, which is what lets the
+  // completed allocation pass the message-deadline checks.
+  std::vector<double> load(static_cast<std::size_t>(problem.arch.num_ecus),
+                           0.0);
+  std::vector<std::vector<int>> partners(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const rt::Message& m : problem.tasks.tasks[i].messages) {
+      partners[i].push_back(m.target_task);
+      partners[static_cast<std::size_t>(m.target_task)].push_back(
+          static_cast<int>(i));
+    }
+  }
+
+  for (const std::size_t i : order) {
+    const rt::Task& t = problem.tasks.tasks[i];
+    int best_ecu = -1;
+    double best_score = 0.0;
+    double best_load = 0.0;
+    for (int p = 0; p < problem.arch.num_ecus; ++p) {
+      if (!t.allowed_on(p) || !problem.arch.can_host_tasks(p)) continue;
+      bool separated_ok = true;
+      for (const int j : t.separated_from) {
+        if (placement[static_cast<std::size_t>(j)] == p) {
+          separated_ok = false;
+          break;
+        }
+      }
+      if (!separated_ok) continue;
+      const double new_load =
+          load[static_cast<std::size_t>(p)] +
+          static_cast<double>(t.wcet[static_cast<std::size_t>(p)]) /
+              static_cast<double>(t.period);
+      if (new_load > 1.0) continue;  // necessary schedulability condition
+      double score = new_load;
+      for (const int j : partners[i]) {
+        if (placement[static_cast<std::size_t>(j)] == p) score -= 0.75;
+      }
+      if (best_ecu < 0 || score < best_score) {
+        best_ecu = p;
+        best_score = score;
+        best_load = new_load;
+      }
+    }
+    if (best_ecu < 0) return result;  // greedy dead end
+    placement[i] = best_ecu;
+    load[static_cast<std::size_t>(best_ecu)] = best_load;
+  }
+
+  const auto completed = complete_allocation(problem, closures, placement);
+  if (!completed) return result;
+  const auto cost = evaluate(problem, objective, *completed);
+  if (!cost) return result;
+  result.feasible = true;
+  result.cost = *cost;
+  result.allocation = *completed;
+  return result;
+}
+
+}  // namespace optalloc::heur

@@ -1,0 +1,22 @@
+#pragma once
+// Greedy first-fit allocator: tasks in deadline order, each placed on the
+// ECU that keeps the partial system feasible and minimally loaded. A fast
+// baseline (and a seed generator for annealing).
+
+#include <optional>
+
+#include "alloc/problem.hpp"
+#include "rt/model.hpp"
+
+namespace optalloc::heur {
+
+struct GreedyResult {
+  bool feasible = false;
+  std::int64_t cost = -1;
+  rt::Allocation allocation;
+};
+
+GreedyResult greedy_allocate(const alloc::Problem& problem,
+                             alloc::Objective objective);
+
+}  // namespace optalloc::heur

@@ -1,0 +1,389 @@
+#include "ir/expr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+
+#include "util/intmath.hpp"
+
+namespace optalloc::ir {
+
+namespace {
+
+bool bool_op(Op op) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kIntVar:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kIte:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::size_t Context::NodeKeyHash::operator()(const NodeKey& k) const {
+  std::size_t h = std::hash<int>{}(static_cast<int>(k.op));
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::int32_t>{}(static_cast<std::int32_t>(k.a)));
+  mix(std::hash<std::int32_t>{}(static_cast<std::int32_t>(k.b)));
+  mix(std::hash<std::int32_t>{}(static_cast<std::int32_t>(k.c)));
+  mix(std::hash<std::int64_t>{}(k.value));
+  return h;
+}
+
+NodeId Context::intern(Node n) {
+  const NodeKey key{n.op, n.a, n.b, n.c, n.value};
+  if (const auto it = interned_.find(key); it != interned_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(n);
+  interned_.emplace(key, id);
+  return id;
+}
+
+bool Context::is_bool(NodeId id) const { return bool_op(node(id).op); }
+
+NodeId Context::int_var(std::string name, std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("int_var: empty range " + name);
+  Node n;
+  n.op = Op::kIntVar;
+  n.value = static_cast<std::int64_t>(int_var_names_.size());
+  n.range = {lo, hi};
+  int_var_names_.push_back(std::move(name));
+  // Variables are never interned (each call creates a fresh one).
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(n);
+  return id;
+}
+
+NodeId Context::bool_var(std::string name) {
+  Node n;
+  n.op = Op::kBoolVar;
+  n.value = static_cast<std::int64_t>(bool_var_names_.size());
+  bool_var_names_.push_back(std::move(name));
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(n);
+  return id;
+}
+
+NodeId Context::constant(std::int64_t v) {
+  Node n;
+  n.op = Op::kConst;
+  n.value = v;
+  n.range = {v, v};
+  return intern(n);
+}
+
+NodeId Context::bool_const(bool v) {
+  Node n;
+  n.op = Op::kBoolConst;
+  n.value = v ? 1 : 0;
+  return intern(n);
+}
+
+NodeId Context::add(NodeId a, NodeId b) {
+  assert(!is_bool(a) && !is_bool(b));
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::kConst && nb.op == Op::kConst) {
+    return constant(na.value + nb.value);
+  }
+  if (na.op == Op::kConst && na.value == 0) return b;
+  if (nb.op == Op::kConst && nb.value == 0) return a;
+  Node n;
+  n.op = Op::kAdd;
+  // Addition is commutative: canonical operand order improves sharing.
+  n.a = std::min(a, b);
+  n.b = std::max(a, b);
+  n.range = {na.range.lo + nb.range.lo, na.range.hi + nb.range.hi};
+  return intern(n);
+}
+
+NodeId Context::sub(NodeId a, NodeId b) {
+  assert(!is_bool(a) && !is_bool(b));
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::kConst && nb.op == Op::kConst) {
+    return constant(na.value - nb.value);
+  }
+  if (nb.op == Op::kConst && nb.value == 0) return a;
+  if (a == b) return constant(0);
+  Node n;
+  n.op = Op::kSub;
+  n.a = a;
+  n.b = b;
+  n.range = {na.range.lo - nb.range.hi, na.range.hi - nb.range.lo};
+  return intern(n);
+}
+
+NodeId Context::mul(NodeId a, NodeId b) {
+  assert(!is_bool(a) && !is_bool(b));
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::kConst && nb.op == Op::kConst) {
+    if (!mul_fits(na.value, nb.value)) {
+      throw std::overflow_error("mul: constant overflow");
+    }
+    return constant(na.value * nb.value);
+  }
+  if (na.op == Op::kConst && na.value == 1) return b;
+  if (nb.op == Op::kConst && nb.value == 1) return a;
+  if ((na.op == Op::kConst && na.value == 0) ||
+      (nb.op == Op::kConst && nb.value == 0)) {
+    return constant(0);
+  }
+  Node n;
+  n.op = Op::kMul;
+  n.a = std::min(a, b);
+  n.b = std::max(a, b);
+  if (!mul_fits(na.range.lo, nb.range.lo) ||
+      !mul_fits(na.range.lo, nb.range.hi) ||
+      !mul_fits(na.range.hi, nb.range.lo) ||
+      !mul_fits(na.range.hi, nb.range.hi)) {
+    throw std::overflow_error("mul: range overflow");
+  }
+  const std::int64_t corners[] = {
+      na.range.lo * nb.range.lo, na.range.lo * nb.range.hi,
+      na.range.hi * nb.range.lo, na.range.hi * nb.range.hi};
+  n.range = {*std::min_element(std::begin(corners), std::end(corners)),
+             *std::max_element(std::begin(corners), std::end(corners))};
+  return intern(n);
+}
+
+NodeId Context::ite(NodeId cond, NodeId then_e, NodeId else_e) {
+  assert(is_bool(cond) && !is_bool(then_e) && !is_bool(else_e));
+  const Node& nc = node(cond);
+  if (nc.op == Op::kBoolConst) return nc.value ? then_e : else_e;
+  if (then_e == else_e) return then_e;
+  Node n;
+  n.op = Op::kIte;
+  n.a = cond;
+  n.b = then_e;
+  n.c = else_e;
+  n.range = {std::min(node(then_e).range.lo, node(else_e).range.lo),
+             std::max(node(then_e).range.hi, node(else_e).range.hi)};
+  return intern(n);
+}
+
+NodeId Context::sum(std::span<const NodeId> xs) {
+  if (xs.empty()) return constant(0);
+  NodeId acc = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) acc = add(acc, xs[i]);
+  return acc;
+}
+
+namespace {
+/// Constant-fold comparison when ranges are disjoint / nested suitably.
+enum class Fold { kTrue, kFalse, kOpen };
+}  // namespace
+
+NodeId Context::le(NodeId a, NodeId b) {
+  assert(!is_bool(a) && !is_bool(b));
+  const Range ra = node(a).range;
+  const Range rb = node(b).range;
+  if (ra.hi <= rb.lo) return bool_const(true);
+  if (ra.lo > rb.hi) return bool_const(false);
+  Node n;
+  n.op = Op::kLe;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+NodeId Context::lt(NodeId a, NodeId b) { return lnot(le(b, a)); }
+NodeId Context::ge(NodeId a, NodeId b) { return le(b, a); }
+NodeId Context::gt(NodeId a, NodeId b) { return lnot(le(a, b)); }
+
+NodeId Context::eq(NodeId a, NodeId b) {
+  assert(!is_bool(a) && !is_bool(b));
+  if (a == b) return bool_const(true);
+  const Range ra = node(a).range;
+  const Range rb = node(b).range;
+  if (ra.hi < rb.lo || rb.hi < ra.lo) return bool_const(false);
+  if (ra.lo == ra.hi && rb.lo == rb.hi) return bool_const(ra.lo == rb.lo);
+  Node n;
+  n.op = Op::kEq;
+  n.a = std::min(a, b);
+  n.b = std::max(a, b);
+  return intern(n);
+}
+
+NodeId Context::ne(NodeId a, NodeId b) { return lnot(eq(a, b)); }
+
+NodeId Context::lnot(NodeId a) {
+  assert(is_bool(a));
+  const Node& na = node(a);
+  if (na.op == Op::kBoolConst) return bool_const(!na.value);
+  if (na.op == Op::kNot) return na.a;  // double negation
+  Node n;
+  n.op = Op::kNot;
+  n.a = a;
+  return intern(n);
+}
+
+NodeId Context::land(NodeId a, NodeId b) {
+  assert(is_bool(a) && is_bool(b));
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::kBoolConst) return na.value ? b : bool_const(false);
+  if (nb.op == Op::kBoolConst) return nb.value ? a : bool_const(false);
+  if (a == b) return a;
+  Node n;
+  n.op = Op::kAnd;
+  n.a = std::min(a, b);
+  n.b = std::max(a, b);
+  return intern(n);
+}
+
+NodeId Context::lor(NodeId a, NodeId b) {
+  assert(is_bool(a) && is_bool(b));
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::kBoolConst) return na.value ? bool_const(true) : b;
+  if (nb.op == Op::kBoolConst) return nb.value ? bool_const(true) : a;
+  if (a == b) return a;
+  Node n;
+  n.op = Op::kOr;
+  n.a = std::min(a, b);
+  n.b = std::max(a, b);
+  return intern(n);
+}
+
+NodeId Context::implies(NodeId a, NodeId b) { return lor(lnot(a), b); }
+
+NodeId Context::iff(NodeId a, NodeId b) {
+  assert(is_bool(a) && is_bool(b));
+  if (a == b) return bool_const(true);
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  if (na.op == Op::kBoolConst) return na.value ? b : lnot(b);
+  if (nb.op == Op::kBoolConst) return nb.value ? a : lnot(a);
+  Node n;
+  n.op = Op::kIff;
+  n.a = std::min(a, b);
+  n.b = std::max(a, b);
+  return intern(n);
+}
+
+NodeId Context::and_all(std::span<const NodeId> xs) {
+  NodeId acc = bool_const(true);
+  for (const NodeId x : xs) acc = land(acc, x);
+  return acc;
+}
+
+NodeId Context::or_all(std::span<const NodeId> xs) {
+  NodeId acc = bool_const(false);
+  for (const NodeId x : xs) acc = lor(acc, x);
+  return acc;
+}
+
+const std::string& Context::name(NodeId id) const {
+  const Node& n = node(id);
+  if (n.op == Op::kIntVar) {
+    return int_var_names_[static_cast<std::size_t>(n.value)];
+  }
+  assert(n.op == Op::kBoolVar);
+  return bool_var_names_[static_cast<std::size_t>(n.value)];
+}
+
+std::string Context::to_string(NodeId id) const {
+  const Node& n = node(id);
+  auto binary = [&](const char* op) {
+    return std::string("(") + op + " " + to_string(n.a) + " " +
+           to_string(n.b) + ")";
+  };
+  switch (n.op) {
+    case Op::kConst: return std::to_string(n.value);
+    case Op::kBoolConst: return n.value ? "true" : "false";
+    case Op::kIntVar:
+    case Op::kBoolVar: return name(id);
+    case Op::kAdd: return binary("+");
+    case Op::kSub: return binary("-");
+    case Op::kMul: return binary("*");
+    case Op::kIte:
+      return "(ite " + to_string(n.a) + " " + to_string(n.b) + " " +
+             to_string(n.c) + ")";
+    case Op::kNot: return "(not " + to_string(n.a) + ")";
+    case Op::kAnd: return binary("and");
+    case Op::kOr: return binary("or");
+    case Op::kImplies: return binary("=>");
+    case Op::kIff: return binary("<=>");
+    case Op::kEq: return binary("=");
+    case Op::kNe: return binary("!=");
+    case Op::kLe: return binary("<=");
+    case Op::kLt: return binary("<");
+    case Op::kGe: return binary(">=");
+    case Op::kGt: return binary(">");
+  }
+  return "?";
+}
+
+// --- Evaluator ------------------------------------------------------------
+
+void Evaluator::set_int(NodeId var, std::int64_t v) {
+  const Node& n = ctx_.node(var);
+  assert(n.op == Op::kIntVar);
+  int_values_[n.value] = v;
+}
+
+void Evaluator::set_bool(NodeId var, bool v) {
+  const Node& n = ctx_.node(var);
+  assert(n.op == Op::kBoolVar);
+  bool_values_[n.value] = v;
+}
+
+std::int64_t Evaluator::eval_int(NodeId e) const {
+  const Node& n = ctx_.node(e);
+  switch (n.op) {
+    case Op::kConst: return n.value;
+    case Op::kIntVar: {
+      const auto it = int_values_.find(n.value);
+      if (it == int_values_.end()) {
+        throw std::logic_error("eval: unassigned int var " + ctx_.name(e));
+      }
+      return it->second;
+    }
+    case Op::kAdd: return eval_int(n.a) + eval_int(n.b);
+    case Op::kSub: return eval_int(n.a) - eval_int(n.b);
+    case Op::kMul: return eval_int(n.a) * eval_int(n.b);
+    case Op::kIte: return eval_bool(n.a) ? eval_int(n.b) : eval_int(n.c);
+    default: throw std::logic_error("eval_int on boolean node");
+  }
+}
+
+bool Evaluator::eval_bool(NodeId e) const {
+  const Node& n = ctx_.node(e);
+  switch (n.op) {
+    case Op::kBoolConst: return n.value != 0;
+    case Op::kBoolVar: {
+      const auto it = bool_values_.find(n.value);
+      if (it == bool_values_.end()) {
+        throw std::logic_error("eval: unassigned bool var " + ctx_.name(e));
+      }
+      return it->second;
+    }
+    case Op::kNot: return !eval_bool(n.a);
+    case Op::kAnd: return eval_bool(n.a) && eval_bool(n.b);
+    case Op::kOr: return eval_bool(n.a) || eval_bool(n.b);
+    case Op::kImplies: return !eval_bool(n.a) || eval_bool(n.b);
+    case Op::kIff: return eval_bool(n.a) == eval_bool(n.b);
+    case Op::kEq: return eval_int(n.a) == eval_int(n.b);
+    case Op::kNe: return eval_int(n.a) != eval_int(n.b);
+    case Op::kLe: return eval_int(n.a) <= eval_int(n.b);
+    case Op::kLt: return eval_int(n.a) < eval_int(n.b);
+    case Op::kGe: return eval_int(n.a) >= eval_int(n.b);
+    case Op::kGt: return eval_int(n.a) > eval_int(n.b);
+    default: throw std::logic_error("eval_bool on integer node");
+  }
+}
+
+}  // namespace optalloc::ir

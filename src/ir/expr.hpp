@@ -1,0 +1,165 @@
+#pragma once
+// Bounded-integer constraint IR — the "arithmetic formulae over integers"
+// of the paper's Section 3. A Context owns a DAG of hash-consed nodes;
+// expressions are Boolean combinations of linear and non-linear integer
+// (in)equations over variables with explicitly bounded ranges (the bounded
+// ranges are what make the reduction to SAT possible, cf. Section 5).
+//
+// Node kinds:
+//   integer-valued: Const, IntVar, Add, Sub, Mul, Ite
+//   boolean-valued: BoolVar, BoolConst, Not, And, Or, Implies, Iff,
+//                   Eq, Ne, Le, Lt, Ge, Gt
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace optalloc::ir {
+
+/// Node handle; indexes into the owning Context. Total ordering makes
+/// handles usable as map keys.
+enum class NodeId : std::int32_t {};
+inline constexpr NodeId kInvalidNode{-1};
+
+enum class Op : std::uint8_t {
+  // Integer-valued.
+  kConst,
+  kIntVar,
+  kAdd,
+  kSub,
+  kMul,
+  kIte,  ///< ite(cond, then, else) — integer-valued conditional
+  // Boolean-valued.
+  kBoolConst,
+  kBoolVar,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kEq,
+  kNe,
+  kLe,
+  kLt,
+  kGe,
+  kGt,
+};
+
+/// Inclusive integer interval; the inferred value range of a node.
+struct Range {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  std::int64_t width() const { return hi - lo; }
+  bool operator==(const Range&) const = default;
+};
+
+struct Node {
+  Op op;
+  NodeId a = kInvalidNode;  ///< first operand (or condition for Ite)
+  NodeId b = kInvalidNode;  ///< second operand (or 'then' for Ite)
+  NodeId c = kInvalidNode;  ///< third operand ('else' for Ite)
+  std::int64_t value = 0;   ///< constant payload / variable index
+  Range range;              ///< integer nodes: inferred bounds
+};
+
+/// Expression context: arena + hash-consing + range inference.
+/// All builder methods return existing nodes for structurally identical
+/// inputs and fold constants eagerly.
+class Context {
+ public:
+  // --- Leaves -----------------------------------------------------------
+
+  /// Fresh bounded integer variable. Requires lo <= hi.
+  NodeId int_var(std::string name, std::int64_t lo, std::int64_t hi);
+  /// Fresh Boolean variable.
+  NodeId bool_var(std::string name);
+  NodeId constant(std::int64_t v);
+  NodeId bool_const(bool v);
+
+  // --- Integer operators -------------------------------------------------
+
+  NodeId add(NodeId a, NodeId b);
+  NodeId sub(NodeId a, NodeId b);
+  NodeId mul(NodeId a, NodeId b);
+  NodeId ite(NodeId cond, NodeId then_e, NodeId else_e);
+  NodeId sum(std::span<const NodeId> xs);
+
+  // --- Comparisons --------------------------------------------------------
+
+  NodeId eq(NodeId a, NodeId b);
+  NodeId ne(NodeId a, NodeId b);
+  NodeId le(NodeId a, NodeId b);
+  NodeId lt(NodeId a, NodeId b);
+  NodeId ge(NodeId a, NodeId b);
+  NodeId gt(NodeId a, NodeId b);
+
+  // --- Boolean connectives -------------------------------------------------
+
+  NodeId lnot(NodeId a);
+  NodeId land(NodeId a, NodeId b);
+  NodeId lor(NodeId a, NodeId b);
+  NodeId implies(NodeId a, NodeId b);
+  NodeId iff(NodeId a, NodeId b);
+  NodeId and_all(std::span<const NodeId> xs);
+  NodeId or_all(std::span<const NodeId> xs);
+
+  // --- Introspection --------------------------------------------------------
+
+  const Node& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  std::size_t size() const { return nodes_.size(); }
+  bool is_bool(NodeId id) const;
+  Range range(NodeId id) const { return node(id).range; }
+  /// Name of a variable node (IntVar/BoolVar only).
+  const std::string& name(NodeId id) const;
+  /// Render an expression as an s-expression string (debugging).
+  std::string to_string(NodeId id) const;
+
+  /// Number of variables created (IntVar + BoolVar).
+  std::size_t num_int_vars() const { return int_var_names_.size(); }
+  std::size_t num_bool_vars() const { return bool_var_names_.size(); }
+
+ private:
+  friend class Evaluator;
+
+  NodeId intern(Node n);
+
+  struct NodeKey {
+    Op op;
+    NodeId a, b, c;
+    std::int64_t value;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const;
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, NodeId, NodeKeyHash> interned_;
+  std::vector<std::string> int_var_names_;   // by node.value
+  std::vector<std::string> bool_var_names_;  // by node.value
+};
+
+/// Assignment of values to variables; evaluates expressions for tests and
+/// for the independent solution verifier.
+class Evaluator {
+ public:
+  explicit Evaluator(const Context& ctx) : ctx_(ctx) {}
+
+  void set_int(NodeId var, std::int64_t v);
+  void set_bool(NodeId var, bool v);
+
+  std::int64_t eval_int(NodeId e) const;
+  bool eval_bool(NodeId e) const;
+
+ private:
+  const Context& ctx_;
+  std::unordered_map<std::int64_t, std::int64_t> int_values_;  // var idx -> v
+  std::unordered_map<std::int64_t, bool> bool_values_;
+};
+
+}  // namespace optalloc::ir

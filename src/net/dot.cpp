@@ -1,0 +1,104 @@
+#include "net/dot.hpp"
+
+#include <sstream>
+
+namespace optalloc::net {
+
+namespace {
+
+void emit_header(std::ostream& out) {
+  out << "graph architecture {\n"
+      << "  graph [compound=true, fontname=\"Helvetica\"];\n"
+      << "  node [fontname=\"Helvetica\", shape=circle];\n";
+}
+
+void emit_media_clusters(std::ostream& out, const rt::Architecture& arch,
+                         const std::vector<std::string>& ecu_labels) {
+  // Each ECU node is emitted once, inside the cluster of its first medium;
+  // membership in further media is drawn as a gateway edge to the medium
+  // anchor.
+  std::vector<char> emitted(static_cast<std::size_t>(arch.num_ecus), 0);
+  for (std::size_t m = 0; m < arch.media.size(); ++m) {
+    const rt::Medium& medium = arch.media[m];
+    out << "  subgraph cluster_" << m << " {\n"
+        << "    label=\"" << medium.name << " ("
+        << (medium.type == rt::MediumType::kTokenRing ? "token ring" : "CAN")
+        << ")\";\n"
+        << "    style=rounded;\n";
+    for (const int e : medium.ecus) {
+      if (emitted[static_cast<std::size_t>(e)]) continue;
+      emitted[static_cast<std::size_t>(e)] = 1;
+      out << "    ecu" << e << " [label=\""
+          << ecu_labels[static_cast<std::size_t>(e)] << "\"";
+      if (arch.is_gateway(e)) out << ", shape=doublecircle";
+      if (!arch.can_host_tasks(e)) {
+        out << ", style=filled, fillcolor=lightgray";
+      }
+      out << "];\n";
+    }
+    out << "  }\n";
+  }
+  // Gateway membership edges for ECUs that sit on several media: connect
+  // the gateway node to one representative node of every further medium.
+  for (int e = 0; e < arch.num_ecus; ++e) {
+    const auto media = arch.media_of(e);
+    for (std::size_t i = 1; i < media.size(); ++i) {
+      const rt::Medium& medium =
+          arch.media[static_cast<std::size_t>(media[i])];
+      for (const int other : medium.ecus) {
+        if (other != e) {
+          out << "  ecu" << e << " -- ecu" << other
+              << " [style=dashed, label=\"gw\"];\n";
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const rt::Architecture& arch) {
+  std::ostringstream out;
+  emit_header(out);
+  std::vector<std::string> labels;
+  for (int e = 0; e < arch.num_ecus; ++e) {
+    labels.push_back("p" + std::to_string(e));
+  }
+  emit_media_clusters(out, arch, labels);
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const rt::TaskSet& tasks, const rt::Architecture& arch,
+                   const rt::Allocation& allocation) {
+  std::ostringstream out;
+  emit_header(out);
+  // ECU labels list their tasks.
+  std::vector<std::string> labels;
+  for (int e = 0; e < arch.num_ecus; ++e) {
+    std::string label = "p" + std::to_string(e);
+    for (std::size_t i = 0; i < tasks.tasks.size(); ++i) {
+      if (allocation.task_ecu[i] == e) {
+        label += "\\n" + tasks.tasks[i].name;
+      }
+    }
+    labels.push_back(std::move(label));
+  }
+  emit_media_clusters(out, arch, labels);
+  // Message edges sender -> receiver (undirected graph: annotate).
+  const auto refs = tasks.message_refs();
+  for (std::size_t g = 0; g < refs.size(); ++g) {
+    const int src = allocation.task_ecu[static_cast<std::size_t>(
+        refs[g].task)];
+    const int dst = allocation.task_ecu[static_cast<std::size_t>(
+        tasks.message(refs[g]).target_task)];
+    if (src == dst) continue;
+    out << "  ecu" << src << " -- ecu" << dst
+        << " [color=blue, label=\"m" << g << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace optalloc::net

@@ -1,0 +1,21 @@
+#pragma once
+// Graphviz export of architectures and allocations — renders the paper's
+// Fig. 2-style topology diagrams (media as boxes, ECUs as nodes, gateways
+// highlighted), optionally annotated with an allocation's task placement.
+
+#include <string>
+
+#include "rt/model.hpp"
+
+namespace optalloc::net {
+
+/// DOT description of the architecture: one cluster per medium, gateway
+/// ECUs shown double-circled, gateway-only ECUs shaded.
+std::string to_dot(const rt::Architecture& arch);
+
+/// Same, with tasks listed inside their assigned ECU and message routes
+/// drawn as edges between sender and receiver ECUs.
+std::string to_dot(const rt::TaskSet& tasks, const rt::Architecture& arch,
+                   const rt::Allocation& allocation);
+
+}  // namespace optalloc::net

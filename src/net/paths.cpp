@@ -1,0 +1,146 @@
+#include "net/paths.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace optalloc::net {
+
+std::vector<std::string> validate_topology(const rt::Architecture& arch) {
+  std::vector<std::string> problems;
+  const auto num_media = static_cast<int>(arch.media.size());
+  for (int m = 0; m < num_media; ++m) {
+    const rt::Medium& medium = arch.media[static_cast<std::size_t>(m)];
+    std::set<int> seen;
+    for (const int e : medium.ecus) {
+      if (e < 0 || e >= arch.num_ecus) {
+        problems.push_back("medium " + medium.name + ": ECU out of range");
+      }
+      if (!seen.insert(e).second) {
+        problems.push_back("medium " + medium.name + ": duplicate ECU " +
+                           std::to_string(e));
+      }
+    }
+  }
+  for (int m1 = 0; m1 < num_media; ++m1) {
+    for (int m2 = m1 + 1; m2 < num_media; ++m2) {
+      int shared = 0;
+      for (const int e : arch.media[static_cast<std::size_t>(m1)].ecus) {
+        if (arch.media[static_cast<std::size_t>(m2)].connects(e)) ++shared;
+      }
+      if (shared > 1) {
+        problems.push_back(
+            "media " + arch.media[static_cast<std::size_t>(m1)].name +
+            " and " + arch.media[static_cast<std::size_t>(m2)].name +
+            " share " + std::to_string(shared) +
+            " gateways (at most one allowed)");
+      }
+    }
+  }
+  return problems;
+}
+
+PathClosures::PathClosures(const rt::Architecture& arch) : arch_(arch) {
+  const auto num_media = static_cast<int>(arch.media.size());
+
+  // Adjacency: media sharing a gateway ECU.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_media));
+  for (int m1 = 0; m1 < num_media; ++m1) {
+    for (int m2 = 0; m2 < num_media; ++m2) {
+      if (m1 != m2 && arch.gateway_between(m1, m2) >= 0) {
+        adj[static_cast<std::size_t>(m1)].push_back(m2);
+      }
+    }
+  }
+
+  // DFS for all maximal simple paths from every start medium.
+  std::vector<char> on_path(static_cast<std::size_t>(num_media), 0);
+  Path current;
+  std::set<Path> route_set;
+  route_set.insert(Path{});  // ph0: the empty closure
+
+  auto dfs = [&](auto&& self, int medium) -> void {
+    on_path[static_cast<std::size_t>(medium)] = 1;
+    current.push_back(medium);
+    route_set.insert(current);
+    bool extended = false;
+    for (const int next : adj[static_cast<std::size_t>(medium)]) {
+      if (!on_path[static_cast<std::size_t>(next)]) {
+        extended = true;
+        self(self, next);
+      }
+    }
+    if (!extended) maximal_.push_back(current);
+    current.pop_back();
+    on_path[static_cast<std::size_t>(medium)] = 0;
+  };
+  for (int m = 0; m < num_media; ++m) dfs(dfs, m);
+
+  routes_.assign(route_set.begin(), route_set.end());
+  // Order: empty route first, then by length, then lexicographically —
+  // std::set's vector ordering already puts {} first and sorts lexically;
+  // re-sort by (length, lex) for a stable human-friendly order.
+  std::sort(routes_.begin(), routes_.end(), [](const Path& a, const Path& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+}
+
+bool PathClosures::valid_endpoints(const Path& h, int src, int dst) const {
+  if (h.empty()) return src == dst;
+  if (src == dst) return false;
+  const rt::Medium& first = arch_.media[static_cast<std::size_t>(h.front())];
+  const rt::Medium& last = arch_.media[static_cast<std::size_t>(h.back())];
+  if (!first.connects(src) || !last.connects(dst)) return false;
+  if (h.size() >= 2) {
+    // v(h) side conditions: endpoints must not lie on the adjacent inner
+    // medium, otherwise a strictly shorter route exists.
+    if (arch_.media[static_cast<std::size_t>(h[1])].connects(src)) {
+      return false;
+    }
+    if (arch_.media[static_cast<std::size_t>(h[h.size() - 2])].connects(dst)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> PathClosures::routes_between(int src, int dst) const {
+  std::vector<int> result;
+  for (int i = 0; i < static_cast<int>(routes_.size()); ++i) {
+    if (valid_endpoints(routes_[static_cast<std::size_t>(i)], src, dst)) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+int PathClosures::leg_station(const Path& h, std::size_t l, int src) const {
+  if (l == 0) return src;
+  return arch_.gateway_between(h[l - 1], h[l]);
+}
+
+std::string PathClosures::describe() const {
+  std::string out;
+  out += "path closures (" + std::to_string(maximal_.size()) +
+         " maximal paths, " + std::to_string(routes_.size()) +
+         " routes incl. empty):\n";
+  for (const Path& p : maximal_) {
+    out += "  ph{";
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (i) out += " -> ";
+      out += arch_.media[static_cast<std::size_t>(p[i])].name;
+    }
+    out += "}  sub-paths:";
+    for (std::size_t len = 1; len <= p.size(); ++len) {
+      out += " \"";
+      for (std::size_t i = 0; i < len; ++i) {
+        out += arch_.media[static_cast<std::size_t>(p[i])].name;
+      }
+      out += "\"";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace optalloc::net

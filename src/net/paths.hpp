@@ -1,0 +1,66 @@
+#pragma once
+// Path closures over hierarchical architectures (paper Section 4, Fig. 1).
+//
+// The media of an architecture form a graph: nodes are communication media,
+// and two media are adjacent when they share a gateway ECU (the paper
+// restricts to exactly one gateway between any two media). A *path closure*
+// is the set of all prefixes of a maximal simple path starting at some
+// medium; selecting a closure (and within it, the sub-path that actually
+// carries a message) tells the encoder both *which* media a message crosses
+// and *in which order* — the order is what the per-medium jitter chain
+// needs.
+
+#include <string>
+#include <vector>
+
+#include "rt/model.hpp"
+
+namespace optalloc::net {
+
+/// A route: media indices in transmission order. Empty = intra-ECU.
+using Path = std::vector<int>;
+
+/// Validate the architecture against the model's assumptions. Returns
+/// human-readable diagnostics (empty = valid): ECU indices in range, at
+/// most one gateway ECU between any two media, no duplicate ECUs within a
+/// medium.
+std::vector<std::string> validate_topology(const rt::Architecture& arch);
+
+class PathClosures {
+ public:
+  explicit PathClosures(const rt::Architecture& arch);
+
+  /// All maximal simple paths (one per closure, the paper's h-tilde),
+  /// grouped by starting medium. Does not include the empty closure.
+  const std::vector<Path>& maximal_paths() const { return maximal_; }
+
+  /// All distinct simple paths (= all prefixes of maximal paths, deduped).
+  /// These are the candidate routes a message can take. routes()[0] is
+  /// always the empty route (intra-ECU delivery, the paper's ph0).
+  const std::vector<Path>& routes() const { return routes_; }
+
+  /// v(h): may a message from ECU `src` to ECU `dst` use route `h`?
+  ///   * empty route: src == dst
+  ///   * single medium k: src != dst, both on k
+  ///   * multi-hop k1..kn: src on k1 but not on k2; dst on kn but not on
+  ///     k(n-1); consecutive media joined by gateways (by construction).
+  bool valid_endpoints(const Path& h, int src, int dst) const;
+
+  /// Indices into routes() usable by a message from src to dst.
+  std::vector<int> routes_between(int src, int dst) const;
+
+  /// The station (ECU) that queues the message on leg `l` of route `h`:
+  /// the sender's ECU for l == 0, the gateway between legs afterwards.
+  int leg_station(const Path& h, std::size_t l, int src) const;
+
+  /// Fig. 1-style textual dump of all closures.
+  std::string describe() const;
+
+ private:
+  rt::Architecture arch_;  // by value: closures must outlive the caller's
+                           // architecture object (no dangling references)
+  std::vector<Path> maximal_;
+  std::vector<Path> routes_;
+};
+
+}  // namespace optalloc::net

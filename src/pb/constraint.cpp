@@ -1,0 +1,49 @@
+#include "pb/constraint.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace optalloc::pb {
+
+Constraint normalize_ge(std::span<const Term> terms, std::int64_t rhs) {
+  // Merge terms per variable: a*x and b*~x combine to (a-b)*x + b.
+  std::map<sat::Var, std::int64_t> per_var;  // coefficient of the POSITIVE lit
+  std::int64_t constant = 0;
+  for (const Term& t : terms) {
+    if (t.coef == 0) continue;
+    if (t.lit.sign()) {
+      // a * ~x == a - a*x
+      constant += t.coef;
+      per_var[t.lit.var()] -= t.coef;
+    } else {
+      per_var[t.lit.var()] += t.coef;
+    }
+  }
+  Constraint c;
+  c.rhs = rhs - constant;
+  for (const auto& [v, coef] : per_var) {
+    if (coef > 0) {
+      c.terms.push_back({coef, sat::pos(v)});
+    } else if (coef < 0) {
+      // a*x with a<0 == a + (-a)*(~x)
+      c.rhs -= coef;
+      c.terms.push_back({-coef, sat::neg(v)});
+    }
+  }
+  std::sort(c.terms.begin(), c.terms.end(),
+            [](const Term& a, const Term& b) { return a.coef > b.coef; });
+  // Coefficient saturation: a_i > rhs acts exactly like a_i == rhs, which
+  // strengthens the clausal reasons derived from the constraint.
+  if (c.rhs > 0) {
+    for (Term& t : c.terms) t.coef = std::min(t.coef, c.rhs);
+  }
+  return c;
+}
+
+Constraint normalize_le(std::span<const Term> terms, std::int64_t rhs) {
+  std::vector<Term> negated(terms.begin(), terms.end());
+  for (Term& t : negated) t.coef = -t.coef;
+  return normalize_ge(negated, -rhs);
+}
+
+}  // namespace optalloc::pb

@@ -1,0 +1,63 @@
+#pragma once
+// Pseudo-Boolean constraints: 0-1 linear inequalities over literals,
+//   sum_i a_i * l_i >= k,
+// the native input language of the paper's GOBLIN solver. This header
+// defines the normalized representation shared by the native propagator
+// (pb/propagator.hpp) and the CNF encodings (pb/encodings.hpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace optalloc::pb {
+
+struct Term {
+  std::int64_t coef;
+  sat::Lit lit;
+  bool operator==(const Term&) const = default;
+};
+
+/// Normalized PB constraint: all coefficients positive, relation >=.
+/// Invariants established by normalize():
+///   * coef > 0 for every term
+///   * at most one term per variable (duplicate/opposing terms merged)
+///   * terms sorted by coefficient descending (enables early exit in
+///     propagation scans)
+struct Constraint {
+  std::vector<Term> terms;
+  std::int64_t rhs = 0;
+
+  /// Sum of all coefficients.
+  std::int64_t total() const {
+    std::int64_t t = 0;
+    for (const Term& term : terms) t += term.coef;
+    return t;
+  }
+
+  /// Trivially satisfied (even all-false assignment meets rhs)?
+  bool trivially_true() const { return rhs <= 0; }
+  /// Unsatisfiable (even all-true assignment misses rhs)?
+  bool trivially_false() const { return total() < rhs; }
+};
+
+/// Build a normalized >= constraint from arbitrary signed terms.
+/// Transformation for a < 0: a*l == a + (-a)*(~l), so the term flips its
+/// literal and the rhs absorbs the constant.
+Constraint normalize_ge(std::span<const Term> terms, std::int64_t rhs);
+
+/// sum a_i l_i <= k  ==  sum (-a_i) l_i >= -k.
+Constraint normalize_le(std::span<const Term> terms, std::int64_t rhs);
+
+/// Evaluate a constraint under a full assignment (for tests/verification).
+template <typename ValueFn>  // ValueFn: Lit -> bool
+bool satisfied(const Constraint& c, ValueFn value) {
+  std::int64_t sum = 0;
+  for (const Term& t : c.terms) {
+    if (value(t.lit)) sum += t.coef;
+  }
+  return sum >= c.rhs;
+}
+
+}  // namespace optalloc::pb

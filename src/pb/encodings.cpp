@@ -1,0 +1,194 @@
+#include "pb/encodings.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace optalloc::pb {
+
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+namespace {
+
+bool amo_pairwise(Solver& s, std::span<const Lit> lits) {
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    for (std::size_t j = i + 1; j < lits.size(); ++j) {
+      if (!s.add_binary(~lits[i], ~lits[j])) return false;
+    }
+  }
+  return true;
+}
+
+// Sinz-style sequential AMO: aux s_i == "one of lits[0..i] is true".
+bool amo_sequential(Solver& s, std::span<const Lit> lits) {
+  if (lits.size() <= 1) return true;
+  const std::size_t n = lits.size();
+  std::vector<Lit> reg(n - 1);
+  for (auto& r : reg) r = sat::pos(s.new_var());
+  bool ok = s.add_binary(~lits[0], reg[0]);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    ok = s.add_binary(~lits[i], reg[i]) && ok;
+    ok = s.add_binary(~reg[i - 1], reg[i]) && ok;
+    ok = s.add_binary(~lits[i], ~reg[i - 1]) && ok;
+  }
+  ok = s.add_binary(~lits[n - 1], ~reg[n - 2]) && ok;
+  return ok;
+}
+
+}  // namespace
+
+bool encode_at_most_one(Solver& s, std::span<const Lit> lits,
+                        AmoEncoding enc) {
+  if (lits.size() <= 1) return true;
+  return enc == AmoEncoding::kPairwise ? amo_pairwise(s, lits)
+                                       : amo_sequential(s, lits);
+}
+
+bool encode_exactly_one(Solver& s, std::span<const Lit> lits,
+                        AmoEncoding enc) {
+  if (lits.empty()) {
+    s.add_clause(std::span<const Lit>{});  // exactly-one of nothing: UNSAT
+    return false;
+  }
+  if (!s.add_clause(lits)) return false;
+  return encode_at_most_one(s, lits, enc);
+}
+
+bool encode_at_most_k(Solver& s, std::span<const Lit> lits, std::int64_t k) {
+  if (k < 0) {
+    // No literal may be true — impossible if any literal is constant true;
+    // emit all negations as units.
+    s.add_clause(std::span<const Lit>{});
+    return false;
+  }
+  const std::int64_t n = static_cast<std::int64_t>(lits.size());
+  if (k >= n) return true;
+  if (k == 0) {
+    bool ok = true;
+    for (const Lit l : lits) ok = s.add_unit(~l) && ok;
+    return ok;
+  }
+  // Sinz sequential counter: r[i][j] == "at least j+1 of lits[0..i] true".
+  std::vector<std::vector<Lit>> reg(n - 1, std::vector<Lit>(k));
+  for (auto& row : reg) {
+    for (auto& cell : row) cell = sat::pos(s.new_var());
+  }
+  bool ok = s.add_binary(~lits[0], reg[0][0]);
+  for (std::int64_t j = 1; j < k; ++j) ok = s.add_unit(~reg[0][j]) && ok;
+  for (std::int64_t i = 1; i < n - 1; ++i) {
+    ok = s.add_binary(~lits[i], reg[i][0]) && ok;
+    ok = s.add_binary(~reg[i - 1][0], reg[i][0]) && ok;
+    for (std::int64_t j = 1; j < k; ++j) {
+      ok = s.add_ternary(~lits[i], ~reg[i - 1][j - 1], reg[i][j]) && ok;
+      ok = s.add_binary(~reg[i - 1][j], reg[i][j]) && ok;
+    }
+    ok = s.add_binary(~lits[i], ~reg[i - 1][k - 1]) && ok;
+  }
+  ok = s.add_binary(~lits[n - 1], ~reg[n - 2][k - 1]) && ok;
+  return ok;
+}
+
+bool encode_at_least_k(Solver& s, std::span<const Lit> lits, std::int64_t k) {
+  if (k <= 0) return true;
+  const std::int64_t n = static_cast<std::int64_t>(lits.size());
+  if (k > n) {
+    s.add_clause(std::span<const Lit>{});
+    return false;
+  }
+  if (k == 1) return s.add_clause(lits);
+  std::vector<Lit> negated(lits.begin(), lits.end());
+  for (Lit& l : negated) l = ~l;
+  return encode_at_most_k(s, negated, n - k);
+}
+
+namespace {
+
+// BDD encoder for sum a_i l_i >= rhs over terms[idx..]. Nodes are memoized
+// on (idx, residual-rhs interval collapsed to the clamped residual). Each
+// node gets a fresh variable `node == constraint satisfied from here on`.
+class BddBuilder {
+ public:
+  BddBuilder(Solver& s, const Constraint& c) : s_(s), c_(c) {
+    suffix_total_.resize(c.terms.size() + 1, 0);
+    for (std::size_t i = c.terms.size(); i-- > 0;) {
+      suffix_total_[i] = suffix_total_[i + 1] + c.terms[i].coef;
+    }
+  }
+
+  /// Returns a literal equivalent to the constraint, or a constant via
+  /// the out-parameters.
+  enum class Result { kTrue, kFalse, kNode };
+  Result build(std::size_t idx, std::int64_t rhs, Lit& out) {
+    if (rhs <= 0) return Result::kTrue;
+    if (suffix_total_[idx] < rhs) return Result::kFalse;
+    const auto key = std::make_pair(idx, rhs);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      out = it->second;
+      return Result::kNode;
+    }
+    const Term& t = c_.terms[idx];
+    Lit hi, lo;
+    const Result rhi = build(idx + 1, rhs - t.coef, hi);  // t.lit true
+    const Result rlo = build(idx + 1, rhs, lo);           // t.lit false
+    const Lit node = sat::pos(s_.new_var());
+    // node <-> ite(t.lit, hi, lo), specialised for constant branches.
+    // The constraint is monotone, so rhi dominates rlo; rhi==kFalse implies
+    // rlo==kFalse (handled by the caller's early-outs).
+    if (rhi == Result::kTrue && rlo == Result::kFalse) {
+      ok_ = s_.add_binary(~node, t.lit) && ok_;
+      ok_ = s_.add_binary(node, ~t.lit) && ok_;
+    } else if (rhi == Result::kTrue) {
+      ok_ = s_.add_ternary(~node, t.lit, lo) && ok_;
+      ok_ = s_.add_binary(node, ~t.lit) && ok_;
+      ok_ = s_.add_binary(node, ~lo) && ok_;
+    } else if (rlo == Result::kFalse) {
+      ok_ = s_.add_binary(~node, t.lit) && ok_;
+      ok_ = s_.add_binary(~node, hi) && ok_;
+      ok_ = s_.add_ternary(node, ~t.lit, ~hi) && ok_;
+    } else {
+      ok_ = s_.add_ternary(~node, ~t.lit, hi) && ok_;
+      ok_ = s_.add_ternary(~node, t.lit, lo) && ok_;
+      ok_ = s_.add_ternary(node, ~t.lit, ~hi) && ok_;
+      ok_ = s_.add_ternary(node, t.lit, ~lo) && ok_;
+    }
+    memo_.emplace(key, node);
+    out = node;
+    return Result::kNode;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  Solver& s_;
+  const Constraint& c_;
+  std::vector<std::int64_t> suffix_total_;
+  std::map<std::pair<std::size_t, std::int64_t>, Lit> memo_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool encode_pb_bdd(Solver& s, const Constraint& c) {
+  if (c.trivially_true()) return true;
+  if (c.trivially_false()) {
+    s.add_clause(std::span<const Lit>{});
+    return false;
+  }
+  BddBuilder builder(s, c);
+  Lit root = sat::kUndefLit;
+  const auto result = builder.build(0, c.rhs, root);
+  switch (result) {
+    case BddBuilder::Result::kTrue:
+      return builder.ok();
+    case BddBuilder::Result::kFalse:
+      s.add_clause(std::span<const Lit>{});
+      return false;
+    case BddBuilder::Result::kNode:
+      return s.add_unit(root) && builder.ok();
+  }
+  return false;  // unreachable
+}
+
+}  // namespace optalloc::pb

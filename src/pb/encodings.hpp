@@ -1,0 +1,44 @@
+#pragma once
+// CNF encodings of cardinality and pseudo-Boolean constraints. These are
+// the classical alternative to native PB propagation (pb/propagator.hpp);
+// bench_ablation compares the two, mirroring the paper's remark that PB
+// formulae keep the encoding compact versus plain CNF.
+//
+// Provided encodings:
+//   * at-most-one: pairwise (O(n^2) binary clauses) and sequential (3n aux)
+//   * exactly-one
+//   * at-most-k / at-least-k: Sinz sequential counter
+//   * general PB (>=): ROBDD-based encoding (Eén & Sörensson, MiniSat+)
+
+#include <cstdint>
+#include <span>
+
+#include "pb/constraint.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::pb {
+
+enum class AmoEncoding { kPairwise, kSequential };
+
+/// At most one of `lits` is true.
+bool encode_at_most_one(sat::Solver& s, std::span<const sat::Lit> lits,
+                        AmoEncoding enc = AmoEncoding::kPairwise);
+
+/// Exactly one of `lits` is true.
+bool encode_exactly_one(sat::Solver& s, std::span<const sat::Lit> lits,
+                        AmoEncoding enc = AmoEncoding::kPairwise);
+
+/// At most k of `lits` are true (Sinz sequential counter; O(n*k) clauses).
+bool encode_at_most_k(sat::Solver& s, std::span<const sat::Lit> lits,
+                      std::int64_t k);
+
+/// At least k of `lits` are true (at-most (n-k) of the negations).
+bool encode_at_least_k(sat::Solver& s, std::span<const sat::Lit> lits,
+                       std::int64_t k);
+
+/// General normalized PB constraint sum a_i l_i >= rhs as CNF via a
+/// reduced ordered BDD over the terms. Exponential in the worst case but
+/// compact for the constraints arising from arithmetic encodings.
+bool encode_pb_bdd(sat::Solver& s, const Constraint& c);
+
+}  // namespace optalloc::pb

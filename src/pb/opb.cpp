@@ -1,0 +1,158 @@
+#include "pb/opb.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sat/solver.hpp"
+
+namespace optalloc::pb {
+
+namespace {
+
+/// Parse a literal token "x12" or "~x12" (1-based) into a Lit.
+sat::Lit parse_literal(const std::string& token, std::int32_t num_vars) {
+  bool negated = false;
+  std::size_t pos = 0;
+  if (!token.empty() && token[0] == '~') {
+    negated = true;
+    pos = 1;
+  }
+  if (pos >= token.size() || token[pos] != 'x') {
+    throw std::runtime_error("opb: expected literal, got '" + token + "'");
+  }
+  const long index = std::stol(token.substr(pos + 1));
+  if (index < 1 || index > num_vars) {
+    throw std::runtime_error("opb: variable out of range: " + token);
+  }
+  return sat::Lit(static_cast<sat::Var>(index - 1), negated);
+}
+
+/// Parse "<coef> <lit> <coef> <lit> ..." until a relation or ';'.
+std::vector<Term> parse_terms(std::istringstream& in, std::string& stop,
+                              std::int32_t num_vars) {
+  std::vector<Term> terms;
+  std::string token;
+  while (in >> token) {
+    if (token == ">=" || token == "<=" || token == "=" || token == ";") {
+      stop = token;
+      return terms;
+    }
+    const std::int64_t coef = std::stoll(token);
+    std::string lit_token;
+    if (!(in >> lit_token)) {
+      throw std::runtime_error("opb: coefficient without literal");
+    }
+    terms.push_back({coef, parse_literal(lit_token, num_vars)});
+  }
+  stop.clear();
+  return terms;
+}
+
+}  // namespace
+
+OpbProblem parse_opb(std::istream& in) {
+  OpbProblem problem;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '*') {
+      // Header comment: "* #variable= N #constraint= M".
+      const auto var_pos = line.find("#variable=");
+      if (var_pos != std::string::npos) {
+        problem.num_vars = static_cast<std::int32_t>(
+            std::stol(line.substr(var_pos + 10)));
+        header_seen = true;
+      }
+      continue;
+    }
+    if (!header_seen) {
+      throw std::runtime_error("opb: missing '* #variable=' header");
+    }
+    std::istringstream body(line);
+    if (line.rfind("min:", 0) == 0) {
+      body.ignore(4);
+      std::string stop;
+      problem.objective = parse_terms(body, stop, problem.num_vars);
+      if (stop != ";") throw std::runtime_error("opb: objective missing ';'");
+      continue;
+    }
+    OpbConstraint c;
+    std::string stop;
+    c.terms = parse_terms(body, stop, problem.num_vars);
+    if (stop == ">=") {
+      c.relation = OpbConstraint::Relation::kGe;
+    } else if (stop == "<=") {
+      c.relation = OpbConstraint::Relation::kLe;
+    } else if (stop == "=") {
+      c.relation = OpbConstraint::Relation::kEq;
+    } else {
+      throw std::runtime_error("opb: constraint without relation: " + line);
+    }
+    std::string rhs_token, semi;
+    if (!(body >> rhs_token)) {
+      throw std::runtime_error("opb: missing right-hand side: " + line);
+    }
+    c.rhs = std::stoll(rhs_token);
+    if (body >> semi && semi != ";") {
+      throw std::runtime_error("opb: trailing tokens: " + line);
+    }
+    problem.constraints.push_back(std::move(c));
+  }
+  return problem;
+}
+
+bool load_into(const OpbProblem& problem, sat::Solver& solver,
+               PbPropagator& pb) {
+  while (solver.num_vars() < problem.num_vars) solver.new_var();
+  bool ok = true;
+  for (const OpbConstraint& c : problem.constraints) {
+    switch (c.relation) {
+      case OpbConstraint::Relation::kGe:
+        ok = pb.add_ge(c.terms, c.rhs) && ok;
+        break;
+      case OpbConstraint::Relation::kLe:
+        ok = pb.add_le(c.terms, c.rhs) && ok;
+        break;
+      case OpbConstraint::Relation::kEq:
+        ok = pb.add_eq(c.terms, c.rhs) && ok;
+        break;
+    }
+  }
+  return solver.ok() && ok;
+}
+
+namespace {
+
+void write_terms(std::ostream& out, const std::vector<Term>& terms) {
+  for (const Term& t : terms) {
+    out << (t.coef >= 0 ? "+" : "") << t.coef << " "
+        << (t.lit.sign() ? "~" : "") << "x" << (t.lit.var() + 1) << " ";
+  }
+}
+
+}  // namespace
+
+void write_opb(std::ostream& out, const OpbProblem& problem) {
+  out << "* #variable= " << problem.num_vars
+      << " #constraint= " << problem.constraints.size() << "\n";
+  if (problem.objective) {
+    out << "min: ";
+    write_terms(out, *problem.objective);
+    out << ";\n";
+  }
+  for (const OpbConstraint& c : problem.constraints) {
+    write_terms(out, c.terms);
+    switch (c.relation) {
+      case OpbConstraint::Relation::kGe: out << ">= "; break;
+      case OpbConstraint::Relation::kLe: out << "<= "; break;
+      case OpbConstraint::Relation::kEq: out << "= "; break;
+    }
+    out << c.rhs << " ;\n";
+  }
+}
+
+}  // namespace optalloc::pb

@@ -1,0 +1,45 @@
+#pragma once
+// OPB (pseudo-Boolean competition format) reader/writer, the standard
+// interchange format for 0-1 linear constraint systems — the input
+// language of solvers like GOBLIN. Supports linear constraints with
+// ">=", "<=" and "=" relations and an optional "min:" objective line.
+//
+//   * #variable= 4 #constraint= 2
+//   min: +1 x1 +2 x2 ;
+//   +1 x1 +2 x2 +3 x3 >= 3 ;
+//   -2 x1 +4 x4 = 2 ;
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "pb/propagator.hpp"
+
+namespace optalloc::pb {
+
+struct OpbConstraint {
+  std::vector<Term> terms;
+  enum class Relation { kGe, kLe, kEq } relation = Relation::kGe;
+  std::int64_t rhs = 0;
+};
+
+struct OpbProblem {
+  std::int32_t num_vars = 0;
+  std::optional<std::vector<Term>> objective;  ///< minimized if present
+  std::vector<OpbConstraint> constraints;
+};
+
+/// Parse OPB from a stream. Throws std::runtime_error on malformed input.
+/// Variables x1..xN map to 0-based solver variables; "~xK" literals are
+/// supported (negation).
+OpbProblem parse_opb(std::istream& in);
+
+/// Load the constraints into a solver + PB store (creating variables).
+/// Returns false if the system is unsatisfiable at the top level.
+bool load_into(const OpbProblem& problem, sat::Solver& solver,
+               PbPropagator& pb);
+
+/// Serialize in OPB format.
+void write_opb(std::ostream& out, const OpbProblem& problem);
+
+}  // namespace optalloc::pb

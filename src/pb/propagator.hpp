@@ -1,0 +1,81 @@
+#pragma once
+// Native pseudo-Boolean propagation integrated into the CDCL solver via the
+// theory-propagator hook — the architectural analogue of the paper's GOBLIN
+// engine, where PB constraints are first-class and never expanded to CNF.
+//
+// Method: counter ("slack") propagation. For a normalized constraint
+//   sum a_i l_i >= k,  slack := sum_{l_i not false} a_i - k.
+// slack < 0            -> conflict (the false literals cannot all stay false)
+// a_i > slack, l_i free -> l_i is implied true.
+// Reasons and conflicts are explained by clausal weakenings: a greedily
+// chosen subset F of the false literals such that forcing F false already
+// violates the constraint yields the clause (l ∨ ∨F) — exactly the lazy
+// clause generation GOBLIN-style engines perform.
+
+#include <cstdint>
+#include <vector>
+
+#include "pb/constraint.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::pb {
+
+struct PbStats {
+  std::uint64_t constraints = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+};
+
+class PbPropagator final : public sat::Propagator {
+ public:
+  /// Attaches itself to the solver. The solver must outlive this object.
+  explicit PbPropagator(sat::Solver& solver);
+
+  /// Add a normalized constraint. Returns false if the constraint system
+  /// became unsatisfiable at the top level. All literals must refer to
+  /// existing solver variables.
+  bool add(Constraint c);
+
+  /// Convenience builders (normalize internally).
+  bool add_ge(std::span<const Term> terms, std::int64_t rhs) {
+    return add(normalize_ge(terms, rhs));
+  }
+  bool add_le(std::span<const Term> terms, std::int64_t rhs) {
+    return add(normalize_le(terms, rhs));
+  }
+  bool add_eq(std::span<const Term> terms, std::int64_t rhs) {
+    return add_ge(terms, rhs) && add_le(terms, rhs);
+  }
+
+  const PbStats& stats() const { return stats_; }
+  std::size_t num_constraints() const { return constraints_.size(); }
+
+  // sat::Propagator interface -------------------------------------------
+  void on_new_var(sat::Var v) override;
+  bool on_assign(sat::Lit l, std::vector<sat::Lit>& conflict) override;
+  void on_unassign(sat::Lit l) override;
+
+ private:
+  struct Watched {
+    Constraint c;
+    std::int64_t slack = 0;
+    std::int64_t total = 0;  ///< cached c.total()
+  };
+
+  /// Re-derive implied literals of constraint `id`; false on conflict.
+  bool check(std::uint32_t id, std::vector<sat::Lit>& conflict);
+
+  /// Greedy clausal explanation: false literals of `c` (descending
+  /// coefficient) whose combined weight already exceeds `needed`.
+  void explain(const Constraint& c, std::int64_t needed,
+               std::vector<sat::Lit>& out) const;
+
+  sat::Solver& solver_;
+  std::vector<Watched> constraints_;
+  /// occs_[lit.index()] = constraints containing a term with that literal.
+  std::vector<std::vector<std::uint32_t>> occs_;
+  std::vector<sat::Lit> scratch_;
+  PbStats stats_;
+};
+
+}  // namespace optalloc::pb

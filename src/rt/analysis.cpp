@@ -1,0 +1,100 @@
+#include "rt/analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/intmath.hpp"
+
+namespace optalloc::rt {
+
+std::optional<Ticks> response_time_fp(Ticks own_cost,
+                                      std::span<const Interferer> hp,
+                                      Ticks bound) {
+  Ticks r = own_cost;
+  if (r > bound) return std::nullopt;
+  for (;;) {
+    Ticks next = own_cost;
+    for (const Interferer& j : hp) {
+      next += ceil_div(r + j.jitter, j.period) * j.cost;
+    }
+    if (next > bound) return std::nullopt;
+    if (next == r) return r;
+    r = next;
+  }
+}
+
+std::optional<Ticks> tdma_response_time(Ticks rho,
+                                        std::span<const Interferer> hp,
+                                        Ticks round_length, Ticks own_slot,
+                                        Ticks bound) {
+  Ticks r = rho;
+  if (r > bound) return std::nullopt;
+  for (;;) {
+    Ticks next = rho;
+    for (const Interferer& j : hp) {
+      next += ceil_div(r + j.jitter, j.period) * j.cost;
+    }
+    next += ceil_div(r, round_length) * (round_length - own_slot);
+    if (next > bound) return std::nullopt;
+    if (next == r) return r;
+    r = next;
+  }
+}
+
+std::int64_t can_frame_bits(std::int64_t payload) {
+  // CAN 2.0A: 47 bits of framing per data frame; only 34 of those plus the
+  // payload are subject to bit stuffing (1 stuff bit per 4 bits worst case).
+  const std::int64_t data_bits = 8 * payload;
+  return 47 + data_bits + (34 + data_bits - 1) / 4;
+}
+
+Ticks transmission_ticks(const Medium& medium, std::int64_t size_bytes) {
+  if (medium.type == MediumType::kCan) {
+    // Split into frames of up to 8 payload bytes.
+    Ticks total = 0;
+    std::int64_t remaining = size_bytes;
+    do {
+      const std::int64_t chunk = std::min<std::int64_t>(remaining, 8);
+      total += ceil_div(can_frame_bits(chunk) * medium.can_bit_ticks,
+                        medium.can_bits_per_tick);
+      remaining -= chunk;
+    } while (remaining > 0);
+    return total;
+  }
+  return std::max<Ticks>(1, size_bytes * medium.ring_byte_ticks);
+}
+
+std::int64_t utilization_ppm(std::span<const Interferer> msgs) {
+  // ceil( sum(cost/period) * 1000 ) computed exactly over rationals via a
+  // common denominator walk (avoids floating point in the cost function).
+  // sum cost_i/period_i = sum over i of cost_i * (L / period_i) / L with
+  // L = lcm; instead accumulate numerator over running lcm.
+  std::int64_t num = 0, den = 1;
+  for (const Interferer& m : msgs) {
+    // num/den += cost/period.
+    const std::int64_t g = std::gcd(den, m.period);
+    const std::int64_t new_den = den / g * m.period;
+    num = num * (new_den / den) + m.cost * (new_den / m.period);
+    den = new_den;
+  }
+  return ceil_div(num * 1000, den);
+}
+
+std::vector<int> deadline_monotonic_ranks(const TaskSet& ts) {
+  const auto n = static_cast<int>(ts.tasks.size());
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Ticks da = ts.tasks[static_cast<std::size_t>(a)].deadline;
+    const Ticks db = ts.tasks[static_cast<std::size_t>(b)].deadline;
+    if (da != db) return da < db;
+    return a < b;
+  });
+  std::vector<int> rank(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  }
+  return rank;
+}
+
+}  // namespace optalloc::rt

@@ -1,0 +1,58 @@
+#pragma once
+// Response-time analysis primitives (paper Section 2):
+//   * eq. (1): fixed-priority preemptive task response times
+//   * eq. (2): priority-bus (CAN) message response times
+//   * eq. (3): TDMA (token ring) message response times with slot blocking
+// plus CAN frame timing with worst-case stuff bits (Tindell [3]).
+//
+// All fixed points are computed exactly over integers; divergence beyond
+// the deadline returns std::nullopt (unschedulable).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rt/model.hpp"
+
+namespace optalloc::rt {
+
+/// An interfering entity for response-time fixed points: WCET/transmission
+/// time, period, and release jitter.
+struct Interferer {
+  Ticks cost = 0;    ///< c_j (task WCET or message transmission time rho)
+  Ticks period = 0;  ///< t_j
+  Ticks jitter = 0;  ///< release jitter J_j (0 for tasks in the base model)
+};
+
+/// eq. (1): r = c + sum_{j in hp} ceil((r + J_j)/t_j) c_j, iterated from
+/// r = c until fixed point or r > bound.
+std::optional<Ticks> response_time_fp(Ticks own_cost,
+                                      std::span<const Interferer> hp,
+                                      Ticks bound);
+
+/// eq. (3): r = rho + I(r) + ceil(r/Lambda)(Lambda - own_slot). `hp` are
+/// higher-priority messages queued at the same station.
+std::optional<Ticks> tdma_response_time(Ticks rho,
+                                        std::span<const Interferer> hp,
+                                        Ticks round_length, Ticks own_slot,
+                                        Ticks bound);
+
+/// Worst-case bits on the wire for one CAN 2.0A data frame carrying
+/// `payload` bytes (0..8): 47 framing bits + 8*payload, plus worst-case
+/// stuff bits floor((34 + 8*payload - 1)/4).
+std::int64_t can_frame_bits(std::int64_t payload);
+
+/// Transmission time of a message on a medium (rho_m): CAN messages are
+/// split into ceil(size/8)-byte frames; token-ring messages cost
+/// size * ring_byte_ticks.
+Ticks transmission_ticks(const Medium& medium, std::int64_t size_bytes);
+
+/// Bus utilisation of a set of (cost, period) pairs in parts-per-thousand,
+/// rounded up — the integer cost function for the paper's U_CAN objective.
+std::int64_t utilization_ppm(std::span<const Interferer> msgs);
+
+/// Deadline-monotonic priority order with index tie-break: returns ranks
+/// (rank[i] < rank[j] means tau_i has higher priority).
+std::vector<int> deadline_monotonic_ranks(const TaskSet& ts);
+
+}  // namespace optalloc::rt

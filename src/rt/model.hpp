@@ -1,0 +1,169 @@
+#pragma once
+// System model (paper Section 2): architecture A = (P, K, kappa) of ECUs
+// and communication media, and task set T of periodic/sporadic tasks with
+// per-ECU WCETs, deadlines, placement restrictions, separation sets
+// (redundant tasks), memory demands, and messages.
+//
+// All times are integer ticks. Workloads pick the tick granularity (the
+// bundled Tindell-style system uses 1 tick = 0.25 ms).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optalloc::rt {
+
+using Ticks = std::int64_t;
+
+/// WCET marker for "task cannot run on this ECU".
+inline constexpr Ticks kForbidden = -1;
+
+/// A message emitted by a task at the end of each activation
+/// (element of gamma_i: target, size, deadline).
+struct Message {
+  int target_task = -1;          ///< receiving task index in the TaskSet
+  std::int64_t size_bytes = 0;   ///< payload size
+  Ticks deadline = 0;            ///< end-to-end deadline Delta_m
+  Ticks release_jitter = 0;      ///< inherited release jitter J_m
+};
+
+/// One task tau_i = (t, c, gamma, pi, delta, d).
+struct Task {
+  std::string name;
+  Ticks period = 0;              ///< t_i: period / min inter-arrival
+  std::vector<Ticks> wcet;       ///< c_i(p) per ECU; kForbidden = disallowed
+  Ticks deadline = 0;            ///< d_i (constrained deadline: d <= t)
+  Ticks release_jitter = 0;      ///< J_i: release delay bound (Sec. 2's
+                                 ///< "many more temporal properties")
+  std::vector<int> separated_from;  ///< delta_i: must not share an ECU with
+  std::vector<Message> messages;    ///< gamma_i
+  std::int64_t memory = 0;       ///< memory footprint (per-ECU budgets)
+
+  bool allowed_on(int ecu) const {
+    return ecu >= 0 && ecu < static_cast<int>(wcet.size()) &&
+           wcet[static_cast<std::size_t>(ecu)] != kForbidden;
+  }
+};
+
+struct TaskSet {
+  std::vector<Task> tasks;
+
+  /// Global message id for (task, message-index); messages are flattened
+  /// in task order for indexing response times and routes.
+  struct MsgRef {
+    int task;
+    int index;  ///< index into tasks[task].messages
+  };
+  std::vector<MsgRef> message_refs() const {
+    std::vector<MsgRef> refs;
+    for (int i = 0; i < static_cast<int>(tasks.size()); ++i) {
+      const auto n = static_cast<int>(tasks[static_cast<std::size_t>(i)]
+                                          .messages.size());
+      for (int j = 0; j < n; ++j) refs.push_back({i, j});
+    }
+    return refs;
+  }
+  const Message& message(MsgRef r) const {
+    return tasks[static_cast<std::size_t>(r.task)]
+        .messages[static_cast<std::size_t>(r.index)];
+  }
+};
+
+enum class MediumType {
+  kTokenRing,  ///< TDMA: per-ECU slots, round length Lambda = sum of slots
+  kCan,        ///< priority-driven (CSMA/CR)
+};
+
+/// One communication medium k in K with its kappa parameters.
+struct Medium {
+  std::string name;
+  MediumType type = MediumType::kTokenRing;
+  std::vector<int> ecus;  ///< connected ECUs (the set k subseteq P)
+
+  // Token ring parameters.
+  Ticks ring_byte_ticks = 1;   ///< transmission ticks per payload byte
+  Ticks slot_min = 1;          ///< minimum slot length
+  Ticks slot_max = 64;         ///< maximum slot length (bounds the search)
+
+  // CAN parameters: a frame of B bits takes
+  // ceil(B * can_bit_ticks / can_bits_per_tick) ticks, so both slow buses
+  // (ticks per bit > 1) and fast buses (bits per tick > 1) are expressible
+  // on an integer tick base.
+  Ticks can_bit_ticks = 1;
+  Ticks can_bits_per_tick = 1;
+  /// Model the non-preemptive blocking of CAN arbitration: a frame that
+  /// just won the bus cannot be preempted, so a message waits for the
+  /// longest lower-priority frame on the bus (Tindell's B_m term). Off by
+  /// default — the paper's eq. (2) omits it; enabling it is the
+  /// "blocking factors" extension the paper mentions in Section 2.
+  bool can_blocking = false;
+
+  Ticks gateway_cost = 0;      ///< serv: cost of crossing a gateway from
+                               ///< this medium (store-and-forward overhead)
+
+  bool connects(int ecu) const {
+    for (const int e : ecus) {
+      if (e == ecu) return true;
+    }
+    return false;
+  }
+};
+
+/// Hierarchical architecture: media are nodes; two media sharing an ECU are
+/// linked through that gateway ECU (the paper allows exactly one gateway
+/// between two media).
+struct Architecture {
+  int num_ecus = 0;
+  std::vector<Medium> media;
+  std::vector<std::int64_t> ecu_memory;  ///< capacity per ECU; 0 = unlimited
+  std::vector<char> gateway_only;        ///< ECU cannot host tasks (arch A/B)
+
+  bool can_host_tasks(int ecu) const {
+    return gateway_only.empty() ||
+           !gateway_only[static_cast<std::size_t>(ecu)];
+  }
+
+  std::vector<int> media_of(int ecu) const {
+    std::vector<int> result;
+    for (int m = 0; m < static_cast<int>(media.size()); ++m) {
+      if (media[static_cast<std::size_t>(m)].connects(ecu)) result.push_back(m);
+    }
+    return result;
+  }
+
+  /// The unique gateway ECU linking two media, or -1 if they do not touch.
+  int gateway_between(int m1, int m2) const {
+    for (const int e : media[static_cast<std::size_t>(m1)].ecus) {
+      if (media[static_cast<std::size_t>(m2)].connects(e)) return e;
+    }
+    return -1;
+  }
+
+  bool is_gateway(int ecu) const { return media_of(ecu).size() >= 2; }
+};
+
+/// A full solution: the mappings Pi (tasks->ECUs), Gamma (messages->ordered
+/// media paths), per-message per-medium deadline budgets, and TDMA slot
+/// lengths. Produced by the optimizer's decoder and by the heuristics;
+/// consumed by the independent verifier.
+struct Allocation {
+  std::vector<int> task_ecu;  ///< Pi
+
+  /// Route per global message id: media indices in transmission order
+  /// (empty = intra-ECU delivery, no medium used).
+  std::vector<std::vector<int>> msg_route;
+
+  /// Local deadline d^k_m per global message id, aligned with msg_route.
+  std::vector<std::vector<Ticks>> msg_local_deadline;
+
+  /// Slot length per (medium, position in medium.ecus); only meaningful
+  /// for token rings.
+  std::vector<std::vector<Ticks>> slots;
+
+  /// Priority rank per task (lower = higher priority). Deadline-monotonic
+  /// with ties broken by the optimizer (paper eqs. 9-10). Empty = derive
+  /// deadline-monotonic order with index tie-break.
+  std::vector<int> task_prio;
+};
+
+}  // namespace optalloc::rt

@@ -1,0 +1,102 @@
+#include "rt/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace optalloc::rt {
+
+namespace {
+
+void line(std::ostringstream& out, const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  out << buf << '\n';
+}
+
+}  // namespace
+
+std::string render_report(const TaskSet& ts, const Architecture& arch,
+                          const Allocation& allocation) {
+  const VerifyReport report = verify(ts, arch, allocation);
+  std::ostringstream out;
+
+  line(out, "=== allocation report: %s ===",
+       report.feasible ? "FEASIBLE" : "INFEASIBLE");
+  for (const std::string& v : report.violations) {
+    line(out, "  violation: %s", v.c_str());
+  }
+
+  // Per-ECU task tables sorted by priority.
+  for (int e = 0; e < arch.num_ecus; ++e) {
+    std::vector<std::size_t> on_ecu;
+    for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+      if (allocation.task_ecu[i] == e) on_ecu.push_back(i);
+    }
+    if (on_ecu.empty()) continue;
+    std::sort(on_ecu.begin(), on_ecu.end(), [&](std::size_t a, std::size_t b) {
+      if (allocation.task_prio.empty()) return a < b;
+      return allocation.task_prio[a] < allocation.task_prio[b];
+    });
+    double util = 0.0;
+    for (const std::size_t i : on_ecu) {
+      util += static_cast<double>(
+                  ts.tasks[i].wcet[static_cast<std::size_t>(e)]) /
+              static_cast<double>(ts.tasks[i].period);
+    }
+    line(out, "ECU %d  (%zu tasks, utilization %.1f%%)", e, on_ecu.size(),
+         100.0 * util);
+    line(out, "  %-14s %8s %8s %8s %8s %8s", "task", "T", "C", "D", "R",
+         "slack");
+    for (const std::size_t i : on_ecu) {
+      const Task& t = ts.tasks[i];
+      const Ticks r = report.task_response.empty()
+                          ? -1
+                          : report.task_response[i];
+      line(out, "  %-14s %8lld %8lld %8lld %8lld %8lld", t.name.c_str(),
+           static_cast<long long>(t.period),
+           static_cast<long long>(t.wcet[static_cast<std::size_t>(e)]),
+           static_cast<long long>(t.deadline), static_cast<long long>(r),
+           static_cast<long long>(r < 0 ? -1 : t.deadline - r));
+    }
+  }
+
+  // Media summaries.
+  const auto refs = ts.message_refs();
+  for (std::size_t k = 0; k < arch.media.size(); ++k) {
+    const Medium& medium = arch.media[k];
+    if (medium.type == MediumType::kTokenRing) {
+      std::string slots;
+      if (k < allocation.slots.size()) {
+        for (const Ticks s : allocation.slots[k]) {
+          slots += " " + std::to_string(s);
+        }
+      }
+      line(out, "medium %s  (token ring, Lambda=%lld, slots:%s)",
+           medium.name.c_str(),
+           static_cast<long long>(
+               k < report.trt_per_medium.size() ? report.trt_per_medium[k]
+                                                : 0),
+           slots.c_str());
+    } else {
+      line(out, "medium %s  (CAN, load %.3f)", medium.name.c_str(),
+           static_cast<double>(report.max_can_util_ppm) / 1000.0);
+    }
+    for (std::size_t g = 0; g < refs.size(); ++g) {
+      const auto& route = allocation.msg_route[g];
+      for (std::size_t l = 0; l < route.size(); ++l) {
+        if (route[l] != static_cast<int>(k)) continue;
+        const auto& leg = report.msg_legs[g][l];
+        line(out,
+             "  msg %-3zu %-12s leg %zu/%zu  d=%-6lld J=%-6lld r=%-6lld %s",
+             g, ts.tasks[static_cast<std::size_t>(refs[g].task)].name.c_str(),
+             l + 1, route.size(), static_cast<long long>(leg.local_deadline),
+             static_cast<long long>(leg.jitter),
+             static_cast<long long>(leg.response), leg.ok ? "ok" : "MISS");
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace optalloc::rt

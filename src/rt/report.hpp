@@ -1,0 +1,17 @@
+#pragma once
+// Human-readable schedulability report for an allocation: per-ECU task
+// tables with response times and slack, per-medium message tables with
+// routes, budgets, jitters and responses, and TDMA round summaries.
+
+#include <string>
+
+#include "rt/verify.hpp"
+
+namespace optalloc::rt {
+
+/// Render a full report. Runs the verifier internally; infeasible
+/// allocations list their violations at the top.
+std::string render_report(const TaskSet& ts, const Architecture& arch,
+                          const Allocation& allocation);
+
+}  // namespace optalloc::rt

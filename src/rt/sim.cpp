@@ -1,0 +1,307 @@
+#include "rt/sim.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rt/analysis.hpp"
+#include "rt/verify.hpp"
+
+namespace optalloc::rt {
+
+namespace {
+
+struct Job {
+  int task = -1;
+  Ticks release = 0;
+  Ticks remaining = 0;
+};
+
+struct Frame {
+  int msg = -1;       ///< global message id
+  int leg = 0;        ///< index into the route
+  Ticks arrival = 0;  ///< time the frame entered this leg's queue
+  Ticks remaining = 0;
+};
+
+Ticks derive_horizon(const TaskSet& ts, const SimOptions& options) {
+  if (options.horizon > 0) return options.horizon;
+  Ticks l = 1;
+  for (const Task& t : ts.tasks) {
+    const Ticks g = std::gcd(l, t.period);
+    if (l / g > options.max_horizon / std::max<Ticks>(1, t.period)) {
+      return options.max_horizon;  // hyperperiod overflows the cap
+    }
+    l = l / g * t.period;
+    if (l >= options.max_horizon / 2) return options.max_horizon;
+  }
+  Ticks dmax = 0;
+  for (const Task& t : ts.tasks) dmax = std::max(dmax, t.deadline);
+  return std::min(options.max_horizon, 2 * l + dmax);
+}
+
+}  // namespace
+
+SimReport simulate(const TaskSet& ts, const Architecture& arch,
+                   const Allocation& allocation,
+                   const SimOptions& options) {
+  SimReport report;
+  const auto num_tasks = static_cast<int>(ts.tasks.size());
+  const auto num_media = static_cast<int>(arch.media.size());
+  const auto refs = ts.message_refs();
+  const auto num_msgs = static_cast<int>(refs.size());
+  const std::vector<int> msg_rank = message_dm_ranks(ts);
+  Rng rng(options.seed);
+
+  report.horizon = derive_horizon(ts, options);
+  report.task_response.assign(static_cast<std::size_t>(num_tasks), -1);
+  report.jobs_finished.assign(static_cast<std::size_t>(num_tasks), 0);
+  report.msg_leg_response.resize(static_cast<std::size_t>(num_msgs));
+  for (int g = 0; g < num_msgs; ++g) {
+    report.msg_leg_response[static_cast<std::size_t>(g)].assign(
+        allocation.msg_route[static_cast<std::size_t>(g)].size(), -1);
+  }
+
+  std::vector<int> prio = allocation.task_prio;
+  if (prio.empty()) prio = deadline_monotonic_ranks(ts);
+
+  auto draw_jitter = [&](Ticks j) -> Ticks {
+    if (j <= 0) return 0;
+    return options.randomize_jitter ? rng.uniform(0, j) : j;
+  };
+
+  // Release bookkeeping.
+  std::vector<Ticks> next_release(static_cast<std::size_t>(num_tasks));
+  std::vector<Ticks> next_base(static_cast<std::size_t>(num_tasks), 0);
+  for (int i = 0; i < num_tasks; ++i) {
+    next_release[static_cast<std::size_t>(i)] =
+        draw_jitter(ts.tasks[static_cast<std::size_t>(i)].release_jitter);
+  }
+
+  // Active jobs per ECU.
+  std::vector<std::vector<Job>> cpu(static_cast<std::size_t>(arch.num_ecus));
+
+  // Bus queues: token rings per (medium, station position); CAN per medium.
+  std::vector<std::vector<std::vector<Frame>>> ring_queue(
+      static_cast<std::size_t>(num_media));
+  std::vector<std::vector<Frame>> can_queue(
+      static_cast<std::size_t>(num_media));
+  std::vector<int> can_ongoing(static_cast<std::size_t>(num_media), -1);
+  std::vector<Ticks> lambda(static_cast<std::size_t>(num_media), 0);
+  std::vector<std::vector<Ticks>> slot_prefix(
+      static_cast<std::size_t>(num_media));
+  for (int k = 0; k < num_media; ++k) {
+    const Medium& medium = arch.media[static_cast<std::size_t>(k)];
+    if (medium.type == MediumType::kTokenRing) {
+      ring_queue[static_cast<std::size_t>(k)].resize(medium.ecus.size());
+      Ticks acc = 0;
+      for (std::size_t j = 0; j < medium.ecus.size(); ++j) {
+        slot_prefix[static_cast<std::size_t>(k)].push_back(acc);
+        if (j < allocation.slots[static_cast<std::size_t>(k)].size()) {
+          acc += allocation.slots[static_cast<std::size_t>(k)][j];
+        }
+      }
+      lambda[static_cast<std::size_t>(k)] = acc;
+    }
+  }
+
+  auto station_position = [&](int k, int ecu) -> int {
+    const Medium& medium = arch.media[static_cast<std::size_t>(k)];
+    for (std::size_t j = 0; j < medium.ecus.size(); ++j) {
+      if (medium.ecus[j] == ecu) return static_cast<int>(j);
+    }
+    return -1;
+  };
+
+  auto enqueue_leg = [&](int g, int leg, Ticks arrival) {
+    const auto& route = allocation.msg_route[static_cast<std::size_t>(g)];
+    const int k = route[static_cast<std::size_t>(leg)];
+    const Medium& medium = arch.media[static_cast<std::size_t>(k)];
+    const Ticks rho =
+        transmission_ticks(medium, ts.message(refs[static_cast<std::size_t>(
+                                       g)]).size_bytes);
+    if (medium.type == MediumType::kCan) {
+      can_queue[static_cast<std::size_t>(k)].push_back(
+          {g, leg, arrival, rho});
+      return;
+    }
+    int station;
+    if (leg == 0) {
+      station = allocation.task_ecu[static_cast<std::size_t>(
+          refs[static_cast<std::size_t>(g)].task)];
+    } else {
+      station = arch.gateway_between(route[static_cast<std::size_t>(leg - 1)],
+                                     route[static_cast<std::size_t>(leg)]);
+    }
+    const int pos = station_position(k, station);
+    if (pos < 0) {
+      report.any_deadline_miss = true;
+      report.misses.push_back("msg " + std::to_string(g) +
+                              ": station not on medium");
+      return;
+    }
+    ring_queue[static_cast<std::size_t>(k)][static_cast<std::size_t>(pos)]
+        .push_back({g, leg, arrival, rho});
+  };
+
+  auto deliver = [&](const Frame& f, Ticks now) {
+    const Ticks delay = now - f.arrival;
+    auto& worst =
+        report.msg_leg_response[static_cast<std::size_t>(f.msg)]
+                               [static_cast<std::size_t>(f.leg)];
+    worst = std::max(worst, delay);
+    const auto& route = allocation.msg_route[static_cast<std::size_t>(f.msg)];
+    if (f.leg + 1 < static_cast<int>(route.size())) {
+      const Ticks serv =
+          arch.media[static_cast<std::size_t>(
+                         route[static_cast<std::size_t>(f.leg)])]
+              .gateway_cost;
+      enqueue_leg(f.msg, f.leg + 1, now + serv);
+    }
+  };
+
+  /// Highest-priority pending frame (arrival <= now); -1 if none.
+  auto pick_frame = [&](const std::vector<Frame>& q, Ticks now) -> int {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(q.size()); ++i) {
+      if (q[static_cast<std::size_t>(i)].arrival > now) continue;
+      if (best < 0 ||
+          msg_rank[static_cast<std::size_t>(
+              q[static_cast<std::size_t>(i)].msg)] <
+              msg_rank[static_cast<std::size_t>(
+                  q[static_cast<std::size_t>(best)].msg)]) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  for (Ticks now = 0; now < report.horizon; ++now) {
+    // 1. Job releases.
+    for (int i = 0; i < num_tasks; ++i) {
+      const Task& t = ts.tasks[static_cast<std::size_t>(i)];
+      while (next_release[static_cast<std::size_t>(i)] <= now) {
+        const int ecu = allocation.task_ecu[static_cast<std::size_t>(i)];
+        auto& jobs = cpu[static_cast<std::size_t>(ecu)];
+        const bool overrun =
+            std::any_of(jobs.begin(), jobs.end(),
+                        [&](const Job& j) { return j.task == i; });
+        if (overrun) {
+          report.any_deadline_miss = true;
+          report.misses.push_back("task " + t.name + ": overrun at t=" +
+                                  std::to_string(now));
+          std::erase_if(jobs, [&](const Job& j) { return j.task == i; });
+        }
+        jobs.push_back({i, next_release[static_cast<std::size_t>(i)],
+                        t.wcet[static_cast<std::size_t>(ecu)]});
+        next_base[static_cast<std::size_t>(i)] += t.period;
+        next_release[static_cast<std::size_t>(i)] =
+            next_base[static_cast<std::size_t>(i)] +
+            draw_jitter(t.release_jitter);
+      }
+    }
+
+    // 2. One tick of execution on every ECU (highest priority first).
+    for (auto& jobs : cpu) {
+      if (jobs.empty()) continue;
+      auto best = jobs.begin();
+      for (auto it = jobs.begin(); it != jobs.end(); ++it) {
+        if (prio[static_cast<std::size_t>(it->task)] <
+            prio[static_cast<std::size_t>(best->task)]) {
+          best = it;
+        }
+      }
+      if (--best->remaining == 0) {
+        const int i = best->task;
+        const Task& t = ts.tasks[static_cast<std::size_t>(i)];
+        const Ticks response = now + 1 - best->release;
+        auto& worst = report.task_response[static_cast<std::size_t>(i)];
+        worst = std::max(worst, response);
+        ++report.jobs_finished[static_cast<std::size_t>(i)];
+        if (response > t.deadline) {
+          report.any_deadline_miss = true;
+          report.misses.push_back("task " + t.name + ": response " +
+                                  std::to_string(response) + " > deadline");
+        }
+        // Emit messages at end of computation.
+        for (std::size_t m = 0; m < t.messages.size(); ++m) {
+          int g = -1;
+          for (int gg = 0; gg < num_msgs; ++gg) {
+            if (refs[static_cast<std::size_t>(gg)].task == i &&
+                refs[static_cast<std::size_t>(gg)].index ==
+                    static_cast<int>(m)) {
+              g = gg;
+              break;
+            }
+          }
+          if (!allocation.msg_route[static_cast<std::size_t>(g)].empty()) {
+            enqueue_leg(g, 0, now + 1);
+          }
+        }
+        jobs.erase(best);
+      }
+    }
+
+    // 3. One tick of every medium.
+    for (int k = 0; k < num_media; ++k) {
+      const Medium& medium = arch.media[static_cast<std::size_t>(k)];
+      if (medium.type == MediumType::kTokenRing) {
+        if (lambda[static_cast<std::size_t>(k)] <= 0) continue;
+        const Ticks pos = now % lambda[static_cast<std::size_t>(k)];
+        // Owner station: last prefix <= pos with a non-empty slot.
+        int owner = -1;
+        const auto& prefix = slot_prefix[static_cast<std::size_t>(k)];
+        for (std::size_t j = 0; j < prefix.size(); ++j) {
+          const Ticks len =
+              allocation.slots[static_cast<std::size_t>(k)][j];
+          if (pos >= prefix[j] && pos < prefix[j] + len) {
+            owner = static_cast<int>(j);
+            break;
+          }
+        }
+        if (owner < 0) continue;
+        auto& q = ring_queue[static_cast<std::size_t>(k)]
+                            [static_cast<std::size_t>(owner)];
+        const int f = pick_frame(q, now);
+        if (f < 0) continue;
+        if (--q[static_cast<std::size_t>(f)].remaining == 0) {
+          deliver(q[static_cast<std::size_t>(f)], now + 1);
+          q.erase(q.begin() + f);
+        }
+      } else {
+        auto& q = can_queue[static_cast<std::size_t>(k)];
+        int f = -1;
+        if (medium.can_blocking) {
+          // Non-preemptive: continue the ongoing frame if any.
+          if (can_ongoing[static_cast<std::size_t>(k)] >= 0) {
+            // Find it by message id (indices shift on erase).
+            for (int i = 0; i < static_cast<int>(q.size()); ++i) {
+              if (q[static_cast<std::size_t>(i)].msg ==
+                  can_ongoing[static_cast<std::size_t>(k)]) {
+                f = i;
+                break;
+              }
+            }
+          }
+          if (f < 0) {
+            f = pick_frame(q, now);
+            if (f >= 0) {
+              can_ongoing[static_cast<std::size_t>(k)] =
+                  q[static_cast<std::size_t>(f)].msg;
+            }
+          }
+        } else {
+          f = pick_frame(q, now);  // idealized preemptable frames (eq. 2)
+        }
+        if (f < 0) continue;
+        if (--q[static_cast<std::size_t>(f)].remaining == 0) {
+          deliver(q[static_cast<std::size_t>(f)], now + 1);
+          q.erase(q.begin() + f);
+          can_ongoing[static_cast<std::size_t>(k)] = -1;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace optalloc::rt

@@ -1,0 +1,417 @@
+#include "rt/verify.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace optalloc::rt {
+
+namespace {
+
+void violation(VerifyReport& report, std::string msg) {
+  report.violations.push_back(std::move(msg));
+}
+
+}  // namespace
+
+std::vector<int> message_dm_ranks(const TaskSet& ts) {
+  const auto refs = ts.message_refs();
+  const auto n = static_cast<int>(refs.size());
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Ticks da = ts.message(refs[static_cast<std::size_t>(a)]).deadline;
+    const Ticks db = ts.message(refs[static_cast<std::size_t>(b)]).deadline;
+    if (da != db) return da < db;
+    return a < b;
+  });
+  std::vector<int> rank(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  }
+  return rank;
+}
+
+VerifyReport verify(const TaskSet& ts, const Architecture& arch,
+                    const Allocation& alloc) {
+  VerifyReport report;
+  const auto num_tasks = static_cast<int>(ts.tasks.size());
+  const auto num_media = static_cast<int>(arch.media.size());
+  const auto refs = ts.message_refs();
+  const auto num_msgs = static_cast<int>(refs.size());
+
+  if (static_cast<int>(alloc.task_ecu.size()) != num_tasks) {
+    violation(report, "allocation: wrong task_ecu size");
+    return report;
+  }
+  if (static_cast<int>(alloc.msg_route.size()) != num_msgs ||
+      static_cast<int>(alloc.msg_local_deadline.size()) != num_msgs) {
+    violation(report, "allocation: wrong message route/deadline size");
+    return report;
+  }
+
+  auto ecu_of = [&](int task) {
+    return alloc.task_ecu[static_cast<std::size_t>(task)];
+  };
+
+  // ---- Placement constraints (paper eq. 4) -----------------------------
+  for (int i = 0; i < num_tasks; ++i) {
+    const Task& t = ts.tasks[static_cast<std::size_t>(i)];
+    const int p = ecu_of(i);
+    if (p < 0 || p >= arch.num_ecus) {
+      violation(report, "task " + t.name + ": ECU out of range");
+      return report;
+    }
+    if (!t.allowed_on(p)) {
+      violation(report, "task " + t.name + ": forbidden placement");
+    }
+    if (!arch.can_host_tasks(p)) {
+      violation(report, "task " + t.name + ": placed on gateway-only ECU");
+    }
+    for (const int j : t.separated_from) {
+      if (ecu_of(j) == p) {
+        violation(report, "task " + t.name + ": not separated from " +
+                              ts.tasks[static_cast<std::size_t>(j)].name);
+      }
+    }
+  }
+
+  // ---- Memory budgets ---------------------------------------------------
+  if (!arch.ecu_memory.empty()) {
+    std::vector<std::int64_t> used(static_cast<std::size_t>(arch.num_ecus), 0);
+    for (int i = 0; i < num_tasks; ++i) {
+      used[static_cast<std::size_t>(ecu_of(i))] +=
+          ts.tasks[static_cast<std::size_t>(i)].memory;
+    }
+    for (int p = 0; p < arch.num_ecus; ++p) {
+      const std::int64_t cap = arch.ecu_memory[static_cast<std::size_t>(p)];
+      if (cap > 0 && used[static_cast<std::size_t>(p)] > cap) {
+        violation(report,
+                  "ECU " + std::to_string(p) + ": memory budget exceeded");
+      }
+    }
+  }
+
+  // ---- Task priorities (deadline-monotonic, paper eqs. 9-10) ------------
+  std::vector<int> prio = alloc.task_prio;
+  if (prio.empty()) {
+    prio = deadline_monotonic_ranks(ts);
+  } else if (static_cast<int>(prio.size()) != num_tasks) {
+    violation(report, "allocation: wrong task_prio size");
+    return report;
+  } else {
+    for (int i = 0; i < num_tasks; ++i) {
+      for (int j = 0; j < num_tasks; ++j) {
+        const Ticks di = ts.tasks[static_cast<std::size_t>(i)].deadline;
+        const Ticks dj = ts.tasks[static_cast<std::size_t>(j)].deadline;
+        if (di < dj && prio[static_cast<std::size_t>(i)] >
+                           prio[static_cast<std::size_t>(j)]) {
+          violation(report, "priorities not deadline-monotonic");
+          i = num_tasks;  // report once
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Task response times (paper eq. 1 / eqs. 5-13) --------------------
+  report.task_response.assign(static_cast<std::size_t>(num_tasks), -1);
+  for (int i = 0; i < num_tasks; ++i) {
+    const Task& t = ts.tasks[static_cast<std::size_t>(i)];
+    const int p = ecu_of(i);
+    if (!t.allowed_on(p)) continue;  // already reported
+    std::vector<Interferer> hp;
+    for (int j = 0; j < num_tasks; ++j) {
+      if (j == i || ecu_of(j) != p) continue;
+      if (prio[static_cast<std::size_t>(j)] <
+          prio[static_cast<std::size_t>(i)]) {
+        const Task& tj = ts.tasks[static_cast<std::size_t>(j)];
+        hp.push_back({tj.wcet[static_cast<std::size_t>(p)], tj.period,
+                      tj.release_jitter});
+      }
+    }
+    // With release jitter, the response measured from the release must fit
+    // d_i - J_i so the deadline holds relative to the arrival.
+    const auto r = response_time_fp(t.wcet[static_cast<std::size_t>(p)], hp,
+                                    t.deadline - t.release_jitter);
+    if (!r) {
+      violation(report, "task " + t.name + ": deadline miss");
+    } else {
+      report.task_response[static_cast<std::size_t>(i)] = *r;
+    }
+  }
+
+  // ---- Slot table / TRT --------------------------------------------------
+  report.trt_per_medium.assign(static_cast<std::size_t>(num_media), 0);
+  std::vector<std::vector<Ticks>> slots = alloc.slots;
+  slots.resize(static_cast<std::size_t>(num_media));
+  for (int m = 0; m < num_media; ++m) {
+    const Medium& medium = arch.media[static_cast<std::size_t>(m)];
+    if (medium.type != MediumType::kTokenRing) continue;
+    auto& s = slots[static_cast<std::size_t>(m)];
+    if (s.size() != medium.ecus.size()) {
+      violation(report, "medium " + medium.name + ": missing slot table");
+      return report;
+    }
+    Ticks lambda = 0;
+    for (const Ticks slot : s) {
+      if (slot < medium.slot_min || slot > medium.slot_max) {
+        violation(report, "medium " + medium.name + ": slot out of bounds");
+      }
+      lambda += slot;
+    }
+    report.trt_per_medium[static_cast<std::size_t>(m)] = lambda;
+    report.sum_trt += lambda;
+  }
+
+  auto slot_of = [&](int medium, int ecu) -> Ticks {
+    const Medium& md = arch.media[static_cast<std::size_t>(medium)];
+    for (std::size_t j = 0; j < md.ecus.size(); ++j) {
+      if (md.ecus[j] == ecu) {
+        return slots[static_cast<std::size_t>(medium)][j];
+      }
+    }
+    return -1;
+  };
+
+  // ---- Message routes (paper Section 4) ----------------------------------
+  // sender_station[g][leg]: the ECU whose queue/slot the message uses on
+  // that leg (the sending task's ECU on leg 0, gateways afterwards).
+  const std::vector<int> msg_rank = message_dm_ranks(ts);
+  std::vector<std::vector<int>> leg_station(
+      static_cast<std::size_t>(num_msgs));
+  report.msg_legs.resize(static_cast<std::size_t>(num_msgs));
+
+  for (int g = 0; g < num_msgs; ++g) {
+    const auto& ref = refs[static_cast<std::size_t>(g)];
+    const Message& msg = ts.message(ref);
+    const Task& sender = ts.tasks[static_cast<std::size_t>(ref.task)];
+    const auto& route = alloc.msg_route[static_cast<std::size_t>(g)];
+    const auto& budgets = alloc.msg_local_deadline[static_cast<std::size_t>(g)];
+    const int src = ecu_of(ref.task);
+    const int dst = ecu_of(msg.target_task);
+    const std::string label = sender.name + "->msg" + std::to_string(g);
+
+    if (budgets.size() != route.size()) {
+      violation(report, label + ": budget/route size mismatch");
+      return report;
+    }
+    if (src == dst) {
+      if (!route.empty()) {
+        violation(report, label + ": intra-ECU message must not use media");
+      }
+      continue;
+    }
+    if (route.empty()) {
+      violation(report, label + ": inter-ECU message has no route");
+      continue;
+    }
+    // Path validity v(h): endpoints on first/last medium, gateways link
+    // consecutive media, sender/receiver not on the adjacent next medium
+    // (otherwise a shorter path exists and the closure would not list this
+    // one — paper's v(h) side conditions).
+    const auto n_legs = static_cast<int>(route.size());
+    bool path_ok = true;
+    for (const int m : route) {
+      if (m < 0 || m >= num_media) {
+        violation(report, label + ": medium out of range");
+        return report;
+      }
+    }
+    if (!arch.media[static_cast<std::size_t>(route[0])].connects(src)) {
+      violation(report, label + ": sender not on first medium");
+      path_ok = false;
+    }
+    if (!arch.media[static_cast<std::size_t>(
+                        route[static_cast<std::size_t>(n_legs - 1)])]
+             .connects(dst)) {
+      violation(report, label + ": receiver not on last medium");
+      path_ok = false;
+    }
+    if (n_legs >= 2) {
+      if (arch.media[static_cast<std::size_t>(route[1])].connects(src)) {
+        violation(report, label + ": sender also on second medium");
+        path_ok = false;
+      }
+      if (arch.media[static_cast<std::size_t>(
+                         route[static_cast<std::size_t>(n_legs - 2)])]
+              .connects(dst)) {
+        violation(report, label + ": receiver also on penultimate medium");
+        path_ok = false;
+      }
+    }
+    auto& stations = leg_station[static_cast<std::size_t>(g)];
+    stations.push_back(src);
+    for (int l = 1; l < n_legs; ++l) {
+      const int gw = arch.gateway_between(route[static_cast<std::size_t>(l - 1)],
+                                          route[static_cast<std::size_t>(l)]);
+      if (gw < 0) {
+        violation(report, label + ": consecutive media share no gateway");
+        path_ok = false;
+        break;
+      }
+      stations.push_back(gw);
+    }
+    if (!path_ok) continue;
+
+    // Deadline budget: sum of local deadlines + gateway service <= Delta.
+    Ticks serv = 0;
+    for (int l = 0; l + 1 < n_legs; ++l) {
+      serv += arch.media[static_cast<std::size_t>(
+                             route[static_cast<std::size_t>(l)])]
+                  .gateway_cost;
+    }
+    const Ticks budget_sum =
+        std::accumulate(budgets.begin(), budgets.end(), Ticks{0});
+    if (budget_sum + serv > msg.deadline) {
+      violation(report, label + ": local deadlines exceed end-to-end deadline");
+    }
+  }
+
+  // ---- Per-medium message response times (paper eqs. 2-3 + Section 4) ---
+  // Jitter per leg: J^k_m = J_m + sum over previous legs (d - beta).
+  for (int g = 0; g < num_msgs; ++g) {
+    const auto& route = alloc.msg_route[static_cast<std::size_t>(g)];
+    const auto& budgets =
+        alloc.msg_local_deadline[static_cast<std::size_t>(g)];
+    const Message& msg = ts.message(refs[static_cast<std::size_t>(g)]);
+    auto& legs = report.msg_legs[static_cast<std::size_t>(g)];
+    legs.clear();
+    Ticks jitter = msg.release_jitter;
+    for (std::size_t l = 0; l < route.size(); ++l) {
+      MessageLegReport leg;
+      leg.medium = route[l];
+      leg.jitter = jitter;
+      leg.local_deadline = budgets[l];
+      legs.push_back(leg);
+      const Medium& medium = arch.media[static_cast<std::size_t>(route[l])];
+      jitter += budgets[l] - transmission_ticks(medium, msg.size_bytes);
+    }
+  }
+
+  for (int g = 0; g < num_msgs; ++g) {
+    const auto& route = alloc.msg_route[static_cast<std::size_t>(g)];
+    // Skip messages whose station chain is incomplete (path validation
+    // already reported the violation).
+    if (route.empty() ||
+        leg_station[static_cast<std::size_t>(g)].size() != route.size()) {
+      continue;
+    }
+    const auto& ref = refs[static_cast<std::size_t>(g)];
+    const Message& msg = ts.message(ref);
+    const std::string label =
+        ts.tasks[static_cast<std::size_t>(ref.task)].name + "->msg" +
+        std::to_string(g);
+
+    for (std::size_t l = 0; l < route.size(); ++l) {
+      const int k = route[l];
+      const Medium& medium = arch.media[static_cast<std::size_t>(k)];
+      const int station = leg_station[static_cast<std::size_t>(g)][l];
+      const Ticks rho = transmission_ticks(medium, msg.size_bytes);
+      MessageLegReport& leg = report.msg_legs[static_cast<std::size_t>(g)][l];
+
+      // Interferers: higher-priority messages that also use medium k —
+      // for CAN all of them (bus-wide arbitration); for TDMA only those
+      // queued at the same station.
+      std::vector<Interferer> hp;
+      for (int h = 0; h < num_msgs; ++h) {
+        if (h == g) continue;
+        if (msg_rank[static_cast<std::size_t>(h)] >=
+            msg_rank[static_cast<std::size_t>(g)]) {
+          continue;
+        }
+        const auto& other_route = alloc.msg_route[static_cast<std::size_t>(h)];
+        if (leg_station[static_cast<std::size_t>(h)].size() !=
+            other_route.size()) {
+          continue;  // interferer's own path is invalid; already reported
+        }
+        for (std::size_t ol = 0; ol < other_route.size(); ++ol) {
+          if (other_route[ol] != k) continue;
+          if (medium.type == MediumType::kTokenRing &&
+              leg_station[static_cast<std::size_t>(h)][ol] != station) {
+            continue;
+          }
+          const auto& href = refs[static_cast<std::size_t>(h)];
+          const Message& hmsg = ts.message(href);
+          hp.push_back(
+              {transmission_ticks(medium, hmsg.size_bytes),
+               ts.tasks[static_cast<std::size_t>(href.task)].period,
+               report.msg_legs[static_cast<std::size_t>(h)][ol].jitter});
+        }
+      }
+
+      std::optional<Ticks> r;
+      if (medium.type == MediumType::kCan) {
+        Ticks blocking = 0;
+        if (medium.can_blocking) {
+          // Longest lower-priority frame sharing the bus.
+          for (int h = 0; h < num_msgs; ++h) {
+            if (h == g || msg_rank[static_cast<std::size_t>(h)] <=
+                              msg_rank[static_cast<std::size_t>(g)]) {
+              continue;
+            }
+            const auto& other_route =
+                alloc.msg_route[static_cast<std::size_t>(h)];
+            for (const int ok_medium : other_route) {
+              if (ok_medium != k) continue;
+              blocking = std::max(
+                  blocking,
+                  transmission_ticks(
+                      medium,
+                      ts.message(refs[static_cast<std::size_t>(h)])
+                          .size_bytes));
+            }
+          }
+        }
+        r = response_time_fp(rho + blocking, hp, leg.local_deadline);
+      } else {
+        const Ticks own_slot = slot_of(k, station);
+        const Ticks lambda =
+            report.trt_per_medium[static_cast<std::size_t>(k)];
+        if (own_slot < 0) {
+          violation(report, label + ": station not on medium");
+          continue;
+        }
+        if (own_slot < rho) {
+          violation(report, label + ": slot shorter than message (" +
+                                std::to_string(own_slot) + " < " +
+                                std::to_string(rho) + ")");
+          continue;
+        }
+        r = tdma_response_time(rho, hp, lambda, own_slot,
+                               leg.local_deadline);
+      }
+      if (!r) {
+        violation(report, label + ": leg deadline miss on medium " +
+                              medium.name);
+      } else {
+        leg.response = *r;
+        leg.ok = true;
+      }
+    }
+  }
+
+  // ---- CAN utilisation ----------------------------------------------------
+  for (int m = 0; m < num_media; ++m) {
+    const Medium& medium = arch.media[static_cast<std::size_t>(m)];
+    if (medium.type != MediumType::kCan) continue;
+    std::vector<Interferer> on_bus;
+    for (int g = 0; g < num_msgs; ++g) {
+      for (const int k : alloc.msg_route[static_cast<std::size_t>(g)]) {
+        if (k != m) continue;
+        const auto& ref = refs[static_cast<std::size_t>(g)];
+        on_bus.push_back(
+            {transmission_ticks(medium, ts.message(ref).size_bytes),
+             ts.tasks[static_cast<std::size_t>(ref.task)].period, 0});
+      }
+    }
+    if (!on_bus.empty()) {
+      report.max_can_util_ppm =
+          std::max(report.max_can_util_ppm, utilization_ppm(on_bus));
+    }
+  }
+
+  report.feasible = report.violations.empty();
+  return report;
+}
+
+}  // namespace optalloc::rt

@@ -1,0 +1,71 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace optalloc::sat {
+
+DimacsProblem parse_dimacs(std::istream& in) {
+  DimacsProblem problem;
+  std::int64_t declared_clauses = -1;
+  std::string line;
+  std::vector<Lit> current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, fmt;
+      header >> p >> fmt >> problem.num_vars >> declared_clauses;
+      if (fmt != "cnf" || !header) {
+        throw std::runtime_error("dimacs: malformed problem line: " + line);
+      }
+      continue;
+    }
+    std::istringstream body(line);
+    std::int64_t raw;
+    while (body >> raw) {
+      if (raw == 0) {
+        problem.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const auto v = static_cast<Var>(std::abs(raw) - 1);
+      if (v >= problem.num_vars) {
+        throw std::runtime_error("dimacs: literal out of declared range");
+      }
+      current.push_back(Lit(v, raw < 0));
+    }
+  }
+  if (!current.empty()) {
+    throw std::runtime_error("dimacs: clause not terminated by 0");
+  }
+  if (declared_clauses >= 0 &&
+      static_cast<std::int64_t>(problem.clauses.size()) != declared_clauses) {
+    // Tolerate mismatched counts (common in the wild) — no error.
+  }
+  return problem;
+}
+
+bool load_into(const DimacsProblem& problem, Solver& solver) {
+  while (solver.num_vars() < problem.num_vars) solver.new_var();
+  bool ok = true;
+  for (const auto& clause : problem.clauses) {
+    ok = solver.add_clause(clause) && ok;
+  }
+  return solver.ok();
+}
+
+void write_dimacs(std::ostream& out, const DimacsProblem& problem) {
+  out << "p cnf " << problem.num_vars << ' ' << problem.clauses.size()
+      << '\n';
+  for (const auto& clause : problem.clauses) {
+    for (const Lit l : clause) {
+      out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+}  // namespace optalloc::sat

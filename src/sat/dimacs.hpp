@@ -1,0 +1,29 @@
+#pragma once
+// DIMACS CNF reader/writer. Used by the `dimacs_solve` example CLI and by
+// tests that replay reference instances through the solver.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace optalloc::sat {
+
+struct DimacsProblem {
+  std::int32_t num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parse DIMACS CNF from a stream. Throws std::runtime_error on malformed
+/// input. Variables are converted from 1-based DIMACS to 0-based Var.
+DimacsProblem parse_dimacs(std::istream& in);
+
+/// Load a DimacsProblem into a solver (creating variables as needed).
+/// Returns false if the formula is trivially unsatisfiable.
+bool load_into(const DimacsProblem& problem, Solver& solver);
+
+/// Serialize a clause set in DIMACS format.
+void write_dimacs(std::ostream& out, const DimacsProblem& problem);
+
+}  // namespace optalloc::sat

@@ -1,0 +1,99 @@
+#pragma once
+// Indexed binary max-heap over variables, ordered by VSIDS activity.
+// Supports decrease/increase-key by variable index, which the plain
+// std::priority_queue cannot do.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace optalloc::sat {
+
+class VarOrderHeap {
+ public:
+  explicit VarOrderHeap(const std::vector<double>& activity)
+      : activity_(activity) {}
+
+  bool empty() const { return heap_.empty(); }
+  bool contains(Var v) const {
+    return v < static_cast<Var>(pos_.size()) && pos_[v] >= 0;
+  }
+
+  void insert(Var v) {
+    if (static_cast<std::size_t>(v) >= pos_.size()) pos_.resize(v + 1, -1);
+    if (contains(v)) return;
+    pos_[v] = static_cast<std::int32_t>(heap_.size());
+    heap_.push_back(v);
+    sift_up(pos_[v]);
+  }
+
+  Var pop() {
+    assert(!empty());
+    const Var top = heap_.front();
+    heap_.front() = heap_.back();
+    pos_[heap_.front()] = 0;
+    heap_.pop_back();
+    pos_[top] = -1;
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  /// Restore heap order after v's activity increased.
+  void increased(Var v) {
+    if (contains(v)) sift_up(pos_[v]);
+  }
+
+  /// Rebuild after a global activity rescale (order unchanged, no-op) or
+  /// to bulk-insert all decision variables.
+  void build(const std::vector<Var>& vars) {
+    for (Var v : heap_) pos_[v] = -1;
+    heap_.clear();
+    for (Var v : vars) {
+      if (static_cast<std::size_t>(v) >= pos_.size()) pos_.resize(v + 1, -1);
+      pos_[v] = static_cast<std::int32_t>(heap_.size());
+      heap_.push_back(v);
+    }
+    for (std::int32_t i = static_cast<std::int32_t>(heap_.size()) / 2 - 1;
+         i >= 0; --i)
+      sift_down(i);
+  }
+
+ private:
+  bool before(Var a, Var b) const { return activity_[a] > activity_[b]; }
+
+  void sift_up(std::int32_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+      const std::int32_t p = (i - 1) >> 1;
+      if (!before(v, heap_[p])) break;
+      heap_[i] = heap_[p];
+      pos_[heap_[i]] = i;
+      i = p;
+    }
+    heap_[i] = v;
+    pos_[v] = i;
+  }
+
+  void sift_down(std::int32_t i) {
+    const Var v = heap_[i];
+    const std::int32_t n = static_cast<std::int32_t>(heap_.size());
+    while (2 * i + 1 < n) {
+      std::int32_t child = 2 * i + 1;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], v)) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i]] = i;
+      i = child;
+    }
+    heap_[i] = v;
+    pos_[v] = i;
+  }
+
+  const std::vector<double>& activity_;
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> pos_;  // var -> heap index, -1 if absent
+};
+
+}  // namespace optalloc::sat

@@ -1,0 +1,601 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "util/luby.hpp"
+
+namespace optalloc::sat {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Solver::Solver() : order_(activity_) {}
+
+Var Solver::new_var(bool decision) {
+  const Var v = num_vars();
+  assigns_.push_back(LBool::kUndef);
+  vardata_.push_back({});
+  level_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  activity_.push_back(0.0);
+  polarity_.push_back(static_cast<char>(default_polarity));
+  decision_.push_back(static_cast<char>(decision));
+  seen_.push_back(0);
+  lbd_seen_.push_back(0);
+  if (decision) {
+    decision_vars_.push_back(v);
+    order_.insert(v);
+  }
+  for (Propagator* p : propagators_) p->on_new_var(v);
+  return v;
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  // Normalize: sort, remove duplicates, drop level-0 false literals, and
+  // detect tautologies / already-satisfied clauses.
+  std::vector<Lit> cl(lits.begin(), lits.end());
+  std::sort(cl.begin(), cl.end());
+  Lit prev = kUndefLit;
+  std::size_t j = 0;
+  for (const Lit l : cl) {
+    if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied/taut
+    if (value(l) != LBool::kFalse && l != prev) {
+      cl[j++] = l;
+      prev = l;
+    }
+  }
+  cl.resize(j);
+  stats_.added_literals += cl.size();
+
+  if (cl.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (cl.size() == 1) {
+    unchecked_enqueue(cl[0], kUndefClause);
+    ok_ = (propagate() == kUndefClause);
+    return ok_;
+  }
+  const CRef cref = arena_.alloc(cl, /*learnt=*/false);
+  clauses_.push_back(cref);
+  attach_clause(cref);
+  return true;
+}
+
+void Solver::attach_clause(CRef cref) {
+  const Clause& c = arena_.deref(cref);
+  assert(c.size() >= 2);
+  watches_[(~c[0]).index()].push_back({cref, c[1]});
+  watches_[(~c[1]).index()].push_back({cref, c[0]});
+}
+
+void Solver::detach_clause(CRef cref) {
+  const Clause& c = arena_.deref(cref);
+  auto strip = [&](Lit w) {
+    auto& ws = watches_[(~w).index()];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cref) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        return;
+      }
+    }
+    assert(false && "watcher not found");
+  };
+  strip(c[0]);
+  strip(c[1]);
+}
+
+bool Solver::locked(CRef cref) const {
+  const Clause& c = arena_.deref(cref);
+  const Var v = c[0].var();
+  return value(c[0]) == LBool::kTrue && vardata_[v].reason == cref;
+}
+
+void Solver::remove_clause(CRef cref) {
+  detach_clause(cref);
+  // A locked clause must stay alive as a reason; callers check locked().
+  assert(!locked(cref));
+  arena_.free_clause(cref);
+}
+
+void Solver::unchecked_enqueue(Lit l, CRef reason) {
+  assert(value(l) == LBool::kUndef);
+  const Var v = l.var();
+  assigns_[v] = to_lbool(!l.sign());
+  vardata_[v] = {reason, decision_level()};
+  level_[v] = decision_level();
+  trail_.push_back(l);
+}
+
+bool Solver::theory_enqueue(Lit l, std::span<const Lit> reason) {
+  assert(!reason.empty() && reason[0] == l);
+  if (value(l) == LBool::kTrue) return true;
+  if (value(l) == LBool::kFalse) return false;
+  const CRef cref =
+      arena_.alloc(reason, /*learnt=*/true, /*theory=*/true);
+  unchecked_enqueue(l, cref);
+  ++stats_.theory_propagations;
+  return true;
+}
+
+CRef Solver::propagate() {
+  for (;;) {
+    // Clause (two-watched-literal) propagation to fixpoint.
+    while (qhead_ < trail_.size()) {
+      const Lit p = trail_[qhead_++];
+      ++stats_.propagations;
+      auto& ws = watches_[p.index()];
+      std::size_t i = 0, j = 0;
+      const std::size_t n = ws.size();
+      while (i < n) {
+        const Watcher w = ws[i];
+        if (value(w.blocker) == LBool::kTrue) {
+          ws[j++] = ws[i++];
+          continue;
+        }
+        Clause& c = arena_.deref(w.cref);
+        // Make sure the false literal is c[1].
+        const Lit false_lit = ~p;
+        if (c[0] == false_lit) {
+          c[0] = c[1];
+          c[1] = false_lit;
+        }
+        ++i;
+        const Lit first = c[0];
+        if (first != w.blocker && value(first) == LBool::kTrue) {
+          ws[j++] = {w.cref, first};
+          continue;
+        }
+        // Look for a new literal to watch.
+        bool found = false;
+        for (std::uint32_t k = 2; k < c.size(); ++k) {
+          if (value(c[k]) != LBool::kFalse) {
+            c[1] = c[k];
+            c[k] = false_lit;
+            watches_[(~c[1]).index()].push_back({w.cref, first});
+            found = true;
+            break;
+          }
+        }
+        if (found) continue;
+        // Clause is unit or conflicting.
+        ws[j++] = {w.cref, first};
+        if (value(first) == LBool::kFalse) {
+          // Conflict: copy remaining watchers and bail out.
+          while (i < n) ws[j++] = ws[i++];
+          ws.resize(j);
+          qhead_ = trail_.size();
+          return w.cref;
+        }
+        unchecked_enqueue(first, w.cref);
+      }
+      ws.resize(j);
+    }
+
+    // Theory propagation: feed newly assigned literals to the propagators.
+    if (propagators_.empty() || theory_qhead_ >= trail_.size()) break;
+    const Lit p = trail_[theory_qhead_++];
+    for (Propagator* prop : propagators_) {
+      theory_conflict_.clear();
+      if (!prop->on_assign(p, theory_conflict_)) {
+        assert(!theory_conflict_.empty());
+        qhead_ = trail_.size();
+        return arena_.alloc(theory_conflict_, /*learnt=*/true,
+                            /*theory=*/true);
+      }
+    }
+  }
+  return kUndefClause;
+}
+
+void Solver::cancel_until(std::int32_t target_level) {
+  if (decision_level() <= target_level) return;
+  const std::size_t new_size =
+      static_cast<std::size_t>(trail_lim_[target_level]);
+  for (std::size_t c = trail_.size(); c-- > new_size;) {
+    const Lit l = trail_[c];
+    const Var v = l.var();
+    if (c < theory_qhead_) {
+      for (Propagator* p : propagators_) p->on_unassign(l);
+    }
+    assigns_[v] = LBool::kUndef;
+    if (vardata_[v].reason != kUndefClause &&
+        arena_.deref(vardata_[v].reason).theory()) {
+      arena_.free_clause(vardata_[v].reason);
+    }
+    vardata_[v].reason = kUndefClause;
+    if (phase_saving) polarity_[v] = static_cast<char>(l.sign());
+    if (decision_[v]) order_.insert(v);
+  }
+  trail_.resize(new_size);
+  trail_lim_.resize(target_level);
+  qhead_ = new_size;
+  theory_qhead_ = std::min(theory_qhead_, new_size);
+}
+
+void Solver::var_bump(Var v) {
+  if ((activity_[v] += var_inc_) > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_.increased(v);
+}
+
+void Solver::cla_bump(Clause& c) {
+  float a = c.activity() + static_cast<float>(cla_inc_);
+  if (a > 1e20f) {
+    for (const CRef cref : learnts_) {
+      Clause& lc = arena_.deref(cref);
+      lc.set_activity(lc.activity() * 1e-20f);
+    }
+    cla_inc_ *= 1e-20;
+    a = c.activity() + static_cast<float>(cla_inc_);
+  }
+  c.set_activity(a);
+}
+
+std::uint32_t Solver::compute_lbd(std::span<const Lit> lits) {
+  ++lbd_stamp_;
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    const std::int32_t lev = level_[l.var()];
+    if (lev > 0 && lbd_seen_[static_cast<std::size_t>(lev) %
+                             lbd_seen_.size()] != lbd_stamp_) {
+      lbd_seen_[static_cast<std::size_t>(lev) % lbd_seen_.size()] =
+          lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::analyze(CRef confl, std::vector<Lit>& out_learnt,
+                     std::int32_t& out_btlevel, std::uint32_t& out_lbd) {
+  int path_count = 0;
+  Lit p = kUndefLit;
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // placeholder for the asserting literal
+
+  std::size_t index = trail_.size();
+  do {
+    assert(confl != kUndefClause);
+    Clause& c = arena_.deref(confl);
+    if (c.learnt() && !c.theory()) cla_bump(c);
+
+    for (std::uint32_t j = (p == kUndefLit) ? 0 : 1; j < c.size(); ++j) {
+      const Lit q = c[j];
+      const Var v = q.var();
+      if (!seen_[v] && level_[v] > 0) {
+        var_bump(v);
+        seen_[v] = 1;
+        if (level_[v] >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+
+    // Select next literal to resolve on.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    --index;
+    p = trail_[index];
+    confl = vardata_[p.var()].reason;
+    seen_[p.var()] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Conflict clause minimization (recursive, via abstraction levels).
+  analyze_toclear_.assign(out_learnt.begin(), out_learnt.end());
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    abstract_levels |= 1u << (level_[out_learnt[i].var()] & 31);
+  }
+  std::size_t j = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const Var v = out_learnt[i].var();
+    if (vardata_[v].reason == kUndefClause ||
+        !lit_redundant(out_learnt[i], abstract_levels)) {
+      out_learnt[j++] = out_learnt[i];
+    }
+  }
+  stats_.minimized_literals += out_learnt.size() - j;
+  out_learnt.resize(j);
+  stats_.learnt_literals += out_learnt.size();
+
+  // Find backtrack level: the maximum level among out_learnt[1..].
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level_[out_learnt[i].var()] > level_[out_learnt[max_i].var()]) {
+        max_i = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[out_learnt[1].var()];
+  }
+
+  out_lbd = compute_lbd(out_learnt);
+  for (const Lit l : analyze_toclear_) seen_[l.var()] = 0;
+}
+
+bool Solver::lit_redundant(Lit lit, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(lit);
+  const std::size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    assert(vardata_[q.var()].reason != kUndefClause);
+    const Clause& c = arena_.deref(vardata_[q.var()].reason);
+    for (std::uint32_t j = 1; j < c.size(); ++j) {
+      const Lit l = c[j];
+      const Var v = l.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      if (vardata_[v].reason != kUndefClause &&
+          ((1u << (level_[v] & 31)) & abstract_levels)) {
+        seen_[v] = 1;
+        analyze_stack_.push_back(l);
+        analyze_toclear_.push_back(l);
+      } else {
+        for (std::size_t k = top; k < analyze_toclear_.size(); ++k) {
+          seen_[analyze_toclear_[k].var()] = 0;
+        }
+        analyze_toclear_.resize(top);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit p) {
+  conflict_core_.clear();
+  conflict_core_.push_back(p);
+  if (decision_level() == 0) return;
+
+  seen_[p.var()] = 1;
+  for (std::size_t i = trail_.size();
+       i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+    const Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    if (vardata_[v].reason == kUndefClause) {
+      assert(level_[v] > 0);
+      conflict_core_.push_back(~trail_[i]);
+    } else {
+      const Clause& c = arena_.deref(vardata_[v].reason);
+      for (std::uint32_t j = 1; j < c.size(); ++j) {
+        if (level_[c[j].var()] > 0) seen_[c[j].var()] = 1;
+      }
+    }
+    seen_[v] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!order_.empty()) {
+    const Var v = order_.pop();
+    if (assigns_[v] == LBool::kUndef && decision_[v]) {
+      return Lit(v, polarity_[v] != 0);
+    }
+  }
+  return kUndefLit;
+}
+
+void Solver::reduce_db() {
+  // Sort learnt clauses by (LBD descending, activity ascending) so the
+  // weakest half is removed first; keep binary/glue clauses and reasons.
+  std::sort(learnts_.begin(), learnts_.end(), [&](CRef a, CRef b) {
+    const Clause& ca = arena_.deref(a);
+    const Clause& cb = arena_.deref(b);
+    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+    return ca.activity() < cb.activity();
+  });
+  const std::size_t half = learnts_.size() / 2;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    const CRef cref = learnts_[i];
+    const Clause& c = arena_.deref(cref);
+    if (i < half && c.size() > 2 && c.lbd() > 2 && !locked(cref)) {
+      remove_clause(cref);
+      ++stats_.removed_clauses;
+    } else {
+      learnts_[j++] = cref;
+    }
+  }
+  learnts_.resize(j);
+  if (arena_.wasted() * 2 > arena_.size()) garbage_collect();
+}
+
+void Solver::reloc_all(ClauseArena& to) {
+  for (auto& ws : watches_) {
+    for (Watcher& w : ws) w.cref = arena_.reloc(w.cref, to);
+  }
+  for (const Lit l : trail_) {
+    CRef& r = vardata_[l.var()].reason;
+    if (r != kUndefClause) r = arena_.reloc(r, to);
+  }
+  for (CRef& c : clauses_) c = arena_.reloc(c, to);
+  for (CRef& c : learnts_) c = arena_.reloc(c, to);
+}
+
+void Solver::garbage_collect() {
+  ClauseArena to;
+  reloc_all(to);
+  arena_.swap(to);
+  ++stats_.gc_runs;
+}
+
+bool Solver::simplify() {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  if (propagate() != kUndefClause) {
+    ok_ = false;
+    return false;
+  }
+  auto sweep = [&](std::vector<CRef>& list) {
+    std::size_t j = 0;
+    for (const CRef cref : list) {
+      const Clause& c = arena_.deref(cref);
+      bool satisfied = false;
+      for (const Lit l : c.lits()) {
+        if (value(l) == LBool::kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied && !locked(cref)) {
+        remove_clause(cref);
+      } else {
+        list[j++] = cref;
+      }
+    }
+    list.resize(j);
+  };
+  sweep(clauses_);
+  sweep(learnts_);
+  if (arena_.wasted() * 2 > arena_.size()) garbage_collect();
+  return true;
+}
+
+bool Solver::budget_exhausted() const {
+  if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  if (conflict_budget_ >= 0 &&
+      static_cast<std::int64_t>(stats_.conflicts) >= conflict_budget_) {
+    return true;
+  }
+  return deadline_ != 0.0 && now_seconds() >= deadline_;
+}
+
+LBool Solver::search(std::int64_t conflicts_before_restart) {
+  std::int64_t conflict_count = 0;
+  std::vector<Lit> learnt_clause;
+
+  for (;;) {
+    const CRef confl = propagate();
+    if (confl != kUndefClause) {
+      ++stats_.conflicts;
+      ++conflict_count;
+      if (decision_level() == 0) {
+        // Top-level conflict: the formula itself is unsatisfiable.
+        ok_ = false;
+        conflict_core_.clear();
+        return LBool::kFalse;
+      }
+
+      std::int32_t backtrack_level = 0;
+      std::uint32_t lbd = 0;
+      analyze(confl, learnt_clause, backtrack_level, lbd);
+      if (arena_.deref(confl).theory()) arena_.free_clause(confl);
+      cancel_until(backtrack_level);
+
+      if (learnt_clause.size() == 1) {
+        unchecked_enqueue(learnt_clause[0], kUndefClause);
+      } else {
+        const CRef cref = arena_.alloc(learnt_clause, /*learnt=*/true);
+        Clause& c = arena_.deref(cref);
+        c.set_lbd(lbd);
+        learnts_.push_back(cref);
+        attach_clause(cref);
+        cla_bump(c);
+        unchecked_enqueue(learnt_clause[0], cref);
+      }
+      var_decay_all();
+      cla_decay_all();
+      if (--learntsize_adjust_cnt_ == 0) {
+        learntsize_adjust_confl_ *= 1.5;
+        learntsize_adjust_cnt_ =
+            static_cast<int>(learntsize_adjust_confl_);
+        max_learnts_ *= 1.1;
+      }
+    } else {
+      if (conflict_count >= conflicts_before_restart || budget_exhausted()) {
+        ++stats_.restarts;
+        cancel_until(0);
+        return LBool::kUndef;
+      }
+      if (static_cast<double>(learnts_.size()) -
+              static_cast<double>(trail_.size()) >=
+          max_learnts_) {
+        reduce_db();
+      }
+
+      Lit next = kUndefLit;
+      while (decision_level() <
+             static_cast<std::int32_t>(assumptions_.size())) {
+        const Lit p = assumptions_[decision_level()];
+        if (value(p) == LBool::kTrue) {
+          // Already satisfied; open a dummy decision level.
+          trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+        } else if (value(p) == LBool::kFalse) {
+          analyze_final(~p);
+          return LBool::kFalse;
+        } else {
+          next = p;
+          break;
+        }
+      }
+      if (next == kUndefLit) {
+        ++stats_.decisions;
+        next = pick_branch_lit();
+        if (next == kUndefLit) return LBool::kTrue;  // all vars assigned
+      }
+      trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      unchecked_enqueue(next, kUndefClause);
+    }
+  }
+}
+
+LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
+  model_.clear();
+  conflict_core_.clear();
+  if (!ok_) return LBool::kFalse;
+
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  conflict_budget_ =
+      budget.conflicts > 0
+          ? static_cast<std::int64_t>(stats_.conflicts) + budget.conflicts
+          : -1;
+  deadline_ = budget.seconds > 0.0 ? now_seconds() + budget.seconds : 0.0;
+  stop_ = budget.stop;
+
+  if (max_learnts_ <= 0.0) {
+    max_learnts_ =
+        std::max(1000.0, static_cast<double>(clauses_.size()) *
+                             learnt_size_factor);
+  }
+
+  LBool status = LBool::kUndef;
+  for (std::uint64_t restart = 0; status == LBool::kUndef; ++restart) {
+    status = search(static_cast<std::int64_t>(luby(restart)) * restart_base);
+    if (status == LBool::kUndef && budget_exhausted()) break;
+  }
+
+  if (status == LBool::kTrue) {
+    model_ = assigns_;
+  }
+  cancel_until(0);
+  assumptions_.clear();
+  return status;
+}
+
+}  // namespace optalloc::sat

@@ -1,0 +1,264 @@
+#pragma once
+// CDCL SAT solver in the MiniSat/Glucose lineage: two-watched-literal
+// propagation, VSIDS branching with phase saving, first-UIP conflict
+// analysis with recursive clause minimization, Luby restarts, activity/LBD
+// based learnt-clause deletion, incremental solving under assumptions, and
+// a hook for external theory propagators (used by the pseudo-Boolean layer,
+// mirroring the role of GOBLIN in the paper).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sat/clause.hpp"
+#include "sat/heap.hpp"
+#include "sat/types.hpp"
+
+namespace optalloc::sat {
+
+class Solver;
+
+/// Theory-propagator interface. A propagator watches assignments and may
+/// enqueue implied literals (with a materialized reason clause) or report a
+/// conflict (as a falsified clause). The pseudo-Boolean layer implements
+/// this to get GOBLIN-style native 0-1 linear constraint propagation.
+class Propagator {
+ public:
+  virtual ~Propagator() = default;
+
+  /// A new variable was created; size internal tables.
+  virtual void on_new_var(Var v) = 0;
+
+  /// Literal `l` became true. Return false on conflict, filling `conflict`
+  /// with a clause whose literals are all false under the current trail.
+  /// May imply further literals via Solver::theory_enqueue().
+  virtual bool on_assign(Lit l, std::vector<Lit>& conflict) = 0;
+
+  /// Literal `l` is being unassigned during backtracking.
+  virtual void on_unassign(Lit l) = 0;
+};
+
+/// Resource limits for a single solve() call. Zero means unlimited.
+/// `stop` is an optional cooperative-cancellation flag (used by the
+/// parallel portfolio optimizer): the solve returns kUndef soon after it
+/// becomes true.
+struct Budget {
+  std::int64_t conflicts = 0;
+  double seconds = 0.0;
+  const std::atomic<bool>* stop = nullptr;
+};
+
+struct SolverStats {
+  /// Literal occurrences across all added problem clauses — the "Lit."
+  /// column of the paper's result tables.
+  std::uint64_t added_literals = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_literals = 0;
+  std::uint64_t minimized_literals = 0;
+  std::uint64_t removed_clauses = 0;
+  std::uint64_t theory_propagations = 0;
+  std::uint64_t gc_runs = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  // --- Problem construction -------------------------------------------
+
+  /// Create a fresh variable and return it. `decision` controls whether the
+  /// branching heuristic may pick it.
+  Var new_var(bool decision = true);
+  std::int32_t num_vars() const { return static_cast<std::int32_t>(assigns_.size()); }
+  std::int64_t num_clauses() const { return static_cast<std::int64_t>(clauses_.size()); }
+  std::int64_t num_learnts() const { return static_cast<std::int64_t>(learnts_.size()); }
+
+  /// Add a clause (over existing variables). Returns false if the formula
+  /// became trivially unsatisfiable. Must be called at decision level 0.
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+  bool add_unit(Lit l) { return add_clause({l}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Attach a theory propagator. The solver does not own it. Must be done
+  /// before any solving; multiple propagators are invoked in order.
+  void attach_propagator(Propagator* p) { propagators_.push_back(p); }
+
+  // --- Solving ----------------------------------------------------------
+
+  /// Solve under the given assumptions. kTrue = SAT (model available),
+  /// kFalse = UNSAT (conflict core available), kUndef = budget exhausted.
+  LBool solve(std::span<const Lit> assumptions = {}, Budget budget = {});
+  LBool solve(std::initializer_list<Lit> assumptions, Budget budget = {}) {
+    return solve(std::span<const Lit>(assumptions.begin(), assumptions.size()),
+                 budget);
+  }
+
+  /// Value of a variable/literal in the most recent model (after SAT).
+  LBool model_value(Var v) const { return model_[v]; }
+  LBool model_value(Lit l) const { return xor_sign(model_[l.var()], l.sign()); }
+
+  /// Subset of the assumptions responsible for UNSAT (after kFalse),
+  /// negated (i.e. the clause that could be learnt).
+  const std::vector<Lit>& conflict_core() const { return conflict_core_; }
+
+  /// True while no top-level contradiction has been derived.
+  bool ok() const { return ok_; }
+
+  /// Top-level simplification: propagate pending units and drop clauses
+  /// satisfied at level 0. Returns false if the formula became UNSAT.
+  bool simplify();
+
+  const SolverStats& stats() const { return stats_; }
+
+  // --- Trail inspection (used by theory propagators) --------------------
+
+  LBool value(Var v) const { return assigns_[v]; }
+  LBool value(Lit l) const { return xor_sign(assigns_[l.var()], l.sign()); }
+  std::int32_t level(Var v) const { return level_[v]; }
+  std::int32_t decision_level() const {
+    return static_cast<std::int32_t>(trail_lim_.size());
+  }
+  const std::vector<Lit>& trail() const { return trail_; }
+
+  /// Initial branching polarity hint for a variable (overrides
+  /// default_polarity; later overwritten by phase saving). sign=false
+  /// means "try true first".
+  void set_polarity(Var v, bool sign) {
+    polarity_[v] = static_cast<char>(sign);
+  }
+
+  /// Raise a variable's branching activity so it is decided early —
+  /// combined with set_polarity this steers the first descent toward a
+  /// known (warm-start) assignment.
+  void boost_activity(Var v, double amount = 1.0) {
+    activity_[v] += amount;
+    order_.increased(v);
+  }
+
+  /// Theory propagation entry point: enqueue `l` with the given reason
+  /// clause (l must be its first literal; all others must be false). The
+  /// clause is materialized in the learnt arena so conflict analysis can
+  /// resolve on it. Returns false if `l` is already false (caller should
+  /// then report the reason clause as a conflict instead).
+  bool theory_enqueue(Lit l, std::span<const Lit> reason);
+
+  // --- Tuning knobs ------------------------------------------------------
+
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  int restart_base = 100;         ///< conflicts per Luby unit
+  double learnt_size_factor = 1.0 / 3.0;
+  double learnt_size_inc = 1.1;
+  bool phase_saving = true;
+  bool default_polarity = false;  ///< initial branching polarity (sign)
+
+ private:
+  // Reason for an assignment: clause reference or kUndefClause (decision /
+  // assumption / top-level unit).
+  struct VarData {
+    CRef reason = kUndefClause;
+    std::int32_t level = 0;
+  };
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  // Construction helpers.
+  void attach_clause(CRef cref);
+  void detach_clause(CRef cref);
+  void remove_clause(CRef cref);
+  bool locked(CRef cref) const;
+
+  // Search machinery.
+  CRef propagate();
+  bool theory_propagate(Lit p, CRef& confl_out);
+  void analyze(CRef confl, std::vector<Lit>& out_learnt, std::int32_t& out_btlevel,
+               std::uint32_t& out_lbd);
+  bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+  void analyze_final(Lit p);
+  void unchecked_enqueue(Lit l, CRef reason);
+  void cancel_until(std::int32_t level);
+  Lit pick_branch_lit();
+  LBool search(std::int64_t conflicts_before_restart);
+  void reduce_db();
+  void garbage_collect();
+  void reloc_all(ClauseArena& to);
+
+  // Activity bookkeeping.
+  void var_bump(Var v);
+  void var_decay_all() { var_inc_ /= var_decay; }
+  void cla_bump(Clause& c);
+  void cla_decay_all() { cla_inc_ /= clause_decay; }
+
+  std::uint32_t compute_lbd(std::span<const Lit> lits);
+  bool budget_exhausted() const;
+
+  // Clause database.
+  ClauseArena arena_;
+  std::vector<CRef> clauses_;  ///< problem clauses
+  std::vector<CRef> learnts_;  ///< learnt + theory-reason clauses
+
+  // Assignment state.
+  std::vector<LBool> assigns_;
+  std::vector<VarData> vardata_;
+  std::vector<std::int32_t> level_;  // mirror of vardata_.level for speed
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t qhead_ = 0;        ///< clause propagation queue head
+  std::size_t theory_qhead_ = 0; ///< theory propagation queue head
+
+  // Watches: indexed by literal (watching clauses where ~lit occurs).
+  std::vector<std::vector<Watcher>> watches_;
+
+  // Branching.
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  VarOrderHeap order_;
+  std::vector<char> polarity_;  ///< saved phase per variable
+  std::vector<char> decision_;
+  std::vector<Var> decision_vars_;
+
+  // Clause activity / learnt-DB sizing (MiniSat schedule: the cap grows
+  // 10% every `adjust` conflicts, with `adjust` itself growing 1.5x).
+  double cla_inc_ = 1.0;
+  double max_learnts_ = 0.0;
+  double learntsize_adjust_confl_ = 100.0;
+  int learntsize_adjust_cnt_ = 100;
+
+  // Conflict analysis scratch.
+  std::vector<Lit> theory_conflict_;
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_toclear_;
+  std::vector<std::uint32_t> lbd_seen_;
+  std::uint32_t lbd_stamp_ = 0;
+
+  // Assumptions / results.
+  std::vector<Lit> assumptions_;
+  std::vector<LBool> model_;
+  std::vector<Lit> conflict_core_;
+
+  // Theory propagators.
+  std::vector<Propagator*> propagators_;
+
+  bool ok_ = true;
+  SolverStats stats_;
+
+  // Budget for the active solve call.
+  std::int64_t conflict_budget_ = -1;
+  double deadline_ = 0.0;  // steady-clock seconds; 0 = none
+  const std::atomic<bool>* stop_ = nullptr;
+};
+
+}  // namespace optalloc::sat

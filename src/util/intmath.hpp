@@ -1,0 +1,33 @@
+#pragma once
+// Small integer helpers shared by the response-time analysis and the
+// encoder. All arithmetic in the library is over signed 64-bit integers;
+// helpers assert against overflow in debug builds.
+
+#include <cassert>
+#include <cstdint>
+
+namespace optalloc {
+
+/// ceil(a / b) for a >= 0, b > 0 — the ceiling term of response-time
+/// analysis (paper eq. 1).
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  assert(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Number of bits needed to represent v (v >= 0) in an unsigned binary
+/// encoding; bits_for(0) == 1 so every variable has at least one bit.
+constexpr int bits_for(std::int64_t v) {
+  assert(v >= 0);
+  int bits = 1;
+  while ((std::int64_t{1} << bits) <= v) ++bits;
+  return bits;
+}
+
+/// Overflow guard: true iff a*b fits in int64 (no UB on overflow).
+inline bool mul_fits(std::int64_t a, std::int64_t b) {
+  std::int64_t out;
+  return !__builtin_mul_overflow(a, b, &out);
+}
+
+}  // namespace optalloc

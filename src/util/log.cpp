@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace optalloc {
+namespace {
+LogLevel g_level = LogLevel::kSilent;
+
+void vlog(const char* prefix, const char* fmt, std::va_list args) {
+  std::fputs(prefix, stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_info(const char* fmt, ...) {
+  if (g_level < LogLevel::kInfo) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlog("[optalloc] ", fmt, args);
+  va_end(args);
+}
+
+void log_debug(const char* fmt, ...) {
+  if (g_level < LogLevel::kDebug) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vlog("[optalloc:debug] ", fmt, args);
+  va_end(args);
+}
+
+}  // namespace optalloc

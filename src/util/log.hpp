@@ -1,0 +1,20 @@
+#pragma once
+// Minimal leveled logging. Off by default so library users (and benchmarks)
+// see nothing unless they opt in; the CLI examples turn it on with -v.
+
+#include <cstdarg>
+
+namespace optalloc {
+
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+/// Global verbosity. Not thread-local: the solver is single-threaded and
+/// multi-threaded benches keep logging silent.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; a trailing newline is appended.
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace optalloc

@@ -1,0 +1,28 @@
+#pragma once
+// The Luby restart sequence (1,1,2,1,1,2,4,...) used by the CDCL solver.
+// Luby et al. showed this universal strategy is within a log factor of the
+// optimal restart schedule for Las Vegas algorithms.
+
+#include <cstdint>
+
+namespace optalloc {
+
+/// i-th element (1-based) of the Luby sequence.
+constexpr std::uint64_t luby(std::uint64_t i) {
+  // Find the subsequence that contains index i: the sequence is composed of
+  // blocks; block k ends at index 2^k - 1 and its last element is 2^(k-1).
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace optalloc

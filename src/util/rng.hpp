@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component in the library (simulated annealing, workload
+// generation, fuzz tests) takes an explicit Rng so results are reproducible
+// from a single seed.
+
+#include <cstdint>
+#include <limits>
+
+namespace optalloc {
+
+/// xoshiro256** by Blackman & Vigna: small state, excellent statistical
+/// quality, and fully deterministic across platforms (unlike
+/// std::default_random_engine, whose meaning is implementation-defined).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64, which
+  /// guarantees a well-mixed non-zero state for any seed value.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Pick an index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace optalloc

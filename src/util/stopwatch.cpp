@@ -1,0 +1,26 @@
+#include "util/stopwatch.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace optalloc {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+std::string Stopwatch::pretty() const { return pretty_seconds(seconds()); }
+
+std::string Stopwatch::pretty_seconds(double s) {
+  char buf[64];
+  if (s < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  } else {
+    const long total = static_cast<long>(std::llround(s));
+    std::snprintf(buf, sizeof buf, "%ld:%02ld:%02ld", total / 3600,
+                  (total / 60) % 60, total % 60);
+  }
+  return buf;
+}
+
+}  // namespace optalloc

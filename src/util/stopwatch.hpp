@@ -1,0 +1,30 @@
+#pragma once
+// Wall-clock stopwatch used by the optimizer and the bench harness to report
+// per-phase runtimes the way the paper's tables do.
+
+#include <chrono>
+#include <string>
+
+namespace optalloc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart, in seconds.
+  double seconds() const;
+
+  /// Elapsed time formatted as "H:MM:SS" or "S.mmm s" for sub-minute spans,
+  /// matching the granularity of the paper's result tables.
+  std::string pretty() const;
+
+  static std::string pretty_seconds(double s);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace optalloc

@@ -1,0 +1,144 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optalloc::workload {
+
+using rt::Ticks;
+
+namespace {
+
+/// UUniFast (Bini & Buttazzo): unbiased utilization split of `total`
+/// across n tasks.
+std::vector<double> uunifast(Rng& rng, int n, double total) {
+  std::vector<double> u(static_cast<std::size_t>(n));
+  double sum = total;
+  for (int i = 0; i < n - 1; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform01(), 1.0 / static_cast<double>(n - i - 1));
+    u[static_cast<std::size_t>(i)] = sum - next;
+    sum = next;
+  }
+  u[static_cast<std::size_t>(n - 1)] = sum;
+  return u;
+}
+
+constexpr Ticks kPeriods[] = {20, 50, 100, 200, 500};
+
+}  // namespace
+
+alloc::Problem generate(const GenOptions& options) {
+  Rng rng(options.seed);
+  alloc::Problem p;
+  p.arch.num_ecus = options.num_ecus;
+
+  rt::Medium ring;
+  ring.name = "ring0";
+  ring.type = rt::MediumType::kTokenRing;
+  for (int e = 0; e < options.num_ecus; ++e) ring.ecus.push_back(e);
+  ring.ring_byte_ticks = 1;
+  ring.slot_min = 1;
+  ring.slot_max = 12;
+  p.arch.media = {ring};
+
+  // Total utilization spread over the tasks; WCETs follow from periods.
+  const double total_util =
+      options.utilization * static_cast<double>(options.num_ecus);
+  const auto utils = uunifast(rng, options.num_tasks, total_util);
+
+  for (int i = 0; i < options.num_tasks; ++i) {
+    rt::Task t;
+    t.name = "t" + std::to_string(i);
+    t.period = kPeriods[rng.index(std::size(kPeriods))];
+    // Clamp per-task utilization to keep any single task schedulable.
+    const double u =
+        std::clamp(utils[static_cast<std::size_t>(i)], 0.01, 0.6);
+    const Ticks base_wcet =
+        std::max<Ticks>(1, static_cast<Ticks>(u * static_cast<double>(t.period)));
+    // Per-ECU draws come from a task-local stream so the task set is
+    // identical across different ECU counts (Table 2 fixes the task set
+    // and only grows the architecture).
+    Rng ecu_rng(options.seed ^
+                (0x9E3779B9ULL * static_cast<std::uint64_t>(i + 1)));
+    for (int e = 0; e < options.num_ecus; ++e) {
+      // Heterogeneous hardware: the upper half of the ECUs is slower.
+      const bool slow = e >= options.num_ecus / 2;
+      Ticks c = slow ? static_cast<Ticks>(
+                           std::ceil(static_cast<double>(base_wcet) *
+                                     options.slow_factor))
+                     : base_wcet;
+      if (ecu_rng.chance(options.forbidden_rate)) c = rt::kForbidden;
+      t.wcet.push_back(c);
+    }
+    // Never forbid everywhere.
+    bool any = false;
+    for (const Ticks c : t.wcet) any |= (c != rt::kForbidden);
+    if (!any) t.wcet[ecu_rng.index(t.wcet.size())] = base_wcet;
+    t.deadline = t.period;
+    t.memory = rng.uniform(1, 8);
+    p.tasks.tasks.push_back(std::move(t));
+  }
+
+  // Task chains: consecutive indices linked by messages. Only tasks with
+  // comfortable periods carry messages so ring rounds fit the deadlines.
+  int chain_start = 0;
+  for (int c = 0; c < options.num_chains && chain_start + 1 < options.num_tasks;
+       ++c) {
+    const int len = static_cast<int>(
+        rng.uniform(2, std::min<std::int64_t>(
+                           4, options.num_tasks - chain_start)));
+    for (int k = 0; k + 1 < len; ++k) {
+      const int from = chain_start + k;
+      const int to = chain_start + k + 1;
+      rt::Message m;
+      m.target_task = to;
+      m.size_bytes = rng.uniform(1, 6);
+      // End-to-end deadline: half the sender's period, but always at
+      // least ~2.5 minimal TDMA rounds so bus delivery stays possible on
+      // large rings (the architecture-scaling series grows the ring).
+      const Ticks min_rounds =
+          static_cast<Ticks>(options.num_ecus) * ring.slot_min;
+      m.deadline = std::max<Ticks>(
+          {Ticks{40}, 5 * min_rounds / 2,
+           p.tasks.tasks[static_cast<std::size_t>(from)].period / 2});
+      p.tasks.tasks[static_cast<std::size_t>(from)].messages.push_back(m);
+    }
+    chain_start += len;
+  }
+
+  // Redundant pairs (separation constraints) among chain-free tasks.
+  int placed_pairs = 0;
+  for (int i = options.num_tasks - 1;
+       i >= 1 && placed_pairs < options.separated_pairs; i -= 2) {
+    p.tasks.tasks[static_cast<std::size_t>(i)].separated_from = {i - 1};
+    p.tasks.tasks[static_cast<std::size_t>(i - 1)].separated_from = {i};
+    ++placed_pairs;
+  }
+
+  // Memory budgets on the fast half (loose: 2x fair share).
+  p.arch.ecu_memory.assign(static_cast<std::size_t>(options.num_ecus), 0);
+  std::int64_t total_mem = 0;
+  for (const rt::Task& t : p.tasks.tasks) total_mem += t.memory;
+  for (int e = 0; e < options.num_ecus / 2; ++e) {
+    p.arch.ecu_memory[static_cast<std::size_t>(e)] =
+        2 * total_mem / options.num_ecus + 4;
+  }
+  return p;
+}
+
+alloc::Problem scaling_system(int num_ecus, int num_tasks,
+                              std::uint64_t seed) {
+  GenOptions options;
+  options.num_tasks = num_tasks;
+  options.num_ecus = num_ecus;
+  options.num_chains = std::max(2, num_tasks / 5);
+  // Keep total demand constant relative to 8 ECUs so bigger architectures
+  // get easier, as in the paper's Table 2 (the task set is fixed there).
+  options.utilization = 0.40 * 8.0 / static_cast<double>(num_ecus);
+  options.seed = seed;
+  options.forbidden_rate = 0.05;
+  return generate(options);
+}
+
+}  // namespace optalloc::workload

@@ -1,0 +1,43 @@
+#pragma once
+// Synthetic workload generation: UUniFast utilization splits, task chains
+// with messages, heterogeneous WCETs, placement restrictions — the raw
+// material for the benchmark instances.
+//
+// Time base: 1 tick = 0.25 ms. The Tindell-style system's TRT optimum
+// then lands in the tens of ticks (= a few ms), matching the paper's
+// scale while keeping the bit-blasted arithmetic narrow.
+
+#include <cstdint>
+
+#include "alloc/problem.hpp"
+#include "util/rng.hpp"
+
+namespace optalloc::workload {
+
+inline constexpr double kMsPerTick = 0.25;
+
+/// Ticks -> milliseconds (for paper-style reporting).
+inline double to_ms(rt::Ticks t) { return static_cast<double>(t) * kMsPerTick; }
+
+struct GenOptions {
+  int num_tasks = 30;
+  int num_chains = 8;        ///< task chains (consecutive tasks linked by
+                             ///< messages); remaining tasks are independent
+  int num_ecus = 8;
+  double utilization = 0.40;  ///< mean per-ECU utilization target
+  double slow_factor = 1.5;   ///< WCET multiplier on the "slow" ECU half
+  double forbidden_rate = 0.1;  ///< chance a task is barred from an ECU
+  int separated_pairs = 2;    ///< redundant pairs that must not co-reside
+  std::uint64_t seed = 0xA11C;
+};
+
+/// Random chain-structured task set on a single token ring over all ECUs.
+alloc::Problem generate(const GenOptions& options);
+
+/// Table 2 series: fixed task set shape on a ring of `num_ecus` ECUs.
+/// The task set itself does not change with the ECU count (same seed), so
+/// growth in encoding size is attributable to the architecture alone.
+alloc::Problem scaling_system(int num_ecus, int num_tasks = 30,
+                              std::uint64_t seed = 0xA11C);
+
+}  // namespace optalloc::workload

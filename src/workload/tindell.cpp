@@ -1,0 +1,175 @@
+#include "workload/tindell.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/generator.hpp"
+
+namespace optalloc::workload {
+
+using rt::Ticks;
+
+alloc::Problem tindell_system() {
+  GenOptions options;
+  options.num_tasks = 43;
+  options.num_chains = 12;
+  options.num_ecus = 8;
+  options.utilization = 0.40;
+  options.separated_pairs = 3;
+  options.forbidden_rate = 0.0;  // restrictions added structurally below
+  options.seed = 0x7E11;
+  alloc::Problem p = generate(options);
+
+  // Placement restrictions: chain heads act as sensor tasks pinned near
+  // their peripheral; every third chain tail is an actuator pinned to the
+  // "slow" half. Restrictions are implemented by forbidding the other
+  // ECUs, like the paper's pi_i sets.
+  int chain_head = 0;
+  int chain = 0;
+  for (int i = 0; i + 1 < 43; ++i) {
+    const bool starts_chain = (i == chain_head);
+    if (starts_chain) {
+      const int pin = chain % 8;
+      for (int e = 0; e < 8; ++e) {
+        if (e != pin) {
+          p.tasks.tasks[static_cast<std::size_t>(i)]
+              .wcet[static_cast<std::size_t>(e)] = rt::kForbidden;
+        }
+      }
+      // Find the end of this chain by following its messages.
+      int t = i;
+      while (!p.tasks.tasks[static_cast<std::size_t>(t)].messages.empty()) {
+        t = p.tasks.tasks[static_cast<std::size_t>(t)]
+                .messages.front()
+                .target_task;
+      }
+      if (chain % 3 == 0 && t != i) {
+        const int pin_tail = 4 + (chain % 4);
+        for (int e = 0; e < 8; ++e) {
+          if (e != pin_tail) {
+            p.tasks.tasks[static_cast<std::size_t>(t)]
+                .wcet[static_cast<std::size_t>(e)] = rt::kForbidden;
+          }
+        }
+      }
+      chain_head = t + 1;
+      ++chain;
+    }
+  }
+  return p;
+}
+
+alloc::Problem tindell_prefix(int num_tasks) {
+  alloc::Problem p = tindell_system();
+  if (num_tasks < 1 || num_tasks > static_cast<int>(p.tasks.tasks.size())) {
+    throw std::invalid_argument("tindell_prefix: bad task count");
+  }
+  p.tasks.tasks.resize(static_cast<std::size_t>(num_tasks));
+  for (rt::Task& t : p.tasks.tasks) {
+    std::erase_if(t.messages, [&](const rt::Message& m) {
+      return m.target_task >= num_tasks;
+    });
+    std::erase_if(t.separated_from,
+                  [&](int j) { return j >= num_tasks; });
+  }
+  return p;
+}
+
+alloc::Problem with_can_bus(alloc::Problem p, int medium) {
+  rt::Medium& m = p.arch.media[static_cast<std::size_t>(medium)];
+  m.type = rt::MediumType::kCan;
+  m.name += "_can";
+  // ~100 kbit/s at a 0.25 ms tick: 25 bits per tick. A max frame (135
+  // bits) then takes 6 ticks = 1.5 ms, matching mid-90s automotive CAN.
+  m.can_bit_ticks = 1;
+  m.can_bits_per_tick = 25;
+  return p;
+}
+
+namespace {
+
+/// Extend every task's WCET vector to `num_ecus`, filling new entries
+/// with `value` (kForbidden or a slowdown of the task's cheapest WCET).
+void extend_wcets(alloc::Problem& p, int num_ecus, double slow_factor) {
+  for (rt::Task& t : p.tasks.tasks) {
+    Ticks cheapest = rt::kForbidden;
+    for (const Ticks c : t.wcet) {
+      if (c != rt::kForbidden && (cheapest == rt::kForbidden || c < cheapest)) {
+        cheapest = c;
+      }
+    }
+    while (static_cast<int>(t.wcet.size()) < num_ecus) {
+      if (slow_factor <= 0.0 || cheapest == rt::kForbidden) {
+        t.wcet.push_back(rt::kForbidden);
+      } else {
+        t.wcet.push_back(static_cast<Ticks>(
+            static_cast<double>(cheapest) * slow_factor));
+      }
+    }
+  }
+}
+
+rt::Medium ring_like(const rt::Medium& proto, std::string name,
+                     std::vector<int> ecus) {
+  rt::Medium m = proto;
+  m.name = std::move(name);
+  m.ecus = std::move(ecus);
+  return m;
+}
+
+}  // namespace
+
+alloc::Problem architecture_a(int num_tasks) {
+  alloc::Problem p = tindell_prefix(num_tasks);
+  const rt::Medium proto = p.arch.media[0];
+  p.arch.num_ecus = 9;  // ECU 8 is the gateway
+  extend_wcets(p, 9, 0.0);
+  p.arch.media = {ring_like(proto, "ringA", {0, 1, 2, 3, 8}),
+                  ring_like(proto, "ringB", {4, 5, 6, 7, 8})};
+  p.arch.media[0].gateway_cost = 5;
+  p.arch.media[1].gateway_cost = 5;
+  p.arch.gateway_only.assign(9, 0);
+  p.arch.gateway_only[8] = 1;
+  p.arch.ecu_memory.resize(9, 0);
+  return p;
+}
+
+alloc::Problem architecture_b(int num_tasks) {
+  alloc::Problem p = tindell_prefix(num_tasks);
+  const rt::Medium proto = p.arch.media[0];
+  p.arch.num_ecus = 12;  // 8, 9 gateways; 10, 11 extra compute ECUs
+  extend_wcets(p, 10, 0.0);   // gateways host nothing
+  extend_wcets(p, 12, 2.0);   // top-ring compute ECUs are slow
+  p.arch.media = {ring_like(proto, "low1", {0, 1, 2, 3, 8}),
+                  ring_like(proto, "low2", {4, 5, 6, 7, 9}),
+                  ring_like(proto, "top", {8, 9, 10, 11})};
+  for (auto& m : p.arch.media) m.gateway_cost = 5;
+  p.arch.gateway_only.assign(12, 0);
+  p.arch.gateway_only[8] = 1;
+  p.arch.gateway_only[9] = 1;
+  p.arch.ecu_memory.resize(12, 0);
+  return p;
+}
+
+alloc::Problem architecture_c(bool can_upper, int num_tasks) {
+  alloc::Problem p = tindell_prefix(num_tasks);
+  const rt::Medium proto = p.arch.media[0];
+  p.arch.num_ecus = 10;  // ECUs 8, 9: peripherals that host no tasks
+  extend_wcets(p, 10, 0.0);
+  rt::Medium upper = ring_like(proto, "upper", {0, 8, 9});
+  // Stations on the upper ring may surrender their slots entirely, so an
+  // unused upper ring contributes 0 to the sum of TRTs.
+  upper.slot_min = 0;
+  p.arch.media = {ring_like(proto, "low", {0, 1, 2, 3, 4, 5, 6, 7}), upper};
+  for (auto& m : p.arch.media) m.gateway_cost = 5;
+  if (can_upper) {
+    p.arch.media[1].type = rt::MediumType::kCan;
+    p.arch.media[1].name = "upper_can";
+    p.arch.media[1].can_bit_ticks = 1;
+    p.arch.media[1].can_bits_per_tick = 25;
+  }
+  p.arch.ecu_memory.resize(10, 0);
+  return p;
+}
+
+}  // namespace optalloc::workload

@@ -1,0 +1,47 @@
+#pragma once
+// The benchmark instances of the paper's evaluation (Section 6):
+//
+//   * tindell_system(): a synthetic reconstruction of the Tindell, Burns &
+//     Wellings [5] case study — 43 tasks in 12 chains on 8 ECUs with a
+//     token ring, placement restrictions, redundant (separated) pairs and
+//     memory budgets. The original task table was never published; this
+//     instance reproduces its published *shape* (counts, constraint kinds,
+//     ms-scale timing) so the same comparisons can be run. (Substitution
+//     documented in DESIGN.md.)
+//   * tindell_prefix(n): the first n tasks (Table 3's scaling series).
+//   * with_can_bus(): medium swapped to CAN (Table 1, second row).
+//   * architecture_a/b/c(): the hierarchical architectures of Fig. 2
+//     (Table 4), built over the same task set.
+
+#include "alloc/problem.hpp"
+
+namespace optalloc::workload {
+
+/// The 43-task / 8-ECU token-ring system (1 tick = 0.25 ms).
+alloc::Problem tindell_system();
+
+/// First `num_tasks` tasks of tindell_system(); messages and separation
+/// constraints referencing dropped tasks are removed.
+alloc::Problem tindell_prefix(int num_tasks);
+
+/// Replace medium `medium` by a CAN bus (~100 kbit/s at the 0.25 ms tick).
+alloc::Problem with_can_bus(alloc::Problem p, int medium = 0);
+
+/// Fig. 2 Architecture A: two rings of 4 compute ECUs each, joined by a
+/// dedicated gateway ECU that hosts no tasks. `num_tasks` selects a
+/// prefix of the task set (43 = the full system, as in the paper; smaller
+/// prefixes keep default benchmark runs tractable).
+alloc::Problem architecture_a(int num_tasks = 43);
+
+/// Fig. 2 Architecture B: two leaf rings under a top-level ring, joined by
+/// two dedicated gateway ECUs; two extra compute ECUs on the top ring.
+alloc::Problem architecture_b(int num_tasks = 43);
+
+/// Fig. 2 Architecture C: the flat 8-ECU ring plus an upper ring gatewayed
+/// through ECU 0 (which may host tasks); the ECUs added on the upper ring
+/// are communication peripherals that host no application tasks, so the
+/// optimum reproduces the flat system's placement (the paper's result).
+/// With `can_upper`, the upper medium is a CAN bus (the in-text variant).
+alloc::Problem architecture_c(bool can_upper = false, int num_tasks = 43);
+
+}  // namespace optalloc::workload

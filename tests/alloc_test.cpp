@@ -1,0 +1,323 @@
+// End-to-end tests for the SAT-based allocator: feasibility, optimality
+// on hand-analyzable instances, verifier cross-validation of decoded
+// solutions, placement/separation/memory constraints, hierarchical
+// routing, and both encoder backends / optimizer modes.
+
+#include <gtest/gtest.h>
+
+#include "alloc/optimizer.hpp"
+#include "rt/verify.hpp"
+
+namespace optalloc::alloc {
+namespace {
+
+using rt::Medium;
+using rt::MediumType;
+using rt::Task;
+using rt::Ticks;
+
+Task make_task(std::string name, Ticks period, Ticks deadline,
+               std::vector<Ticks> wcet) {
+  Task t;
+  t.name = std::move(name);
+  t.period = period;
+  t.deadline = deadline;
+  t.wcet = std::move(wcet);
+  return t;
+}
+
+Medium make_ring(std::string name, std::vector<int> ecus, Ticks slot_min = 1,
+                 Ticks slot_max = 16) {
+  Medium m;
+  m.name = std::move(name);
+  m.type = MediumType::kTokenRing;
+  m.ecus = std::move(ecus);
+  m.ring_byte_ticks = 1;
+  m.slot_min = slot_min;
+  m.slot_max = slot_max;
+  return m;
+}
+
+/// Two tasks, two ECUs, one ring, one message.
+Problem tiny_problem() {
+  Problem p;
+  Task a = make_task("A", 100, 50, {10, 12});
+  Task b = make_task("B", 100, 100, {20, 25});
+  a.messages.push_back({1, 4, 60, 0});
+  p.tasks.tasks = {a, b};
+  p.arch.num_ecus = 2;
+  p.arch.media = {make_ring("ring", {0, 1})};
+  return p;
+}
+
+/// Expect the optimizer result to pass the independent verifier.
+void expect_verified(const Problem& p, const OptimizeResult& res) {
+  ASSERT_TRUE(res.has_allocation);
+  const rt::VerifyReport report = rt::verify(p.tasks, p.arch, res.allocation);
+  EXPECT_TRUE(report.feasible)
+      << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST(Alloc, TinyFeasibility) {
+  const Problem p = tiny_problem();
+  const OptimizeResult res = optimize(p, Objective::feasibility());
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  expect_verified(p, res);
+}
+
+TEST(Alloc, TinyTrtOptimum) {
+  // Minimal TRT: co-locate both tasks (message stays local), every slot at
+  // slot_min -> Lambda = 2 * 1 = 2.
+  const Problem p = tiny_problem();
+  const OptimizeResult res = optimize(p, Objective::ring_trt(0));
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.cost, 2);
+  expect_verified(p, res);
+  // Both tasks must share an ECU (otherwise the message needs a slot of
+  // at least rho = 4).
+  EXPECT_EQ(res.allocation.task_ecu[0], res.allocation.task_ecu[1]);
+}
+
+TEST(Alloc, SeparationForcesBusTraffic) {
+  // With a separation constraint the message must cross the ring: the
+  // sender's slot must fit rho = 4, the other slot stays at 1 -> TRT 5.
+  Problem p = tiny_problem();
+  p.tasks.tasks[0].separated_from = {1};
+  const OptimizeResult res = optimize(p, Objective::ring_trt(0));
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.cost, 5);
+  expect_verified(p, res);
+  EXPECT_NE(res.allocation.task_ecu[0], res.allocation.task_ecu[1]);
+}
+
+TEST(Alloc, InfeasibleWhenBothTasksOverloadOneEcu) {
+  // Separation + forbidden placements leave no valid allocation.
+  Problem p = tiny_problem();
+  p.tasks.tasks[0].separated_from = {1};
+  p.tasks.tasks[0].wcet = {10, rt::kForbidden};
+  p.tasks.tasks[1].wcet = {20, rt::kForbidden};
+  const OptimizeResult res = optimize(p, Objective::feasibility());
+  EXPECT_EQ(res.status, OptimizeResult::Status::kInfeasible);
+}
+
+TEST(Alloc, DeadlinePressureForcesSpreading) {
+  // Two heavy tasks with tight deadlines cannot share an ECU.
+  Problem p;
+  Task a = make_task("A", 100, 60, {50, 50});
+  Task b = make_task("B", 100, 60, {50, 50});
+  p.tasks.tasks = {a, b};
+  p.arch.num_ecus = 2;
+  p.arch.media = {make_ring("ring", {0, 1})};
+  const OptimizeResult res = optimize(p, Objective::feasibility());
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  expect_verified(p, res);
+  EXPECT_NE(res.allocation.task_ecu[0], res.allocation.task_ecu[1]);
+}
+
+TEST(Alloc, WcetSelectionFollowsAllocation) {
+  // Task is much cheaper on ECU 1; with a deadline only ECU 1 can meet,
+  // the optimizer must place it there.
+  Problem p;
+  p.tasks.tasks = {make_task("A", 100, 15, {80, 10})};
+  p.arch.num_ecus = 2;
+  p.arch.media = {make_ring("ring", {0, 1})};
+  const OptimizeResult res = optimize(p, Objective::feasibility());
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.allocation.task_ecu[0], 1);
+  expect_verified(p, res);
+}
+
+TEST(Alloc, ForbiddenPlacementRespected) {
+  Problem p = tiny_problem();
+  p.tasks.tasks[0].wcet = {rt::kForbidden, 12};
+  const OptimizeResult res = optimize(p, Objective::feasibility());
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.allocation.task_ecu[0], 1);
+  expect_verified(p, res);
+}
+
+TEST(Alloc, MemoryBudgetRespected) {
+  Problem p = tiny_problem();
+  p.tasks.tasks[0].memory = 60;
+  p.tasks.tasks[1].memory = 50;
+  p.arch.ecu_memory = {100, 100};
+  const OptimizeResult res = optimize(p, Objective::feasibility());
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_NE(res.allocation.task_ecu[0], res.allocation.task_ecu[1]);
+  expect_verified(p, res);
+}
+
+TEST(Alloc, EqualDeadlinesUseFreeTieBreak) {
+  // Three equal-deadline tasks that all fit one ECU only in one priority
+  // order: C = {30, 20, 10}, deadline 60, period 100. Any order works for
+  // the shortest task... the optimizer just needs *a* consistent order;
+  // the verifier then confirms DM-consistency and feasibility.
+  Problem p;
+  p.tasks.tasks = {make_task("A", 100, 60, {30}),
+                   make_task("B", 100, 60, {20}),
+                   make_task("C", 100, 60, {10})};
+  p.arch.num_ecus = 1;
+  p.arch.media = {make_ring("ring", {0})};
+  const OptimizeResult res = optimize(p, Objective::feasibility());
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  expect_verified(p, res);
+  // Priorities must be a permutation of 0..2.
+  std::vector<int> prio = res.allocation.task_prio;
+  std::sort(prio.begin(), prio.end());
+  EXPECT_EQ(prio, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Alloc, CanLoadMinimizedByColocation) {
+  // Two communicating task pairs on a CAN bus; co-locating each pair
+  // removes all bus traffic -> optimal load 0.
+  Problem p;
+  Task a = make_task("A", 100, 50, {10, 10});
+  Task b = make_task("B", 100, 100, {10, 10});
+  a.messages.push_back({1, 2, 80, 0});
+  p.tasks.tasks = {a, b};
+  p.arch.num_ecus = 2;
+  Medium can;
+  can.name = "can";
+  can.type = MediumType::kCan;
+  can.ecus = {0, 1};
+  can.can_bit_ticks = 1;
+  p.arch.media = {can};
+  const OptimizeResult res = optimize(p, Objective::can_load(0));
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.cost, 0);
+  expect_verified(p, res);
+  EXPECT_EQ(res.allocation.task_ecu[0], res.allocation.task_ecu[1]);
+}
+
+TEST(Alloc, CanLoadWithSeparationIsPositive) {
+  Problem p;
+  Task a = make_task("A", 1000, 500, {10, 10});
+  Task b = make_task("B", 1000, 1000, {10, 10});
+  a.messages.push_back({1, 2, 800, 0});
+  a.separated_from = {1};
+  p.tasks.tasks = {a, b};
+  p.arch.num_ecus = 2;
+  Medium can;
+  can.name = "can";
+  can.type = MediumType::kCan;
+  can.ecus = {0, 1};
+  can.can_bit_ticks = 1;
+  p.arch.media = {can};
+  const OptimizeResult res = optimize(p, Objective::can_load(0));
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  // 2-byte frame = 47 + 16 + floor(49/4) = 75 bits, period 1000:
+  // ceil(75 * 1000 / 1000) = 75.
+  EXPECT_EQ(res.cost, 75);
+  expect_verified(p, res);
+}
+
+TEST(Alloc, HierarchicalGatewayRouting) {
+  // Figure-1 style: two rings joined by a gateway. Sender restricted to
+  // ring 1's leaf, receiver to ring 2's leaf -> the message must cross
+  // both media and the gateway.
+  Problem p;
+  Task a = make_task("A", 200, 100, {10, rt::kForbidden, rt::kForbidden});
+  Task b = make_task("B", 200, 200, {rt::kForbidden, rt::kForbidden, 10});
+  a.messages.push_back({1, 2, 150, 0});
+  p.tasks.tasks = {a, b};
+  p.arch.num_ecus = 3;  // 0 (leaf1) - 1 (gateway) - 2 (leaf2)
+  Medium r1 = make_ring("r1", {0, 1});
+  Medium r2 = make_ring("r2", {1, 2});
+  r1.gateway_cost = 5;
+  p.arch.media = {r1, r2};
+  const OptimizeResult res = optimize(p, Objective::sum_trt());
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  expect_verified(p, res);
+  ASSERT_EQ(res.allocation.msg_route[0], (std::vector<int>{0, 1}));
+  // Minimal sum of TRTs: sender slot on r1 >= rho=2, gateway slot on r2
+  // >= 2, the other two slots at 1 -> 3 + 3 = 6.
+  EXPECT_EQ(res.cost, 6);
+}
+
+TEST(Alloc, GatewayOnlyNodesHostNoTasks) {
+  Problem p;
+  Task a = make_task("A", 200, 100, {10, 10, 10});
+  Task b = make_task("B", 200, 200, {10, 10, 10});
+  a.messages.push_back({1, 2, 150, 0});
+  a.separated_from = {1};
+  p.tasks.tasks = {a, b};
+  p.arch.num_ecus = 3;
+  p.arch.media = {make_ring("r1", {0, 1}), make_ring("r2", {1, 2})};
+  p.arch.gateway_only = {0, 1, 0};  // ECU 1 cannot host tasks
+  const OptimizeResult res = optimize(p, Objective::feasibility());
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  expect_verified(p, res);
+  EXPECT_NE(res.allocation.task_ecu[0], 1);
+  EXPECT_NE(res.allocation.task_ecu[1], 1);
+  // Tasks sit on ECUs 0 and 2 (in some order): the message crosses both
+  // rings through the gateway.
+  EXPECT_EQ(res.allocation.msg_route[0].size(), 2u);
+}
+
+TEST(Alloc, ScratchModeFindsSameOptimum) {
+  Problem p = tiny_problem();
+  p.tasks.tasks[0].separated_from = {1};
+  OptimizeOptions scratch;
+  scratch.incremental = false;
+  const OptimizeResult res = optimize(p, Objective::ring_trt(0), scratch);
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.cost, 5);
+  expect_verified(p, res);
+}
+
+TEST(Alloc, PbBackendFindsSameOptimum) {
+  Problem p = tiny_problem();
+  p.tasks.tasks[0].separated_from = {1};
+  OptimizeOptions opts;
+  opts.encoder.backend = encode::Backend::kPbMixed;
+  const OptimizeResult res = optimize(p, Objective::ring_trt(0), opts);
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.cost, 5);
+  expect_verified(p, res);
+}
+
+TEST(Alloc, FixedTieBreakMatchesFreeTieOptimum) {
+  Problem p = tiny_problem();
+  OptimizeOptions opts;
+  opts.encoder.free_tie_priorities = false;
+  const OptimizeResult res = optimize(p, Objective::ring_trt(0), opts);
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.cost, 2);
+  expect_verified(p, res);
+}
+
+TEST(Alloc, BudgetExhaustionReportsAnytimeResult) {
+  Problem p = tiny_problem();
+  OptimizeOptions opts;
+  opts.per_call.conflicts = 1;  // absurdly small per-call budget
+  const OptimizeResult res = optimize(p, Objective::ring_trt(0), opts);
+  // Either it still finishes (trivial instance) or reports exhaustion —
+  // but it must never return a wrong "optimal" claim.
+  if (res.status == OptimizeResult::Status::kOptimal) {
+    EXPECT_EQ(res.cost, 2);
+  } else {
+    EXPECT_EQ(res.status, OptimizeResult::Status::kBudgetExhausted);
+  }
+}
+
+TEST(Alloc, TaskChainOverSharedBus) {
+  // Chain A -> B -> C across three ECUs with restricted placements; both
+  // messages share the ring and must respect their budget sums.
+  Problem p;
+  Task a = make_task("A", 300, 100, {10, rt::kForbidden, rt::kForbidden});
+  Task b = make_task("B", 300, 150, {rt::kForbidden, 10, rt::kForbidden});
+  Task c = make_task("C", 300, 300, {rt::kForbidden, rt::kForbidden, 10});
+  a.messages.push_back({1, 3, 100, 0});
+  b.messages.push_back({2, 3, 100, 0});
+  p.tasks.tasks = {a, b, c};
+  p.arch.num_ecus = 3;
+  p.arch.media = {make_ring("ring", {0, 1, 2})};
+  const OptimizeResult res = optimize(p, Objective::ring_trt(0));
+  ASSERT_EQ(res.status, OptimizeResult::Status::kOptimal);
+  expect_verified(p, res);
+  // Slots: ECU0 >= 3 (msg A->B), ECU1 >= 3 (msg B->C), ECU2 = 1 -> 7.
+  EXPECT_EQ(res.cost, 7);
+}
+
+}  // namespace
+}  // namespace optalloc::alloc

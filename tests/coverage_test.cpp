@@ -1,0 +1,207 @@
+// Additional coverage over thinner corners: IR printing/evaluation of all
+// operators, bit-blaster gate folding identities, PB propagator counters,
+// simulator options (fixed jitter, silent rings), verifier report fields,
+// and the solver's statistics surface.
+
+#include <gtest/gtest.h>
+
+#include "encode/bitblast.hpp"
+#include "ir/expr.hpp"
+#include "pb/propagator.hpp"
+#include "rt/sim.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc {
+namespace {
+
+TEST(IrPrinter, AllOperatorsRender) {
+  ir::Context ctx;
+  const auto x = ctx.int_var("x", 0, 7);
+  const auto y = ctx.int_var("y", 0, 7);
+  const auto p = ctx.bool_var("p");
+  EXPECT_EQ(ctx.to_string(ctx.sub(x, y)), "(- x y)");
+  EXPECT_EQ(ctx.to_string(ctx.mul(x, y)), "(* x y)");
+  EXPECT_EQ(ctx.to_string(ctx.ite(p, x, y)), "(ite p x y)");
+  EXPECT_EQ(ctx.to_string(ctx.land(p, ctx.eq(x, y))),
+            "(and p (= x y))");
+  EXPECT_EQ(ctx.to_string(ctx.lnot(p)), "(not p)");
+  EXPECT_EQ(ctx.to_string(ctx.bool_const(true)), "true");
+  // lt/gt/ne desugar to not/le/eq.
+  EXPECT_EQ(ctx.to_string(ctx.lt(x, y)), "(not (<= y x))");
+  EXPECT_EQ(ctx.to_string(ctx.ne(x, y)), "(not (= x y))");
+}
+
+TEST(IrEvaluator, DesugaredComparisons) {
+  ir::Context ctx;
+  const auto x = ctx.int_var("x", -10, 10);
+  const auto y = ctx.int_var("y", -10, 10);
+  ir::Evaluator ev(ctx);
+  ev.set_int(x, 3);
+  ev.set_int(y, -2);
+  EXPECT_TRUE(ev.eval_bool(ctx.gt(x, y)));
+  EXPECT_FALSE(ev.eval_bool(ctx.lt(x, y)));
+  EXPECT_TRUE(ev.eval_bool(ctx.ne(x, y)));
+  EXPECT_TRUE(ev.eval_bool(ctx.ge(x, x)));
+  EXPECT_TRUE(ev.eval_bool(ctx.iff(ctx.le(y, x), ctx.bool_const(true))));
+}
+
+TEST(IrRanges, IteAndSumCompose) {
+  ir::Context ctx;
+  const auto p = ctx.bool_var("p");
+  const auto a = ctx.int_var("a", 1, 3);
+  const auto b = ctx.int_var("b", 10, 20);
+  const auto pick = ctx.ite(p, a, b);
+  EXPECT_EQ(ctx.range(pick).lo, 1);
+  EXPECT_EQ(ctx.range(pick).hi, 20);
+  const std::vector<ir::NodeId> xs = {a, b, pick};
+  EXPECT_EQ(ctx.range(ctx.sum(xs)).lo, 12);
+  EXPECT_EQ(ctx.range(ctx.sum(xs)).hi, 43);
+}
+
+TEST(BitBlast, SubtractionAndComparisonOfNegatives) {
+  ir::Context ctx;
+  sat::Solver s;
+  encode::BitBlaster bb(ctx, s);
+  const auto x = ctx.int_var("x", -20, 20);
+  ASSERT_TRUE(bb.assert_true(ctx.eq(ctx.sub(ctx.constant(-5), x),
+                                    ctx.constant(-17))));
+  ASSERT_EQ(s.solve(), sat::LBool::kTrue);
+  EXPECT_EQ(bb.int_value(x), 12);
+  // Comparators over negative constants fold/encode correctly.
+  ASSERT_TRUE(bb.assert_true(ctx.ge(x, ctx.constant(-20))));
+  ASSERT_TRUE(bb.assert_true(ctx.gt(x, ctx.constant(-1))));
+  EXPECT_EQ(s.solve(), sat::LBool::kTrue);
+}
+
+TEST(BitBlast, MulByPowerOfTwoStaysCompact) {
+  // Constant power-of-two multiplication is a pure shift: no clauses
+  // should be emitted for the product itself (only the equality).
+  ir::Context ctx;
+  sat::Solver s;
+  encode::BitBlaster bb(ctx, s);
+  const auto x = ctx.int_var("x", 0, 15);
+  bb.touch(x);
+  const auto before = s.num_clauses();
+  const auto y = ctx.mul(x, ctx.constant(8));
+  bb.touch(y);
+  // A shift introduces no gates at all.
+  EXPECT_EQ(s.num_clauses(), before);
+  ASSERT_TRUE(bb.assert_true(ctx.eq(y, ctx.constant(40))));
+  ASSERT_EQ(s.solve(), sat::LBool::kTrue);
+  EXPECT_EQ(bb.int_value(x), 5);
+}
+
+TEST(BitBlast, FormulaLitOfConstants) {
+  ir::Context ctx;
+  sat::Solver s;
+  encode::BitBlaster bb(ctx, s);
+  const sat::Lit t = bb.formula_lit(ctx.bool_const(true));
+  const sat::Lit f = bb.formula_lit(ctx.bool_const(false));
+  EXPECT_EQ(t, ~f);
+  ASSERT_EQ(s.solve(), sat::LBool::kTrue);
+  EXPECT_EQ(s.model_value(t), sat::LBool::kTrue);
+  EXPECT_EQ(s.model_value(f), sat::LBool::kFalse);
+}
+
+TEST(PbStats, CountersAdvance) {
+  sat::Solver s;
+  pb::PbPropagator pbp(s);
+  std::vector<pb::Term> terms;
+  for (int i = 0; i < 6; ++i) terms.push_back({1, sat::pos(s.new_var())});
+  ASSERT_TRUE(pbp.add_ge(terms, 3));
+  ASSERT_TRUE(pbp.add_le(terms, 3));
+  EXPECT_EQ(pbp.stats().constraints, 2u);
+  ASSERT_EQ(s.solve(), sat::LBool::kTrue);
+  EXPECT_GT(pbp.stats().propagations + s.stats().propagations, 0u);
+}
+
+TEST(SolverStats, SurfaceIsPopulated) {
+  sat::Solver s;
+  const sat::Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_ternary(sat::pos(a), sat::pos(b), sat::pos(c));
+  s.add_binary(sat::neg(a), sat::neg(b));
+  EXPECT_EQ(s.stats().added_literals, 5u);
+  EXPECT_EQ(s.num_clauses(), 2);
+  ASSERT_EQ(s.solve(), sat::LBool::kTrue);
+  EXPECT_GE(s.stats().decisions, 1u);
+}
+
+TEST(Sim, FixedJitterMode) {
+  rt::TaskSet ts;
+  rt::Task t;
+  t.name = "J";
+  t.period = 20;
+  t.deadline = 20;
+  t.release_jitter = 5;
+  t.wcet = {4};
+  ts.tasks = {t};
+  rt::Architecture arch;
+  arch.num_ecus = 1;
+  rt::Medium ring;
+  ring.ecus = {0};
+  arch.media = {ring};
+  rt::Allocation alloc;
+  alloc.task_ecu = {0};
+  alloc.slots = {{1}};
+  rt::SimOptions opts;
+  opts.horizon = 200;
+  opts.randomize_jitter = false;  // always the full jitter offset
+  const rt::SimReport rep = simulate(ts, arch, alloc, opts);
+  EXPECT_FALSE(rep.any_deadline_miss);
+  EXPECT_EQ(rep.task_response[0], 4);  // response measured from release
+  EXPECT_GT(rep.jobs_finished[0], 5);
+}
+
+TEST(Sim, SilentRingCarriesNothing) {
+  // A ring whose slot table is all zeros is simply inert; tasks that do
+  // not communicate over it are unaffected.
+  rt::TaskSet ts;
+  rt::Task t;
+  t.name = "A";
+  t.period = 10;
+  t.deadline = 10;
+  t.wcet = {2};
+  ts.tasks = {t};
+  rt::Architecture arch;
+  arch.num_ecus = 1;
+  rt::Medium ring;
+  ring.ecus = {0};
+  ring.slot_min = 0;
+  arch.media = {ring};
+  rt::Allocation alloc;
+  alloc.task_ecu = {0};
+  alloc.slots = {{0}};
+  rt::SimOptions opts;
+  opts.horizon = 50;
+  const rt::SimReport rep = simulate(ts, arch, alloc, opts);
+  EXPECT_FALSE(rep.any_deadline_miss);
+  EXPECT_EQ(rep.task_response[0], 2);
+}
+
+TEST(Sim, HorizonDerivationCapped) {
+  rt::TaskSet ts;
+  for (int i = 0; i < 3; ++i) {
+    rt::Task t;
+    t.name = "P" + std::to_string(i);
+    t.period = 997 + i;  // near-coprime periods: huge hyperperiod
+    t.deadline = t.period;
+    t.wcet = {1};
+    ts.tasks.push_back(t);
+  }
+  rt::Architecture arch;
+  arch.num_ecus = 1;
+  rt::Medium ring;
+  ring.ecus = {0};
+  arch.media = {ring};
+  rt::Allocation alloc;
+  alloc.task_ecu = {0, 0, 0};
+  alloc.slots = {{1}};
+  rt::SimOptions opts;
+  opts.max_horizon = 5000;
+  const rt::SimReport rep = simulate(ts, arch, alloc, opts);
+  EXPECT_EQ(rep.horizon, 5000);
+  EXPECT_FALSE(rep.any_deadline_miss);
+}
+
+}  // namespace
+}  // namespace optalloc

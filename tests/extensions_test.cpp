@@ -1,0 +1,147 @@
+// Tests for the model extensions: CAN non-preemptive blocking (the
+// paper's "blocking factors" remark), solver simplification, and their
+// interaction with optimization.
+
+#include <gtest/gtest.h>
+
+#include "alloc/optimizer.hpp"
+#include "rt/verify.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc {
+namespace {
+
+using rt::Ticks;
+
+rt::Task make_task(std::string name, Ticks period, Ticks deadline,
+                   std::vector<Ticks> wcet) {
+  rt::Task t;
+  t.name = std::move(name);
+  t.period = period;
+  t.deadline = deadline;
+  t.wcet = std::move(wcet);
+  return t;
+}
+
+/// Two pinned tasks exchanging frames on a CAN bus, plus a low-priority
+/// bulk message that blocks them when can_blocking is on.
+alloc::Problem can_fixture(bool blocking) {
+  alloc::Problem p;
+  p.arch.num_ecus = 2;
+  rt::Medium can;
+  can.name = "can";
+  can.type = rt::MediumType::kCan;
+  can.ecus = {0, 1};
+  can.can_bit_ticks = 1;
+  can.can_blocking = blocking;
+  p.arch.media = {can};
+  rt::Task a = make_task("a", 1000, 500, {10, rt::kForbidden});
+  rt::Task b = make_task("b", 1000, 1000, {rt::kForbidden, 10});
+  // High-priority 1-byte frame (65 bits): deadline chosen so it fits
+  // without blocking (65 <= 100) but misses with an 8-byte blocker
+  // (65 + 135 = 200 > 100).
+  a.messages.push_back({1, 1, 100, 0});
+  // Low-priority bulk frame (8 bytes = 135 bits), generous deadline.
+  b.messages.push_back({0, 8, 900, 0});
+  p.tasks.tasks = {a, b};
+  return p;
+}
+
+TEST(CanBlocking, VerifierAddsLowerPriorityFrameTime) {
+  const alloc::Problem without = can_fixture(false);
+  rt::Allocation alloc;
+  alloc.task_ecu = {0, 1};
+  alloc.msg_route = {{0}, {0}};
+  alloc.msg_local_deadline = {{100}, {900}};
+  alloc.slots = {{}};
+  const auto r1 = rt::verify(without.tasks, without.arch, alloc);
+  ASSERT_TRUE(r1.feasible) << (r1.violations.empty() ? ""
+                                                     : r1.violations[0]);
+  EXPECT_EQ(r1.msg_legs[0][0].response, 65);
+
+  const alloc::Problem with = can_fixture(true);
+  const auto r2 = rt::verify(with.tasks, with.arch, alloc);
+  EXPECT_FALSE(r2.feasible);  // 65 + 135 = 200 > 100
+}
+
+TEST(CanBlocking, HighestPriorityUnaffectedWithoutLowerTraffic) {
+  alloc::Problem p = can_fixture(true);
+  p.tasks.tasks[1].messages.clear();  // no lower-priority frames
+  rt::Allocation alloc;
+  alloc.task_ecu = {0, 1};
+  alloc.msg_route = {{0}};
+  alloc.msg_local_deadline = {{100}};
+  alloc.slots = {{}};
+  const auto report = rt::verify(p.tasks, p.arch, alloc);
+  ASSERT_TRUE(report.feasible);
+  EXPECT_EQ(report.msg_legs[0][0].response, 65);
+}
+
+TEST(CanBlocking, EncoderAgreesWithVerifier) {
+  // With blocking on, the fixture is infeasible (the bulk frame cannot
+  // leave the bus: tasks are pinned apart); without blocking it is
+  // feasible. Encoder and verifier must agree in both modes.
+  const alloc::Problem without = can_fixture(false);
+  const auto res1 =
+      alloc::optimize(without, alloc::Objective::feasibility());
+  ASSERT_EQ(res1.status, alloc::OptimizeResult::Status::kOptimal);
+  const auto rep1 = rt::verify(without.tasks, without.arch, res1.allocation);
+  EXPECT_TRUE(rep1.feasible);
+
+  const alloc::Problem with = can_fixture(true);
+  const auto res2 = alloc::optimize(with, alloc::Objective::feasibility());
+  EXPECT_EQ(res2.status, alloc::OptimizeResult::Status::kInfeasible);
+}
+
+TEST(CanBlocking, OptimizerAvoidsBlockingByColocation) {
+  // Unpin the bulk sender: co-locating it with its receiver removes the
+  // blocker from the bus and makes the system feasible again.
+  alloc::Problem p = can_fixture(true);
+  p.tasks.tasks[1].wcet = {10, 10};  // b may now sit on ECU 0
+  const auto res = alloc::optimize(p, alloc::Objective::feasibility());
+  ASSERT_EQ(res.status, alloc::OptimizeResult::Status::kOptimal);
+  const auto report = rt::verify(p.tasks, p.arch, res.allocation);
+  ASSERT_TRUE(report.feasible)
+      << (report.violations.empty() ? "" : report.violations[0]);
+  // The bulk message must be local (b on ECU 0 with a).
+  EXPECT_TRUE(res.allocation.msg_route[1].empty());
+}
+
+TEST(Simplify, RemovesSatisfiedClauses) {
+  sat::Solver s;
+  const sat::Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  ASSERT_TRUE(s.add_clause({sat::pos(a), sat::pos(b)}));
+  ASSERT_TRUE(s.add_clause({sat::pos(b), sat::pos(c)}));
+  ASSERT_TRUE(s.add_clause({sat::neg(a), sat::pos(c)}));
+  EXPECT_EQ(s.num_clauses(), 3);
+  ASSERT_TRUE(s.add_unit(sat::pos(b)));
+  ASSERT_TRUE(s.simplify());
+  // The two clauses containing b are satisfied and removed.
+  EXPECT_EQ(s.num_clauses(), 1);
+  EXPECT_EQ(s.solve(), sat::LBool::kTrue);
+}
+
+TEST(Simplify, ReportsExistingTopLevelConflict) {
+  // This solver propagates units eagerly, so the contradiction surfaces
+  // at add time already; simplify must then report unsatisfiability too.
+  sat::Solver s;
+  const sat::Var a = s.new_var(), b = s.new_var();
+  ASSERT_TRUE(s.add_clause({sat::pos(a), sat::pos(b)}));
+  ASSERT_TRUE(s.add_unit(sat::neg(a)));  // propagates b = true
+  EXPECT_EQ(s.value(b), sat::LBool::kTrue);
+  EXPECT_FALSE(s.add_unit(sat::neg(b)));  // immediate conflict
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.simplify());
+}
+
+TEST(Simplify, IdempotentOnCleanFormula) {
+  sat::Solver s;
+  const sat::Var a = s.new_var(), b = s.new_var();
+  ASSERT_TRUE(s.add_clause({sat::pos(a), sat::pos(b)}));
+  ASSERT_TRUE(s.simplify());
+  ASSERT_TRUE(s.simplify());
+  EXPECT_EQ(s.num_clauses(), 1);
+}
+
+}  // namespace
+}  // namespace optalloc

@@ -1,0 +1,157 @@
+// Tests for the integer-expression IR: hash-consing, constant folding,
+// range inference, evaluator semantics, and printing.
+
+#include <gtest/gtest.h>
+
+#include "ir/expr.hpp"
+
+namespace optalloc::ir {
+namespace {
+
+TEST(Context, HashConsingSharesStructure) {
+  Context ctx;
+  const NodeId x = ctx.int_var("x", 0, 10);
+  const NodeId y = ctx.int_var("y", 0, 10);
+  const NodeId a = ctx.add(x, y);
+  const NodeId b = ctx.add(x, y);
+  EXPECT_EQ(a, b);
+  const NodeId c = ctx.add(y, x);  // commutative canonicalization
+  EXPECT_EQ(a, c);
+}
+
+TEST(Context, FreshVariablesAreDistinct) {
+  Context ctx;
+  const NodeId x1 = ctx.int_var("x", 0, 1);
+  const NodeId x2 = ctx.int_var("x", 0, 1);
+  EXPECT_NE(x1, x2);
+}
+
+TEST(Context, ConstantFolding) {
+  Context ctx;
+  const NodeId five = ctx.constant(5);
+  const NodeId three = ctx.constant(3);
+  EXPECT_EQ(ctx.add(five, three), ctx.constant(8));
+  EXPECT_EQ(ctx.sub(five, three), ctx.constant(2));
+  EXPECT_EQ(ctx.mul(five, three), ctx.constant(15));
+}
+
+TEST(Context, IdentityFolding) {
+  Context ctx;
+  const NodeId x = ctx.int_var("x", -4, 9);
+  EXPECT_EQ(ctx.add(x, ctx.constant(0)), x);
+  EXPECT_EQ(ctx.mul(x, ctx.constant(1)), x);
+  EXPECT_EQ(ctx.mul(x, ctx.constant(0)), ctx.constant(0));
+  EXPECT_EQ(ctx.sub(x, x), ctx.constant(0));
+}
+
+TEST(Context, RangeInference) {
+  Context ctx;
+  const NodeId x = ctx.int_var("x", 2, 5);
+  const NodeId y = ctx.int_var("y", -3, 4);
+  EXPECT_EQ(ctx.range(ctx.add(x, y)), (Range{-1, 9}));
+  EXPECT_EQ(ctx.range(ctx.sub(x, y)), (Range{-2, 8}));
+  EXPECT_EQ(ctx.range(ctx.mul(x, y)), (Range{-15, 20}));
+}
+
+TEST(Context, MulRangeWithNegatives) {
+  Context ctx;
+  const NodeId x = ctx.int_var("x", -5, -2);
+  const NodeId y = ctx.int_var("y", -7, -1);
+  EXPECT_EQ(ctx.range(ctx.mul(x, y)), (Range{2, 35}));
+}
+
+TEST(Context, ComparisonConstantFoldingViaRanges) {
+  Context ctx;
+  const NodeId small = ctx.int_var("s", 0, 3);
+  const NodeId big = ctx.int_var("b", 10, 20);
+  EXPECT_EQ(ctx.le(small, big), ctx.bool_const(true));
+  EXPECT_EQ(ctx.gt(small, big), ctx.bool_const(false));
+  EXPECT_EQ(ctx.eq(small, big), ctx.bool_const(false));
+}
+
+TEST(Context, BooleanShortCircuits) {
+  Context ctx;
+  const NodeId p = ctx.bool_var("p");
+  const NodeId t = ctx.bool_const(true);
+  const NodeId f = ctx.bool_const(false);
+  EXPECT_EQ(ctx.land(p, t), p);
+  EXPECT_EQ(ctx.land(p, f), f);
+  EXPECT_EQ(ctx.lor(p, f), p);
+  EXPECT_EQ(ctx.lor(p, t), t);
+  EXPECT_EQ(ctx.lnot(ctx.lnot(p)), p);
+  EXPECT_EQ(ctx.implies(f, p), t);
+  EXPECT_EQ(ctx.iff(p, p), t);
+}
+
+TEST(Context, IteFolding) {
+  Context ctx;
+  const NodeId x = ctx.int_var("x", 0, 7);
+  const NodeId y = ctx.int_var("y", 0, 7);
+  EXPECT_EQ(ctx.ite(ctx.bool_const(true), x, y), x);
+  EXPECT_EQ(ctx.ite(ctx.bool_const(false), x, y), y);
+  const NodeId p = ctx.bool_var("p");
+  EXPECT_EQ(ctx.ite(p, x, x), x);
+  EXPECT_EQ(ctx.range(ctx.ite(p, x, ctx.constant(12))), (Range{0, 12}));
+}
+
+TEST(Context, SumHelper) {
+  Context ctx;
+  std::vector<NodeId> xs;
+  for (int i = 1; i <= 4; ++i) xs.push_back(ctx.constant(i));
+  EXPECT_EQ(ctx.sum(xs), ctx.constant(10));
+  EXPECT_EQ(ctx.sum({}), ctx.constant(0));
+}
+
+TEST(Context, EmptyRangeThrows) {
+  Context ctx;
+  EXPECT_THROW(ctx.int_var("bad", 5, 4), std::invalid_argument);
+}
+
+TEST(Context, MulOverflowThrows) {
+  Context ctx;
+  const NodeId big = ctx.int_var("b", 0, std::int64_t{1} << 40);
+  EXPECT_THROW(ctx.mul(big, big), std::overflow_error);
+}
+
+TEST(Evaluator, ArithmeticAndLogic) {
+  Context ctx;
+  const NodeId x = ctx.int_var("x", 0, 100);
+  const NodeId y = ctx.int_var("y", -50, 50);
+  const NodeId p = ctx.bool_var("p");
+  Evaluator ev(ctx);
+  ev.set_int(x, 7);
+  ev.set_int(y, -3);
+  ev.set_bool(p, true);
+  EXPECT_EQ(ev.eval_int(ctx.add(x, y)), 4);
+  EXPECT_EQ(ev.eval_int(ctx.sub(x, y)), 10);
+  EXPECT_EQ(ev.eval_int(ctx.mul(x, y)), -21);
+  EXPECT_EQ(ev.eval_int(ctx.ite(p, x, y)), 7);
+  EXPECT_TRUE(ev.eval_bool(ctx.gt(x, y)));
+  EXPECT_FALSE(ev.eval_bool(ctx.eq(x, y)));
+  EXPECT_TRUE(ev.eval_bool(ctx.land(p, ctx.le(y, x))));
+  EXPECT_TRUE(ev.eval_bool(ctx.implies(ctx.lnot(p), ctx.eq(x, y))));
+}
+
+TEST(Evaluator, ThrowsOnUnassignedVariable) {
+  Context ctx;
+  const NodeId x = ctx.int_var("x", 0, 5);
+  Evaluator ev(ctx);
+  EXPECT_THROW(ev.eval_int(x), std::logic_error);
+}
+
+TEST(Printer, RendersSExpressions) {
+  Context ctx;
+  const NodeId x = ctx.int_var("x", 0, 9);
+  const NodeId e = ctx.le(ctx.add(x, ctx.constant(2)), ctx.constant(7));
+  EXPECT_EQ(ctx.to_string(e), "(<= (+ x 2) 7)");
+}
+
+TEST(Printer, VariableNames) {
+  Context ctx;
+  const NodeId r = ctx.int_var("r_3", 0, 50);
+  EXPECT_EQ(ctx.name(r), "r_3");
+  EXPECT_EQ(ctx.to_string(r), "r_3");
+}
+
+}  // namespace
+}  // namespace optalloc::ir

@@ -1,0 +1,165 @@
+// Tests for path closures: the paper's Figure 1 example reproduced
+// exactly, endpoint validity v(h), route enumeration, and topology
+// validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/paths.hpp"
+
+namespace optalloc::net {
+namespace {
+
+rt::Medium ring(std::string name, std::vector<int> ecus) {
+  rt::Medium m;
+  m.name = std::move(name);
+  m.type = rt::MediumType::kTokenRing;
+  m.ecus = std::move(ecus);
+  return m;
+}
+
+/// The paper's Fig. 1: k1 = {p1,p2,p3}, k2 = {p2,p4}, k3 = {p3,p5}.
+/// 0-based ECUs: p1=0, p2=1, p3=2, p4=3, p5=4. Media: k1=0, k2=1, k3=2.
+rt::Architecture figure1() {
+  rt::Architecture arch;
+  arch.num_ecus = 5;
+  arch.media = {ring("k1", {0, 1, 2}), ring("k2", {1, 3}),
+                ring("k3", {2, 4})};
+  return arch;
+}
+
+TEST(Topology, Figure1IsValid) {
+  EXPECT_TRUE(validate_topology(figure1()).empty());
+}
+
+TEST(Topology, TwoGatewaysBetweenMediaRejected) {
+  rt::Architecture arch;
+  arch.num_ecus = 4;
+  arch.media = {ring("a", {0, 1, 2}), ring("b", {1, 2, 3})};
+  const auto problems = validate_topology(arch);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("share 2 gateways"), std::string::npos);
+}
+
+TEST(Topology, OutOfRangeEcuRejected) {
+  rt::Architecture arch;
+  arch.num_ecus = 2;
+  arch.media = {ring("a", {0, 5})};
+  EXPECT_FALSE(validate_topology(arch).empty());
+}
+
+TEST(Topology, DuplicateEcuRejected) {
+  rt::Architecture arch;
+  arch.num_ecus = 3;
+  arch.media = {ring("a", {0, 1, 1})};
+  EXPECT_FALSE(validate_topology(arch).empty());
+}
+
+TEST(PathClosures, Figure1MaximalPaths) {
+  const rt::Architecture arch = figure1();
+  const PathClosures pc(arch);
+  // Paper's closures: ph1 = {k1, k1k2}, ph2 = {k1, k1k3},
+  // ph3 = {k2, k2k1, k2k1k3}, ph4 = {k3, k3k1, k3k1k2}.
+  // Maximal paths: k1k2, k1k3, k2k1k3, k3k1k2.
+  std::vector<Path> expected = {{0, 1}, {0, 2}, {1, 0, 2}, {2, 0, 1}};
+  std::vector<Path> actual = pc.maximal_paths();
+  std::sort(actual.begin(), actual.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(PathClosures, Figure1AllRoutes) {
+  const PathClosures pc(figure1());
+  // Routes: {}, {k1}, {k2}, {k3}, {k1k2}, {k1k3}, {k2k1}, {k3k1},
+  // {k2k1k3}, {k3k1k2}.
+  EXPECT_EQ(pc.routes().size(), 10u);
+  EXPECT_TRUE(pc.routes()[0].empty());
+}
+
+TEST(PathClosures, EndpointValidityEmptyRoute) {
+  const PathClosures pc(figure1());
+  EXPECT_TRUE(pc.valid_endpoints({}, 1, 1));
+  EXPECT_FALSE(pc.valid_endpoints({}, 1, 2));
+}
+
+TEST(PathClosures, EndpointValiditySingleMedium) {
+  const PathClosures pc(figure1());
+  EXPECT_TRUE(pc.valid_endpoints({0}, 0, 1));   // p1 -> p2 on k1
+  EXPECT_FALSE(pc.valid_endpoints({0}, 0, 3));  // p4 not on k1
+  EXPECT_FALSE(pc.valid_endpoints({0}, 1, 1));  // same ECU needs no medium
+}
+
+TEST(PathClosures, EndpointValidityMultiHop) {
+  const PathClosures pc(figure1());
+  // p4 (ECU 3) -> p5 (ECU 4): must use k2 k1 k3.
+  EXPECT_TRUE(pc.valid_endpoints({1, 0, 2}, 3, 4));
+  // p2 (ECU 1, gateway of k1/k2) -> p5: k1 k3 is the valid route; starting
+  // on k2 would violate the "sender not on second medium" condition.
+  EXPECT_TRUE(pc.valid_endpoints({0, 2}, 1, 4));
+  EXPECT_FALSE(pc.valid_endpoints({1, 0, 2}, 1, 4));
+  // p1 -> p2, both on k1: multi-hop via k2 is non-minimal and rejected.
+  EXPECT_FALSE(pc.valid_endpoints({0, 1}, 0, 1));
+}
+
+TEST(PathClosures, RoutesBetweenEnumeratesExactlyTheValidOnes) {
+  const PathClosures pc(figure1());
+  // p4 -> p5: only route k2 k1 k3.
+  const auto routes = pc.routes_between(3, 4);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(pc.routes()[static_cast<std::size_t>(routes[0])],
+            (Path{1, 0, 2}));
+  // p1 -> p3 (both on k1): only the single-medium route.
+  const auto same_medium = pc.routes_between(0, 2);
+  ASSERT_EQ(same_medium.size(), 1u);
+  EXPECT_EQ(pc.routes()[static_cast<std::size_t>(same_medium[0])], (Path{0}));
+  // Same ECU: only the empty route.
+  const auto self_routes = pc.routes_between(2, 2);
+  ASSERT_EQ(self_routes.size(), 1u);
+  EXPECT_TRUE(pc.routes()[static_cast<std::size_t>(self_routes[0])].empty());
+}
+
+TEST(PathClosures, LegStations) {
+  const PathClosures pc(figure1());
+  const Path h = {1, 0, 2};  // k2 -> k1 -> k3
+  EXPECT_EQ(pc.leg_station(h, 0, 3), 3);  // sender p4
+  EXPECT_EQ(pc.leg_station(h, 1, 3), 1);  // gateway p2 between k2 and k1
+  EXPECT_EQ(pc.leg_station(h, 2, 3), 2);  // gateway p3 between k1 and k3
+}
+
+TEST(PathClosures, CyclicTopologyTerminates) {
+  // Triangle of media — cycles in the media graph must not loop the DFS.
+  rt::Architecture arch;
+  arch.num_ecus = 3;
+  arch.media = {ring("a", {0, 1}), ring("b", {1, 2}), ring("c", {2, 0})};
+  const PathClosures pc(arch);
+  // Simple paths only: max length 3.
+  for (const Path& p : pc.maximal_paths()) {
+    EXPECT_LE(p.size(), 3u);
+  }
+  // Both orientations around the triangle from each start: 6 maximal paths.
+  EXPECT_EQ(pc.maximal_paths().size(), 6u);
+}
+
+TEST(PathClosures, IsolatedMediaHaveSingletonClosures) {
+  rt::Architecture arch;
+  arch.num_ecus = 4;
+  arch.media = {ring("a", {0, 1}), ring("b", {2, 3})};
+  const PathClosures pc(arch);
+  std::vector<Path> expected = {{0}, {1}};
+  std::vector<Path> actual = pc.maximal_paths();
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+  // No route between ECUs on different media.
+  EXPECT_TRUE(pc.routes_between(0, 2).empty());
+}
+
+TEST(PathClosures, DescribeMentionsEveryMaximalPath) {
+  const PathClosures pc(figure1());
+  const std::string text = pc.describe();
+  EXPECT_NE(text.find("k2 -> k1 -> k3"), std::string::npos);
+  EXPECT_NE(text.find("k1 -> k2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optalloc::net

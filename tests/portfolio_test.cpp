@@ -1,0 +1,110 @@
+// Tests for the parallel portfolio optimizer: correctness of the winning
+// result, agreement with single-configuration runs, cooperative
+// cancellation, and infeasibility propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "alloc/portfolio.hpp"
+#include "rt/verify.hpp"
+#include "workload/tindell.hpp"
+
+namespace optalloc::alloc {
+namespace {
+
+using rt::Ticks;
+
+Problem small_problem() {
+  Problem p;
+  rt::Task a;
+  a.name = "A";
+  a.period = 100;
+  a.deadline = 50;
+  a.wcet = {10, 12};
+  a.messages.push_back({1, 4, 60, 0});
+  a.separated_from = {1};
+  rt::Task b;
+  b.name = "B";
+  b.period = 100;
+  b.deadline = 100;
+  b.wcet = {20, 25};
+  b.separated_from = {0};
+  p.tasks.tasks = {a, b};
+  p.arch.num_ecus = 2;
+  rt::Medium ring;
+  ring.name = "ring";
+  ring.type = rt::MediumType::kTokenRing;
+  ring.ecus = {0, 1};
+  ring.slot_max = 8;
+  p.arch.media = {ring};
+  return p;
+}
+
+TEST(Portfolio, DefaultConfigsFindTheOptimum) {
+  const Problem p = small_problem();
+  const PortfolioResult res =
+      optimize_portfolio(p, Objective::ring_trt(0));
+  ASSERT_EQ(res.best.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.best.cost, 5);
+  EXPECT_GE(res.winner, 0);
+  const auto report = rt::verify(p.tasks, p.arch, res.best.allocation);
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(Portfolio, AgreesWithSingleRun) {
+  const Problem p = workload::tindell_prefix(12);
+  const OptimizeResult single = optimize(p, Objective::ring_trt(0));
+  const PortfolioResult multi =
+      optimize_portfolio(p, Objective::ring_trt(0));
+  ASSERT_EQ(single.status, OptimizeResult::Status::kOptimal);
+  ASSERT_EQ(multi.best.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(multi.best.cost, single.cost);
+}
+
+TEST(Portfolio, PropagatesInfeasibility) {
+  Problem p = small_problem();
+  p.tasks.tasks[0].wcet = {10, rt::kForbidden};
+  p.tasks.tasks[1].wcet = {20, rt::kForbidden};  // both pinned + separated
+  const PortfolioResult res =
+      optimize_portfolio(p, Objective::feasibility());
+  EXPECT_EQ(res.best.status, OptimizeResult::Status::kInfeasible);
+}
+
+TEST(Portfolio, CustomConfigListRespected) {
+  PortfolioOptions opts;
+  OptimizeOptions only;
+  only.strategy = SearchStrategy::kDescending;
+  opts.configs = {only};
+  const Problem p = small_problem();
+  const PortfolioResult res =
+      optimize_portfolio(p, Objective::ring_trt(0), opts);
+  ASSERT_EQ(res.best.status, OptimizeResult::Status::kOptimal);
+  EXPECT_EQ(res.winner, 0);
+  EXPECT_EQ(res.per_config.size(), 1u);
+}
+
+TEST(Portfolio, StopFlagCancelsOptimizer) {
+  // A pre-set stop flag must make a single optimize() return promptly
+  // with budget-exhausted (anytime semantics).
+  std::atomic<bool> stop{true};
+  OptimizeOptions opts;
+  opts.stop = &stop;
+  const Problem p = workload::tindell_prefix(20);
+  const OptimizeResult res = optimize(p, Objective::ring_trt(0), opts);
+  EXPECT_EQ(res.status, OptimizeResult::Status::kBudgetExhausted);
+}
+
+TEST(Portfolio, TimeLimitYieldsAnytimeBest) {
+  PortfolioOptions opts;
+  opts.time_limit_s = 0.05;
+  const Problem p = workload::tindell_prefix(30);
+  const PortfolioResult res =
+      optimize_portfolio(p, Objective::ring_trt(0), opts);
+  // Any status is acceptable under a tiny budget, but the call must
+  // return (join all threads) and report per-config statuses.
+  EXPECT_EQ(res.per_config.size(), 3u);
+}
+
+}  // namespace
+}  // namespace optalloc::alloc

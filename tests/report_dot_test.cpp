@@ -1,0 +1,150 @@
+// Tests for the human-readable allocation report and the Graphviz export,
+// plus solver/encoder hint behaviors that the warm-start machinery relies
+// on.
+
+#include <gtest/gtest.h>
+
+#include "encode/bitblast.hpp"
+#include "net/dot.hpp"
+#include "rt/report.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc {
+namespace {
+
+rt::TaskSet two_tasks() {
+  rt::Task a;
+  a.name = "alpha";
+  a.period = 100;
+  a.deadline = 50;
+  a.wcet = {10, 12};
+  a.messages.push_back({1, 4, 60, 0});
+  rt::Task b;
+  b.name = "beta";
+  b.period = 100;
+  b.deadline = 100;
+  b.wcet = {20, 25};
+  rt::TaskSet ts;
+  ts.tasks = {a, b};
+  return ts;
+}
+
+rt::Architecture one_ring() {
+  rt::Architecture arch;
+  arch.num_ecus = 2;
+  rt::Medium ring;
+  ring.name = "ring0";
+  ring.type = rt::MediumType::kTokenRing;
+  ring.ecus = {0, 1};
+  ring.slot_min = 1;
+  ring.slot_max = 16;
+  arch.media = {ring};
+  return arch;
+}
+
+rt::Allocation split_allocation() {
+  rt::Allocation alloc;
+  alloc.task_ecu = {0, 1};
+  alloc.msg_route = {{0}};
+  alloc.msg_local_deadline = {{60}};
+  alloc.slots = {{8, 8}};
+  return alloc;
+}
+
+TEST(Report, FeasibleReportListsTasksAndMessages) {
+  const std::string text =
+      rt::render_report(two_tasks(), one_ring(), split_allocation());
+  EXPECT_NE(text.find("FEASIBLE"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("Lambda=16"), std::string::npos);
+  EXPECT_NE(text.find("leg 1/1"), std::string::npos);
+  EXPECT_NE(text.find("ok"), std::string::npos);
+  EXPECT_EQ(text.find("violation"), std::string::npos);
+}
+
+TEST(Report, InfeasibleReportListsViolations) {
+  rt::TaskSet ts = two_tasks();
+  ts.tasks[1].deadline = 10;  // below WCET everywhere
+  ts.tasks[1].period = 10;
+  const std::string text =
+      rt::render_report(ts, one_ring(), split_allocation());
+  EXPECT_NE(text.find("INFEASIBLE"), std::string::npos);
+  EXPECT_NE(text.find("violation"), std::string::npos);
+}
+
+TEST(Report, UtilizationPercentagesPresent) {
+  const std::string text =
+      rt::render_report(two_tasks(), one_ring(), split_allocation());
+  EXPECT_NE(text.find("utilization 10.0%"), std::string::npos);  // alpha@0
+  EXPECT_NE(text.find("utilization 25.0%"), std::string::npos);  // beta@1
+}
+
+TEST(Dot, ArchitectureExportHasClustersAndGateways) {
+  rt::Architecture arch;
+  arch.num_ecus = 3;
+  rt::Medium r1, r2;
+  r1.name = "r1";
+  r1.ecus = {0, 1};
+  r2.name = "r2";
+  r2.ecus = {1, 2};
+  arch.media = {r1, r2};
+  arch.gateway_only = {0, 1, 0};
+  const std::string dot = net::to_dot(arch);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // ECU 1 gateway
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"gw\""), std::string::npos);
+}
+
+TEST(Dot, AllocationExportShowsTasksAndMessages) {
+  const std::string dot =
+      net::to_dot(two_tasks(), one_ring(), split_allocation());
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"m0\""), std::string::npos);
+}
+
+TEST(Dot, IntraEcuMessagesDrawNoEdge) {
+  rt::Allocation alloc;
+  alloc.task_ecu = {0, 0};
+  alloc.msg_route = {{}};
+  alloc.msg_local_deadline = {{}};
+  alloc.slots = {{1, 1}};
+  const std::string dot = net::to_dot(two_tasks(), one_ring(), alloc);
+  EXPECT_EQ(dot.find("label=\"m0\""), std::string::npos);
+}
+
+TEST(SolverHints, PolarityGuidesFirstModel) {
+  // A free variable with no constraints takes its hinted phase.
+  sat::Solver s;
+  const sat::Var v = s.new_var();
+  const sat::Var w = s.new_var();
+  s.set_polarity(v, false);  // try true first
+  s.set_polarity(w, true);   // try false first
+  ASSERT_EQ(s.solve(), sat::LBool::kTrue);
+  EXPECT_EQ(s.model_value(v), sat::LBool::kTrue);
+  EXPECT_EQ(s.model_value(w), sat::LBool::kFalse);
+}
+
+TEST(SolverHints, BitBlasterHintsReproduceTargetValues) {
+  ir::Context ctx;
+  sat::Solver solver;
+  encode::BitBlaster bb(ctx, solver);
+  const auto x = ctx.int_var("x", 0, 100);
+  const auto p = ctx.bool_var("p");
+  bb.touch(x);
+  bb.hint_int(x, 73);
+  bb.hint_bool(p, true);
+  // p must appear in some formula to be encoded; use an implication that
+  // doesn't constrain x.
+  ASSERT_TRUE(bb.assert_true(
+      ctx.implies(p, ctx.le(ctx.constant(0), x))));
+  ASSERT_EQ(solver.solve(), sat::LBool::kTrue);
+  EXPECT_EQ(bb.int_value(x), 73);
+  EXPECT_TRUE(bb.bool_value(p));
+}
+
+}  // namespace
+}  // namespace optalloc

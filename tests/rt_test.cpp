@@ -1,0 +1,393 @@
+// Tests for the response-time analysis substrate: the fixed-point
+// equations against hand-computed classics (Liu/Layland examples, Tindell
+// CAN examples), CAN frame timing, TDMA blocking, utilization arithmetic,
+// priority assignment, and whole-system verification on small systems.
+
+#include <gtest/gtest.h>
+
+#include "rt/analysis.hpp"
+#include "rt/verify.hpp"
+
+namespace optalloc::rt {
+namespace {
+
+TEST(ResponseTime, NoInterference) {
+  EXPECT_EQ(response_time_fp(5, {}, 100), 5);
+}
+
+TEST(ResponseTime, ClassicTwoTaskExample) {
+  // tau1: C=1, T=4 (higher prio); tau2: C=2 -> r2 = 2 + ceil(3/4)*1 = 3.
+  const Interferer hp[] = {{1, 4, 0}};
+  EXPECT_EQ(response_time_fp(2, hp, 100), 3);
+}
+
+TEST(ResponseTime, TextbookThreeTasks) {
+  // Classic example: C1=3,T1=7; C2=3,T2=12; C3=5,T3=20.
+  // r1 = 3. r2 = 3 + ceil(r/7)*3 -> r=6. r3: 5+3+3=11 -> 5+2*3+3=14 ->
+  // 5+2*3+2*3=17 -> 5+3*3+2*3=20 -> fixed: check: ceil(20/7)=3, ceil(20/12)=2
+  // -> 5+9+6=20. r3=20.
+  const Interferer hp1[] = {{3, 7, 0}};
+  EXPECT_EQ(response_time_fp(3, hp1, 100), 6);
+  const Interferer hp2[] = {{3, 7, 0}, {3, 12, 0}};
+  EXPECT_EQ(response_time_fp(5, hp2, 100), 20);
+}
+
+TEST(ResponseTime, DivergesBeyondBound) {
+  // Higher-priority utilization of 100%: the fixed point never closes.
+  const Interferer hp[] = {{5, 5, 0}};
+  EXPECT_FALSE(response_time_fp(5, hp, 1000).has_value());
+}
+
+TEST(ResponseTime, ConvergesEvenWhenTotalUtilizationExceedsOne) {
+  // hp utilization 5/8 < 1, so the first job still finishes: the least
+  // fixed point of r = 5 + ceil(r/8)*5 is 15.
+  const Interferer hp[] = {{5, 8, 0}};
+  EXPECT_EQ(response_time_fp(5, hp, 1000), 15);
+}
+
+TEST(ResponseTime, ExactDeadlineBoundaryAccepted) {
+  const Interferer hp[] = {{2, 10, 0}};
+  const auto r = response_time_fp(8, hp, 10);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 10);
+}
+
+TEST(ResponseTime, JitterIncreasesInterference) {
+  // Same as ClassicTwoTaskExample but the interferer has jitter 2:
+  // r = 2 + ceil((r+2)/4)*1 -> r=3: ceil(5/4)=2 -> r=4 -> ceil(6/4)=2 -> 4.
+  const Interferer hp[] = {{1, 4, 2}};
+  EXPECT_EQ(response_time_fp(2, hp, 100), 4);
+}
+
+TEST(Tdma, BlockingTermAddsRoundRemainder) {
+  // rho=2, no interference, Lambda=10, own slot 3:
+  // r = 2 + ceil(r/10)*(10-3) -> r=2: 2+7=9 -> ceil(9/10)=1 -> 9. r=9.
+  EXPECT_EQ(tdma_response_time(2, {}, 10, 3, 100), 9);
+}
+
+TEST(Tdma, MultipleRoundsWhenQueueLong) {
+  // rho=2 with a same-station higher-priority message of rho=5, T=100:
+  // r = 2 + 5 + ceil(r/10)*(10-3): r=7 -> 7+7=14 -> ceil(14/10)=2 ->
+  // 7+14=21 -> ceil(21/10)=3 -> 7+21=28 -> ceil(28/10)=3 -> 28. r=28.
+  const Interferer hp[] = {{5, 100, 0}};
+  EXPECT_EQ(tdma_response_time(2, hp, 10, 3, 100), 28);
+}
+
+TEST(Tdma, FullSlotOwnershipRemovesBlocking) {
+  // own slot == Lambda (single-station ring): no blocking at all.
+  EXPECT_EQ(tdma_response_time(4, {}, 6, 6, 100), 4);
+}
+
+TEST(CanTiming, FrameBitsMatchStandardFormula) {
+  // 8-byte frame: 47 + 64 + floor(97/4)=24 -> 135 bits.
+  EXPECT_EQ(can_frame_bits(8), 135);
+  // 1-byte frame: 47 + 8 + floor(41/4)=10 -> 65 bits.
+  EXPECT_EQ(can_frame_bits(1), 65);
+  // 0-byte frame: 47 + 0 + floor(33/4)=8 -> 55 bits.
+  EXPECT_EQ(can_frame_bits(0), 55);
+}
+
+TEST(CanTiming, MultiFrameMessages) {
+  Medium can;
+  can.type = MediumType::kCan;
+  can.can_bit_ticks = 2;
+  // 10 bytes -> one 8-byte frame + one 2-byte frame.
+  const Ticks expected = (can_frame_bits(8) + can_frame_bits(2)) * 2;
+  EXPECT_EQ(transmission_ticks(can, 10), expected);
+}
+
+TEST(CanTiming, TokenRingPerByteCost) {
+  Medium ring;
+  ring.type = MediumType::kTokenRing;
+  ring.ring_byte_ticks = 3;
+  EXPECT_EQ(transmission_ticks(ring, 4), 12);
+  EXPECT_EQ(transmission_ticks(ring, 0), 1);  // at least one tick
+}
+
+TEST(Utilization, ExactRationalArithmetic) {
+  // 1/4 + 1/3 = 7/12 -> ceil(7000/12) = 584 ppm(*1000).
+  const Interferer msgs[] = {{1, 4, 0}, {1, 3, 0}};
+  EXPECT_EQ(utilization_ppm(msgs), 584);
+}
+
+TEST(Utilization, FullBusIsThousand) {
+  const Interferer msgs[] = {{5, 10, 0}, {5, 10, 0}};
+  EXPECT_EQ(utilization_ppm(msgs), 1000);
+}
+
+TEST(Priorities, DeadlineMonotonicWithIndexTieBreak) {
+  TaskSet ts;
+  ts.tasks.resize(3);
+  ts.tasks[0].deadline = 20;
+  ts.tasks[1].deadline = 10;
+  ts.tasks[2].deadline = 20;
+  const auto ranks = deadline_monotonic_ranks(ts);
+  EXPECT_EQ(ranks[1], 0);
+  EXPECT_EQ(ranks[0], 1);  // ties broken by index
+  EXPECT_EQ(ranks[2], 2);
+}
+
+// ---------------------------------------------------------------------
+// Whole-system verification fixtures.
+// ---------------------------------------------------------------------
+
+/// Two ECUs on one token ring; two tasks with a message between them.
+struct RingFixture {
+  TaskSet ts;
+  Architecture arch;
+  Allocation alloc;
+
+  RingFixture() {
+    Task a;
+    a.name = "A";
+    a.period = 100;
+    a.deadline = 50;
+    a.wcet = {10, 12};
+    Task b;
+    b.name = "B";
+    b.period = 100;
+    b.deadline = 100;
+    b.wcet = {20, 25};
+    a.messages.push_back({1, 4, 40, 0});  // to B, 4 bytes, deadline 40
+    ts.tasks = {a, b};
+
+    arch.num_ecus = 2;
+    Medium ring;
+    ring.name = "ring0";
+    ring.type = MediumType::kTokenRing;
+    ring.ecus = {0, 1};
+    ring.ring_byte_ticks = 1;
+    ring.slot_min = 1;
+    ring.slot_max = 32;
+    arch.media = {ring};
+
+    alloc.task_ecu = {0, 1};
+    alloc.msg_route = {{0}};
+    alloc.msg_local_deadline = {{40}};
+    alloc.slots = {{8, 8}};
+  }
+};
+
+TEST(Verify, FeasibleRingSystem) {
+  RingFixture f;
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_TRUE(report.feasible) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations[0]);
+  EXPECT_EQ(report.task_response[0], 10);
+  EXPECT_EQ(report.task_response[1], 25);
+  EXPECT_EQ(report.sum_trt, 16);
+  // Message leg: rho=4, Lambda=16, slot=8 -> r = 4 + ceil(r/16)*8 = 12.
+  ASSERT_EQ(report.msg_legs[0].size(), 1u);
+  EXPECT_EQ(report.msg_legs[0][0].response, 12);
+}
+
+TEST(Verify, SameEcuTasksInterfere) {
+  RingFixture f;
+  f.alloc.task_ecu = {0, 0};
+  f.alloc.msg_route = {{}};  // intra-ECU now
+  f.alloc.msg_local_deadline = {{}};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_TRUE(report.feasible);
+  // B now preempted by A: r_B = 20 + ceil(r/100)*10 = 30.
+  EXPECT_EQ(report.task_response[1], 30);
+}
+
+TEST(Verify, DeadlineMissDetected) {
+  RingFixture f;
+  f.ts.tasks[1].deadline = 24;  // below B's WCET on ECU 1
+  f.ts.tasks[1].period = 24;
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, ForbiddenPlacementDetected) {
+  RingFixture f;
+  f.ts.tasks[0].wcet = {kForbidden, 12};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, SeparationViolationDetected) {
+  RingFixture f;
+  f.ts.tasks[0].separated_from = {1};
+  f.alloc.task_ecu = {0, 0};
+  f.alloc.msg_route = {{}};
+  f.alloc.msg_local_deadline = {{}};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, MemoryBudgetEnforced) {
+  RingFixture f;
+  f.ts.tasks[0].memory = 60;
+  f.ts.tasks[1].memory = 50;
+  f.arch.ecu_memory = {100, 100};
+  f.alloc.task_ecu = {0, 0};
+  f.alloc.msg_route = {{}};
+  f.alloc.msg_local_deadline = {{}};
+  EXPECT_FALSE(verify(f.ts, f.arch, f.alloc).feasible);
+  f.alloc.task_ecu = {0, 1};
+  f.alloc.msg_route = {{0}};
+  f.alloc.msg_local_deadline = {{40}};
+  EXPECT_TRUE(verify(f.ts, f.arch, f.alloc).feasible);
+}
+
+TEST(Verify, SlotTooSmallForMessage) {
+  RingFixture f;
+  f.alloc.slots = {{2, 8}};  // sender's slot (ECU 0) < rho = 4
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, MissingRouteForInterEcuMessage) {
+  RingFixture f;
+  f.alloc.msg_route = {{}};
+  f.alloc.msg_local_deadline = {{}};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, GatewayOnlyEcuRejectsTasks) {
+  RingFixture f;
+  f.arch.gateway_only = {1, 0};  // ECU 0 is gateway-only
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+/// Three-media hierarchy as in the paper's Figure 1: k1 = {p1,p2,p3},
+/// k2 = {p2,p4}, k3 = {p3,p5} (0-based here).
+struct HierFixture {
+  TaskSet ts;
+  Architecture arch;
+  Allocation alloc;
+
+  HierFixture() {
+    Task a;
+    a.name = "src";
+    a.period = 200;
+    a.deadline = 100;
+    a.wcet = {10, 10, 10, 10, 10};
+    Task b;
+    b.name = "dst";
+    b.period = 200;
+    b.deadline = 200;
+    b.wcet = {10, 10, 10, 10, 10};
+    a.messages.push_back({1, 2, 120, 0});
+    ts.tasks = {a, b};
+
+    arch.num_ecus = 5;
+    auto ring = [](std::string name, std::vector<int> ecus) {
+      Medium m;
+      m.name = std::move(name);
+      m.type = MediumType::kTokenRing;
+      m.ecus = std::move(ecus);
+      m.ring_byte_ticks = 2;
+      m.slot_min = 1;
+      m.slot_max = 32;
+      m.gateway_cost = 3;
+      return m;
+    };
+    arch.media = {ring("k1", {0, 1, 2}), ring("k2", {1, 3}),
+                  ring("k3", {2, 4})};
+
+    // src on p4 (ECU 3, on k2), dst on p5 (ECU 4, on k3):
+    // route must be k2 -> k1 -> k3.
+    alloc.task_ecu = {3, 4};
+    alloc.msg_route = {{1, 0, 2}};
+    alloc.msg_local_deadline = {{30, 40, 40}};
+    alloc.slots = {{4, 4, 4}, {4, 4}, {4, 4}};
+  }
+};
+
+TEST(Verify, MultiHopRouteAcceptedAndJitterChains) {
+  HierFixture f;
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  ASSERT_TRUE(report.feasible) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations[0]);
+  const auto& legs = report.msg_legs[0];
+  ASSERT_EQ(legs.size(), 3u);
+  // rho = 4 on every ring (2 bytes * 2 ticks). Jitter chain:
+  // leg0: J=0; leg1: J = 30 - 4 = 26; leg2: J = 26 + 40 - 4 = 62.
+  EXPECT_EQ(legs[0].jitter, 0);
+  EXPECT_EQ(legs[1].jitter, 26);
+  EXPECT_EQ(legs[2].jitter, 62);
+}
+
+TEST(Verify, BudgetExceedingEndToEndDeadlineRejected) {
+  HierFixture f;
+  // 30+40+40 = 110, gateway cost 3+3 = 6 -> 116 <= 120 ok; tighten:
+  f.ts.tasks[0].messages[0].deadline = 110;
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, DisconnectedRouteRejected) {
+  HierFixture f;
+  f.alloc.msg_route = {{1, 2}};  // k2 and k3 share no gateway
+  f.alloc.msg_local_deadline = {{50, 50}};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, SenderMustSitOnFirstMedium) {
+  HierFixture f;
+  f.alloc.msg_route = {{0, 2}};  // src (ECU 3) is not on k1
+  f.alloc.msg_local_deadline = {{60, 50}};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, NonMinimalPathRejected) {
+  // If both endpoints sit on k1, a route through k2 must be rejected by
+  // the v(h) side conditions (sender also on second medium).
+  HierFixture f;
+  f.alloc.task_ecu = {1, 2};  // both endpoints on k1 (ECUs p2, p3)
+  f.alloc.msg_route = {{1, 0}};
+  f.alloc.msg_local_deadline = {{50, 50}};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(Verify, CanMediumUtilization) {
+  RingFixture f;
+  f.arch.media[0].type = MediumType::kCan;
+  f.arch.media[0].can_bit_ticks = 1;
+  f.ts.tasks[0].messages[0].deadline = 100;
+  f.alloc.msg_local_deadline = {{100}};
+  f.alloc.slots = {{}};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  ASSERT_TRUE(report.feasible) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations[0]);
+  // 4-byte frame: 47+32+floor(65/4)=16 -> 95 bits; U = 95/100 -> 950.
+  EXPECT_EQ(report.max_can_util_ppm, 950);
+  // (period is 100 ticks, so the single frame loads the bus to 95%)
+  ASSERT_EQ(report.msg_legs[0].size(), 1u);
+  EXPECT_EQ(report.msg_legs[0][0].response, 95);
+}
+
+TEST(Verify, CanInterferenceBetweenMessages) {
+  RingFixture f;
+  f.arch.media[0].type = MediumType::kCan;
+  // Long periods so the bus is not saturated by two 95-bit frames.
+  f.ts.tasks[0].period = 1000;
+  f.ts.tasks[1].period = 1000;
+  f.ts.tasks[0].messages[0].deadline = 100;
+  f.ts.tasks[1].messages.push_back({0, 4, 200, 0});  // B -> A, lower prio
+  f.alloc.msg_route = {{0}, {0}};
+  f.alloc.msg_local_deadline = {{100}, {200}};
+  f.alloc.slots = {{}};
+  const VerifyReport report = verify(f.ts, f.arch, f.alloc);
+  ASSERT_TRUE(report.feasible) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations[0]);
+  // msg0 (deadline 100) has higher priority than msg1 (deadline 200):
+  // r_msg1 = 95 + ceil(r/1000)*95 = 190.
+  EXPECT_EQ(report.msg_legs[0][0].response, 95);
+  EXPECT_EQ(report.msg_legs[1][0].response, 190);
+}
+
+}  // namespace
+}  // namespace optalloc::rt

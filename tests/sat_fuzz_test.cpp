@@ -1,0 +1,168 @@
+// Property-based tests for the CDCL solver: random 3-SAT instances are
+// cross-checked against a brute-force truth-table enumerator. This is the
+// primary correctness oracle for the solver core — every satisfiability
+// verdict and every model must agree with exhaustive enumeration.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace optalloc::sat {
+namespace {
+
+using Clauses = std::vector<std::vector<Lit>>;
+
+/// Brute-force satisfiability over <= 20 variables.
+std::optional<std::uint32_t> brute_force(int num_vars, const Clauses& cs) {
+  for (std::uint32_t assignment = 0; assignment < (1u << num_vars);
+       ++assignment) {
+    bool all = true;
+    for (const auto& c : cs) {
+      bool sat = false;
+      for (const Lit l : c) {
+        const bool val = (assignment >> l.var()) & 1u;
+        if (val != l.sign()) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return assignment;
+  }
+  return std::nullopt;
+}
+
+Clauses random_clauses(Rng& rng, int num_vars, int num_clauses,
+                       int max_width) {
+  Clauses cs;
+  for (int i = 0; i < num_clauses; ++i) {
+    // Units appear rarely (5%) so instances are not dominated by
+    // trivially contradictory unit pairs; variables within a clause are
+    // distinct so the effective width is the drawn width.
+    const int width =
+        (max_width > 1 && !rng.chance(0.05))
+            ? static_cast<int>(rng.uniform(2, max_width))
+            : 1;
+    std::vector<Var> pool;
+    for (int v = 0; v < num_vars; ++v) pool.push_back(v);
+    std::vector<Lit> c;
+    for (int j = 0; j < width; ++j) {
+      const std::size_t k = rng.index(pool.size());
+      c.push_back(Lit(pool[k], rng.chance(0.5)));
+      pool[k] = pool.back();
+      pool.pop_back();
+    }
+    cs.push_back(c);
+  }
+  return cs;
+}
+
+struct FuzzParams {
+  int num_vars;
+  int num_clauses;
+  int max_width;
+  int rounds;
+};
+
+class SatFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(SatFuzz, AgreesWithBruteForce) {
+  const FuzzParams p = GetParam();
+  Rng rng(0xC0FFEE + p.num_vars * 1000 + p.num_clauses);
+  int sat_count = 0, unsat_count = 0;
+  for (int round = 0; round < p.rounds; ++round) {
+    const Clauses cs =
+        random_clauses(rng, p.num_vars, p.num_clauses, p.max_width);
+    Solver s;
+    for (int v = 0; v < p.num_vars; ++v) s.new_var();
+    bool trivially_unsat = false;
+    for (const auto& c : cs) {
+      if (!s.add_clause(c)) trivially_unsat = true;
+    }
+    const auto reference = brute_force(p.num_vars, cs);
+    if (trivially_unsat) {
+      EXPECT_FALSE(reference.has_value()) << "round " << round;
+      continue;
+    }
+    const LBool verdict = s.solve();
+    if (reference.has_value()) {
+      ASSERT_EQ(verdict, LBool::kTrue) << "round " << round;
+      // The solver's model must satisfy every clause.
+      for (const auto& c : cs) {
+        bool sat = false;
+        for (const Lit l : c) sat |= (s.model_value(l) == LBool::kTrue);
+        ASSERT_TRUE(sat) << "model violates a clause in round " << round;
+      }
+      ++sat_count;
+    } else {
+      ASSERT_EQ(verdict, LBool::kFalse) << "round " << round;
+      ++unsat_count;
+    }
+  }
+  // The parameter grid is chosen so both outcomes occur; a fuzz sweep that
+  // only ever saw one verdict would not be testing much.
+  EXPECT_GT(sat_count + unsat_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SatFuzz,
+    ::testing::Values(
+        FuzzParams{4, 10, 3, 200},    // tiny, dense -> mix of SAT/UNSAT
+        FuzzParams{6, 18, 3, 200},    // near phase transition for 3-SAT
+        FuzzParams{8, 34, 3, 150},    // at ~4.25 ratio
+        FuzzParams{10, 43, 3, 100},   // larger, mostly UNSAT
+        FuzzParams{10, 20, 2, 100},   // 2-SAT heavy (implication chains)
+        FuzzParams{12, 30, 4, 60},    // wider clauses
+        FuzzParams{5, 6, 1, 60},      // pure unit instances
+        FuzzParams{14, 59, 3, 40}));  // stress
+
+TEST(SatFuzzIncremental, AssumptionsMatchConditionedBruteForce) {
+  // Random instance solved under random assumptions must agree with the
+  // brute force of (clauses + assumption units).
+  Rng rng(0xDEAD);
+  for (int round = 0; round < 150; ++round) {
+    const int num_vars = 8;
+    Clauses cs = random_clauses(rng, num_vars, 20, 3);
+    Solver s;
+    for (int v = 0; v < num_vars; ++v) s.new_var();
+    bool trivially_unsat = false;
+    for (const auto& c : cs) {
+      if (!s.add_clause(c)) trivially_unsat = true;
+    }
+    if (trivially_unsat) continue;
+    // One solver instance, several assumption sets: exercises incremental
+    // reuse of learnt clauses across calls.
+    for (int q = 0; q < 4; ++q) {
+      std::vector<Lit> assumptions;
+      for (int v = 0; v < num_vars; ++v) {
+        if (rng.chance(0.3)) {
+          assumptions.push_back(Lit(static_cast<Var>(v), rng.chance(0.5)));
+        }
+      }
+      Clauses conditioned = cs;
+      for (const Lit a : assumptions) conditioned.push_back({a});
+      const auto reference = brute_force(num_vars, conditioned);
+      const LBool verdict = s.solve(assumptions);
+      ASSERT_EQ(verdict == LBool::kTrue, reference.has_value())
+          << "round " << round << " query " << q;
+      if (verdict == LBool::kFalse) {
+        // The conflict core, negated, must be entailed: adding all core
+        // literals as units must be UNSAT by brute force.
+        Clauses with_core = cs;
+        for (const Lit l : s.conflict_core()) with_core.push_back({~l});
+        EXPECT_FALSE(brute_force(num_vars, with_core).has_value());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optalloc::sat

@@ -1,0 +1,281 @@
+// Tests for the discrete-event simulator, culminating in the soundness
+// property: for every job and every message leg of a verifier-approved
+// allocation, the observed response never exceeds the analytical bound.
+// (For message-leg checks the generated instances declare message release
+// jitter >= the sender's completion-time variation, so the analysis'
+// interference windows cover the simulated arrival patterns.)
+
+#include <gtest/gtest.h>
+
+#include "alloc/optimizer.hpp"
+#include "heur/annealing.hpp"
+#include "rt/sim.hpp"
+#include "rt/verify.hpp"
+#include "util/rng.hpp"
+
+namespace optalloc::rt {
+namespace {
+
+Task make_task(std::string name, Ticks period, Ticks deadline,
+               std::vector<Ticks> wcet) {
+  Task t;
+  t.name = std::move(name);
+  t.period = period;
+  t.deadline = deadline;
+  t.wcet = std::move(wcet);
+  return t;
+}
+
+TEST(Sim, SingleTaskRunsPeriodically) {
+  TaskSet ts;
+  ts.tasks = {make_task("A", 10, 10, {3})};
+  Architecture arch;
+  arch.num_ecus = 1;
+  Medium ring;
+  ring.name = "r";
+  ring.ecus = {0};
+  arch.media = {ring};
+  Allocation alloc;
+  alloc.task_ecu = {0};
+  alloc.slots = {{1}};
+  SimOptions opts;
+  opts.horizon = 100;
+  const SimReport rep = simulate(ts, arch, alloc, opts);
+  EXPECT_FALSE(rep.any_deadline_miss);
+  EXPECT_EQ(rep.task_response[0], 3);
+  EXPECT_EQ(rep.jobs_finished[0], 10);
+}
+
+TEST(Sim, PreemptionMatchesClassicAnalysis) {
+  // C1=1,T1=4 high prio; C2=2,T2=10: analyzed r2 = 3; simulated worst
+  // response must be exactly 3 under synchronous release.
+  TaskSet ts;
+  ts.tasks = {make_task("hp", 4, 4, {1}), make_task("lp", 10, 10, {2})};
+  Architecture arch;
+  arch.num_ecus = 1;
+  Medium ring;
+  ring.ecus = {0};
+  arch.media = {ring};
+  Allocation alloc;
+  alloc.task_ecu = {0, 0};
+  alloc.task_prio = {0, 1};
+  alloc.slots = {{1}};
+  SimOptions opts;
+  opts.horizon = 200;
+  const SimReport rep = simulate(ts, arch, alloc, opts);
+  EXPECT_FALSE(rep.any_deadline_miss);
+  EXPECT_EQ(rep.task_response[0], 1);
+  EXPECT_EQ(rep.task_response[1], 3);
+}
+
+TEST(Sim, DetectsOverload) {
+  TaskSet ts;
+  ts.tasks = {make_task("A", 10, 10, {6}), make_task("B", 10, 10, {6})};
+  Architecture arch;
+  arch.num_ecus = 1;
+  Medium ring;
+  ring.ecus = {0};
+  arch.media = {ring};
+  Allocation alloc;
+  alloc.task_ecu = {0, 0};
+  alloc.slots = {{1}};
+  SimOptions opts;
+  opts.horizon = 100;
+  const SimReport rep = simulate(ts, arch, alloc, opts);
+  EXPECT_TRUE(rep.any_deadline_miss);
+}
+
+TEST(Sim, TokenRingDeliversWithinAnalyzedBound) {
+  // Two tasks on different stations; rho=4, Lambda=16, slot 8 each:
+  // analyzed leg response = 12 (cf. rt_test FeasibleRingSystem).
+  TaskSet ts;
+  Task a = make_task("A", 100, 50, {10, 12});
+  a.messages.push_back({1, 4, 40, 0});
+  Task b = make_task("B", 100, 100, {20, 25});
+  ts.tasks = {a, b};
+  Architecture arch;
+  arch.num_ecus = 2;
+  Medium ring;
+  ring.name = "ring";
+  ring.type = MediumType::kTokenRing;
+  ring.ecus = {0, 1};
+  ring.ring_byte_ticks = 1;
+  ring.slot_max = 16;
+  arch.media = {ring};
+  Allocation alloc;
+  alloc.task_ecu = {0, 1};
+  alloc.msg_route = {{0}};
+  alloc.msg_local_deadline = {{40}};
+  alloc.slots = {{8, 8}};
+  SimOptions opts;
+  opts.horizon = 1000;
+  const SimReport rep = simulate(ts, arch, alloc, opts);
+  EXPECT_FALSE(rep.any_deadline_miss);
+  ASSERT_EQ(rep.msg_leg_response[0].size(), 1u);
+  EXPECT_GT(rep.msg_leg_response[0][0], 0);
+  EXPECT_LE(rep.msg_leg_response[0][0], 12);  // analyzed bound
+}
+
+TEST(Sim, GatewayForwardingAddsServiceCost) {
+  // One message across two rings through a gateway; it must arrive, and
+  // the second-leg delay is measured after the gateway cost.
+  TaskSet ts;
+  Task a = make_task("A", 200, 100, {10, kForbidden, kForbidden});
+  a.messages.push_back({1, 2, 150, 0});
+  Task b = make_task("B", 200, 200, {kForbidden, kForbidden, 10});
+  ts.tasks = {a, b};
+  Architecture arch;
+  arch.num_ecus = 3;
+  auto ring = [](const char* name, std::vector<int> ecus) {
+    Medium m;
+    m.name = name;
+    m.type = MediumType::kTokenRing;
+    m.ecus = std::move(ecus);
+    m.ring_byte_ticks = 1;
+    m.gateway_cost = 5;
+    return m;
+  };
+  arch.media = {ring("r1", {0, 1}), ring("r2", {1, 2})};
+  Allocation alloc;
+  alloc.task_ecu = {0, 2};
+  alloc.msg_route = {{0, 1}};
+  alloc.msg_local_deadline = {{70, 70}};
+  alloc.slots = {{4, 4}, {4, 4}};
+  SimOptions opts;
+  opts.horizon = 2000;
+  const SimReport rep = simulate(ts, arch, alloc, opts);
+  EXPECT_FALSE(rep.any_deadline_miss);
+  ASSERT_EQ(rep.msg_leg_response[0].size(), 2u);
+  EXPECT_GT(rep.msg_leg_response[0][0], 0);
+  EXPECT_GT(rep.msg_leg_response[0][1], 0);
+}
+
+TEST(Sim, CanNonPreemptiveBlocksHighPriority) {
+  // A bulk lower-priority frame delays the high-priority one only in
+  // non-preemptive mode.
+  TaskSet ts;
+  Task a = make_task("hi", 1000, 1000, {5, kForbidden});
+  a.messages.push_back({1, 1, 400, 0});  // 65 bits
+  Task c = make_task("lo", 1000, 1000, {6, kForbidden});
+  c.messages.push_back({1, 8, 900, 0});  // 135 bits, lower priority
+  Task b = make_task("rx", 1000, 1000, {kForbidden, 5});
+  ts.tasks = {a, c, b};
+  Architecture arch;
+  arch.num_ecus = 2;
+  Medium can;
+  can.name = "can";
+  can.type = MediumType::kCan;
+  can.ecus = {0, 1};
+  can.can_bit_ticks = 1;
+  arch.media = {can};
+  Allocation alloc;
+  alloc.task_ecu = {0, 0, 1};
+  alloc.task_prio = {1, 0, 2};  // "lo"-the-task runs first, queues first
+  alloc.msg_route = {{0}, {0}};
+  alloc.msg_local_deadline = {{400}, {900}};
+  alloc.slots = {{}};
+  SimOptions opts;
+  opts.horizon = 3000;
+
+  const SimReport preemptable = simulate(ts, arch, alloc, opts);
+  arch.media[0].can_blocking = true;
+  const SimReport blocking = simulate(ts, arch, alloc, opts);
+  ASSERT_EQ(preemptable.msg_leg_response[0].size(), 1u);
+  // Non-preemptive arbitration can only make the high-priority frame
+  // slower.
+  EXPECT_GE(blocking.msg_leg_response[0][0],
+            preemptable.msg_leg_response[0][0]);
+}
+
+// ---------------------------------------------------------------------
+// The soundness property: simulated <= analyzed.
+// ---------------------------------------------------------------------
+
+alloc::Problem random_system(Rng& rng) {
+  alloc::Problem p;
+  const int num_ecus = static_cast<int>(rng.uniform(2, 3));
+  p.arch.num_ecus = num_ecus;
+  Medium medium;
+  medium.name = "bus";
+  if (rng.chance(0.5)) {
+    medium.type = MediumType::kTokenRing;
+    medium.ring_byte_ticks = 1;
+    medium.slot_min = 1;
+    medium.slot_max = 10;
+  } else {
+    medium.type = MediumType::kCan;
+    medium.can_bit_ticks = 1;
+    medium.can_bits_per_tick = 10;
+    medium.can_blocking = rng.chance(0.5);
+  }
+  for (int e = 0; e < num_ecus; ++e) medium.ecus.push_back(e);
+  p.arch.media = {medium};
+  const int num_tasks = static_cast<int>(rng.uniform(2, 4));
+  for (int i = 0; i < num_tasks; ++i) {
+    const Ticks period = 100 * rng.uniform(2, 6);
+    std::vector<Ticks> wcet;
+    for (int e = 0; e < num_ecus; ++e) wcet.push_back(rng.uniform(5, 25));
+    p.tasks.tasks.push_back(
+        make_task("T" + std::to_string(i), period, period, wcet));
+  }
+  for (int m = 0; m < 2; ++m) {
+    if (!rng.chance(0.8)) continue;
+    const int from = static_cast<int>(rng.index(p.tasks.tasks.size()));
+    int to = from;
+    while (to == from) {
+      to = static_cast<int>(rng.index(p.tasks.tasks.size()));
+    }
+    Message msg;
+    msg.target_task = to;
+    msg.size_bytes = rng.uniform(1, 6);
+    msg.deadline = rng.uniform(100, 200);
+    // Cover the sender's completion-time variation so the analysis'
+    // interference windows dominate the simulated arrival pattern.
+    msg.release_jitter =
+        p.tasks.tasks[static_cast<std::size_t>(from)].deadline;
+    p.tasks.tasks[static_cast<std::size_t>(from)].messages.push_back(msg);
+  }
+  return p;
+}
+
+TEST(SimSoundness, ObservedNeverExceedsAnalyzed) {
+  Rng rng(0x51D);
+  int systems_checked = 0, legs_checked = 0;
+  for (int round = 0; round < 25; ++round) {
+    const alloc::Problem p = random_system(rng);
+    const auto res = alloc::optimize(p, alloc::Objective::feasibility());
+    if (res.status != alloc::OptimizeResult::Status::kOptimal) continue;
+    const VerifyReport analysis =
+        verify(p.tasks, p.arch, res.allocation);
+    ASSERT_TRUE(analysis.feasible) << "round " << round;
+
+    SimOptions opts;
+    opts.seed = 1000 + static_cast<std::uint64_t>(round);
+    opts.max_horizon = 60000;
+    const SimReport sim = simulate(p.tasks, p.arch, res.allocation, opts);
+    EXPECT_FALSE(sim.any_deadline_miss)
+        << "round " << round << ": "
+        << (sim.misses.empty() ? "" : sim.misses[0]);
+    for (std::size_t i = 0; i < p.tasks.tasks.size(); ++i) {
+      ASSERT_GT(sim.jobs_finished[i], 0) << "round " << round;
+      EXPECT_LE(sim.task_response[i], analysis.task_response[i])
+          << "round " << round << " task " << i;
+    }
+    for (std::size_t g = 0; g < sim.msg_leg_response.size(); ++g) {
+      for (std::size_t l = 0; l < sim.msg_leg_response[g].size(); ++l) {
+        if (sim.msg_leg_response[g][l] < 0) continue;  // never delivered?
+        ASSERT_TRUE(analysis.msg_legs[g][l].ok);
+        EXPECT_LE(sim.msg_leg_response[g][l],
+                  analysis.msg_legs[g][l].response)
+            << "round " << round << " msg " << g << " leg " << l;
+        ++legs_checked;
+      }
+    }
+    ++systems_checked;
+  }
+  EXPECT_GT(systems_checked, 10);
+  EXPECT_GT(legs_checked, 10);
+}
+
+}  // namespace
+}  // namespace optalloc::rt

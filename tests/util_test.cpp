@@ -1,0 +1,119 @@
+// Unit tests for the util module: RNG determinism and distribution sanity,
+// Luby sequence values, integer helpers, stopwatch formatting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/intmath.hpp"
+#include "util/luby.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace optalloc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformCoversFullRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, SingletonRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(9, 9), 9);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, IndexWithinBound) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(10), 10u);
+}
+
+TEST(Luby, FirstSixteenValues) {
+  // The canonical sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 1 ...
+  const std::uint64_t expected[] = {1, 1, 2, 1, 1, 2, 4, 1,
+                                    1, 2, 1, 1, 2, 4, 8, 1};
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(luby(i), expected[i]) << "at index " << i;
+  }
+}
+
+TEST(Luby, PowersAppearAtBlockEnds) {
+  // Element at index 2^k - 2 is 2^(k-1).
+  EXPECT_EQ(luby((1u << 5) - 2), 1u << 4);
+  EXPECT_EQ(luby((1u << 10) - 2), 1u << 9);
+}
+
+TEST(IntMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 5), 1);
+  EXPECT_EQ(ceil_div(6, 5), 2);
+  EXPECT_EQ(ceil_div(10, 3), 4);
+}
+
+TEST(IntMath, BitsFor) {
+  EXPECT_EQ(bits_for(0), 1);
+  EXPECT_EQ(bits_for(1), 1);
+  EXPECT_EQ(bits_for(2), 2);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 3);
+  EXPECT_EQ(bits_for(255), 8);
+  EXPECT_EQ(bits_for(256), 9);
+}
+
+TEST(IntMath, MulFits) {
+  EXPECT_TRUE(mul_fits(0, 123456789));
+  EXPECT_TRUE(mul_fits(1 << 30, 1 << 30));
+  EXPECT_FALSE(mul_fits(std::int64_t{1} << 40, std::int64_t{1} << 40));
+}
+
+TEST(Stopwatch, FormatsSubMinute) {
+  EXPECT_EQ(Stopwatch::pretty_seconds(1.5), "1.500 s");
+}
+
+TEST(Stopwatch, FormatsHours) {
+  EXPECT_EQ(Stopwatch::pretty_seconds(3 * 3600 + 25 * 60 + 7), "3:25:07");
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace optalloc
