@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/optalloc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/heur/CMakeFiles/optalloc_heur.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/optalloc_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/optalloc_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/optalloc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/pb/CMakeFiles/optalloc_pb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/optalloc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/optalloc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/optalloc_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

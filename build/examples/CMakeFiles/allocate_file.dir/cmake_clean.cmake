@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocate_file.dir/allocate_file.cpp.o"
+  "CMakeFiles/allocate_file.dir/allocate_file.cpp.o.d"
+  "allocate_file"
+  "allocate_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocate_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_can.dir/automotive_can.cpp.o"
+  "CMakeFiles/automotive_can.dir/automotive_can.cpp.o.d"
+  "automotive_can"
+  "automotive_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

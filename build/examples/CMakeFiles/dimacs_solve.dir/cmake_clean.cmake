@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimacs_solve.dir/dimacs_solve.cpp.o"
+  "CMakeFiles/dimacs_solve.dir/dimacs_solve.cpp.o.d"
+  "dimacs_solve"
+  "dimacs_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimacs_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

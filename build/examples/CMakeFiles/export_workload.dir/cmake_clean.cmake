@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_workload.dir/export_workload.cpp.o"
+  "CMakeFiles/export_workload.dir/export_workload.cpp.o.d"
+  "export_workload"
+  "export_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_gateway.dir/hierarchical_gateway.cpp.o"
+  "CMakeFiles/hierarchical_gateway.dir/hierarchical_gateway.cpp.o.d"
+  "hierarchical_gateway"
+  "hierarchical_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/opb_solve.cpp" "examples/CMakeFiles/opb_solve.dir/opb_solve.cpp.o" "gcc" "examples/CMakeFiles/opb_solve.dir/opb_solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pb/CMakeFiles/optalloc_pb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/optalloc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opb_solve.dir/opb_solve.cpp.o"
+  "CMakeFiles/opb_solve.dir/opb_solve.cpp.o.d"
+  "opb_solve"
+  "opb_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opb_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

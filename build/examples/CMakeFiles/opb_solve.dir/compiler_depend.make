@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for opb_solve.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for opb_solve.
+# This may be replaced when dependencies are built.

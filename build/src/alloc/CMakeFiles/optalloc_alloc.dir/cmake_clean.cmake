@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_alloc.dir/cost.cpp.o"
+  "CMakeFiles/optalloc_alloc.dir/cost.cpp.o.d"
+  "CMakeFiles/optalloc_alloc.dir/encoder.cpp.o"
+  "CMakeFiles/optalloc_alloc.dir/encoder.cpp.o.d"
+  "CMakeFiles/optalloc_alloc.dir/io.cpp.o"
+  "CMakeFiles/optalloc_alloc.dir/io.cpp.o.d"
+  "CMakeFiles/optalloc_alloc.dir/optimizer.cpp.o"
+  "CMakeFiles/optalloc_alloc.dir/optimizer.cpp.o.d"
+  "CMakeFiles/optalloc_alloc.dir/portfolio.cpp.o"
+  "CMakeFiles/optalloc_alloc.dir/portfolio.cpp.o.d"
+  "liboptalloc_alloc.a"
+  "liboptalloc_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_encode.dir/bitblast.cpp.o"
+  "CMakeFiles/optalloc_encode.dir/bitblast.cpp.o.d"
+  "liboptalloc_encode.a"
+  "liboptalloc_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_heur.dir/annealing.cpp.o"
+  "CMakeFiles/optalloc_heur.dir/annealing.cpp.o.d"
+  "CMakeFiles/optalloc_heur.dir/common.cpp.o"
+  "CMakeFiles/optalloc_heur.dir/common.cpp.o.d"
+  "CMakeFiles/optalloc_heur.dir/exhaustive.cpp.o"
+  "CMakeFiles/optalloc_heur.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/optalloc_heur.dir/greedy.cpp.o"
+  "CMakeFiles/optalloc_heur.dir/greedy.cpp.o.d"
+  "liboptalloc_heur.a"
+  "liboptalloc_heur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_heur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_ir.dir/expr.cpp.o"
+  "CMakeFiles/optalloc_ir.dir/expr.cpp.o.d"
+  "liboptalloc_ir.a"
+  "liboptalloc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_net.dir/dot.cpp.o"
+  "CMakeFiles/optalloc_net.dir/dot.cpp.o.d"
+  "CMakeFiles/optalloc_net.dir/paths.cpp.o"
+  "CMakeFiles/optalloc_net.dir/paths.cpp.o.d"
+  "liboptalloc_net.a"
+  "liboptalloc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for optalloc_net.
+# This may be replaced when dependencies are built.

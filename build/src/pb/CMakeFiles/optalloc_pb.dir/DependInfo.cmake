@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pb/constraint.cpp" "src/pb/CMakeFiles/optalloc_pb.dir/constraint.cpp.o" "gcc" "src/pb/CMakeFiles/optalloc_pb.dir/constraint.cpp.o.d"
+  "/root/repo/src/pb/encodings.cpp" "src/pb/CMakeFiles/optalloc_pb.dir/encodings.cpp.o" "gcc" "src/pb/CMakeFiles/optalloc_pb.dir/encodings.cpp.o.d"
+  "/root/repo/src/pb/opb.cpp" "src/pb/CMakeFiles/optalloc_pb.dir/opb.cpp.o" "gcc" "src/pb/CMakeFiles/optalloc_pb.dir/opb.cpp.o.d"
+  "/root/repo/src/pb/propagator.cpp" "src/pb/CMakeFiles/optalloc_pb.dir/propagator.cpp.o" "gcc" "src/pb/CMakeFiles/optalloc_pb.dir/propagator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/optalloc_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

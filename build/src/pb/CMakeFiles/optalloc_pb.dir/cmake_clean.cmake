@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_pb.dir/constraint.cpp.o"
+  "CMakeFiles/optalloc_pb.dir/constraint.cpp.o.d"
+  "CMakeFiles/optalloc_pb.dir/encodings.cpp.o"
+  "CMakeFiles/optalloc_pb.dir/encodings.cpp.o.d"
+  "CMakeFiles/optalloc_pb.dir/opb.cpp.o"
+  "CMakeFiles/optalloc_pb.dir/opb.cpp.o.d"
+  "CMakeFiles/optalloc_pb.dir/propagator.cpp.o"
+  "CMakeFiles/optalloc_pb.dir/propagator.cpp.o.d"
+  "liboptalloc_pb.a"
+  "liboptalloc_pb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_pb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/analysis.cpp" "src/rt/CMakeFiles/optalloc_rt.dir/analysis.cpp.o" "gcc" "src/rt/CMakeFiles/optalloc_rt.dir/analysis.cpp.o.d"
+  "/root/repo/src/rt/report.cpp" "src/rt/CMakeFiles/optalloc_rt.dir/report.cpp.o" "gcc" "src/rt/CMakeFiles/optalloc_rt.dir/report.cpp.o.d"
+  "/root/repo/src/rt/sim.cpp" "src/rt/CMakeFiles/optalloc_rt.dir/sim.cpp.o" "gcc" "src/rt/CMakeFiles/optalloc_rt.dir/sim.cpp.o.d"
+  "/root/repo/src/rt/verify.cpp" "src/rt/CMakeFiles/optalloc_rt.dir/verify.cpp.o" "gcc" "src/rt/CMakeFiles/optalloc_rt.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/optalloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

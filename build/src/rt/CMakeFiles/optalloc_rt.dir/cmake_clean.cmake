@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_rt.dir/analysis.cpp.o"
+  "CMakeFiles/optalloc_rt.dir/analysis.cpp.o.d"
+  "CMakeFiles/optalloc_rt.dir/report.cpp.o"
+  "CMakeFiles/optalloc_rt.dir/report.cpp.o.d"
+  "CMakeFiles/optalloc_rt.dir/sim.cpp.o"
+  "CMakeFiles/optalloc_rt.dir/sim.cpp.o.d"
+  "CMakeFiles/optalloc_rt.dir/verify.cpp.o"
+  "CMakeFiles/optalloc_rt.dir/verify.cpp.o.d"
+  "liboptalloc_rt.a"
+  "liboptalloc_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/optalloc_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/optalloc_sat.dir/solver.cpp.o"
+  "CMakeFiles/optalloc_sat.dir/solver.cpp.o.d"
+  "liboptalloc_sat.a"
+  "liboptalloc_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

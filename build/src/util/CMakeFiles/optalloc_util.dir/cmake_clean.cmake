@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_util.dir/log.cpp.o"
+  "CMakeFiles/optalloc_util.dir/log.cpp.o.d"
+  "CMakeFiles/optalloc_util.dir/rng.cpp.o"
+  "CMakeFiles/optalloc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/optalloc_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/optalloc_util.dir/stopwatch.cpp.o.d"
+  "liboptalloc_util.a"
+  "liboptalloc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

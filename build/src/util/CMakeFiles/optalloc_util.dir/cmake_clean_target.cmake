@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboptalloc_util.a"
+)

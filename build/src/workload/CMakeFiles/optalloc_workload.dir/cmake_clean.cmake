@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optalloc_workload.dir/generator.cpp.o"
+  "CMakeFiles/optalloc_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/optalloc_workload.dir/tindell.cpp.o"
+  "CMakeFiles/optalloc_workload.dir/tindell.cpp.o.d"
+  "liboptalloc_workload.a"
+  "liboptalloc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optalloc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

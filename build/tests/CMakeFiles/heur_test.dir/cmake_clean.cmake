@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heur_test.dir/heur_test.cpp.o"
+  "CMakeFiles/heur_test.dir/heur_test.cpp.o.d"
+  "heur_test"
+  "heur_test.pdb"
+  "heur_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

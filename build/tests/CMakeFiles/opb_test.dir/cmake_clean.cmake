@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opb_test.dir/opb_test.cpp.o"
+  "CMakeFiles/opb_test.dir/opb_test.cpp.o.d"
+  "opb_test"
+  "opb_test.pdb"
+  "opb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_test.dir/pb_test.cpp.o"
+  "CMakeFiles/pb_test.dir/pb_test.cpp.o.d"
+  "pb_test"
+  "pb_test.pdb"
+  "pb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

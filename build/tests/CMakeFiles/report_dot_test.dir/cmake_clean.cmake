@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_dot_test.dir/report_dot_test.cpp.o"
+  "CMakeFiles/report_dot_test.dir/report_dot_test.cpp.o.d"
+  "report_dot_test"
+  "report_dot_test.pdb"
+  "report_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_fuzz_test.dir/sat_fuzz_test.cpp.o"
+  "CMakeFiles/sat_fuzz_test.dir/sat_fuzz_test.cpp.o.d"
+  "sat_fuzz_test"
+  "sat_fuzz_test.pdb"
+  "sat_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
