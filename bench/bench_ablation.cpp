@@ -19,9 +19,9 @@ using namespace optalloc;
 
 namespace {
 
-void run_variant(const char* name, const alloc::Problem& p,
-                 alloc::Objective obj, alloc::OptimizeOptions opts,
-                 bool warm_start) {
+void run_variant(bench::JsonReport& json, const char* name,
+                 const alloc::Problem& p, alloc::Objective obj,
+                 alloc::OptimizeOptions opts, bool warm_start) {
   if (warm_start) {
     heur::AnnealingOptions sa_opts;
     sa_opts.iterations = bench::sa_iterations();
@@ -33,6 +33,7 @@ void run_variant(const char* name, const alloc::Problem& p,
   }
   opts.time_limit_s = bench::budget_seconds();
   const auto res = alloc::optimize(p, obj, opts);
+  json.add_result(name, res);
   std::printf("%-28s %-22s %-10s %-9lld %-9llu calls=%d conflicts=%llu\n",
               name, bench::result_cell(res).c_str(),
               Stopwatch::pretty_seconds(res.stats.seconds).c_str(),
@@ -55,27 +56,28 @@ int main() {
   std::printf("instance: tindell_prefix(20), minimize TRT\n\n");
   std::printf("%-28s %-22s %-10s %-9s %-9s\n", "variant", "result", "time",
               "vars", "lits");
+  bench::JsonReport json("ablation");
 
   alloc::OptimizeOptions base;
-  run_variant("baseline (incremental)", p, obj, base, true);
+  run_variant(json, "baseline (incremental)", p, obj, base, true);
 
   alloc::OptimizeOptions scratch = base;
   scratch.incremental = false;
-  run_variant("scratch solver per SOLVE", p, obj, scratch, true);
+  run_variant(json, "scratch solver per SOLVE", p, obj, scratch, true);
 
   alloc::OptimizeOptions pb = base;
   pb.encoder.backend = encode::Backend::kPbMixed;
-  run_variant("PB adder carries (eq. 19)", p, obj, pb, true);
+  run_variant(json, "PB adder carries (eq. 19)", p, obj, pb, true);
 
   alloc::OptimizeOptions no_util = base;
   no_util.encoder.redundant_utilization = false;
-  run_variant("no utilization constraints", p, obj, no_util, true);
+  run_variant(json, "no utilization constraints", p, obj, no_util, true);
 
   alloc::OptimizeOptions fixed_ties = base;
   fixed_ties.encoder.free_tie_priorities = false;
-  run_variant("fixed tie-break priorities", p, obj, fixed_ties, true);
+  run_variant(json, "fixed tie-break priorities", p, obj, fixed_ties, true);
 
-  run_variant("no warm start", p, obj, base, false);
+  run_variant(json, "no warm start", p, obj, base, false);
 
   // Parallel portfolio (bisection + descending + PB racing on threads).
   {
@@ -83,6 +85,7 @@ int main() {
     alloc::PortfolioOptions popts;
     popts.time_limit_s = bench::budget_seconds();
     const auto res = alloc::optimize_portfolio(p, obj, popts);
+    json.add_result("portfolio (3 threads)", res.best);
     std::printf("%-28s %-22s %-10s winner=%d\n", "portfolio (3 threads)",
                 bench::result_cell(res.best).c_str(),
                 Stopwatch::pretty_seconds(sw.seconds()).c_str(),

@@ -11,10 +11,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "alloc/optimizer.hpp"
 #include "heur/annealing.hpp"
+#include "obs/json.hpp"
 #include "rt/verify.hpp"
 #include "util/stopwatch.hpp"
 #include "workload/generator.hpp"
@@ -95,6 +97,85 @@ inline std::string result_cell(const alloc::OptimizeResult& res) {
   }
   return buf;
 }
+
+/// Machine-readable run summary: collects one JSON object per experiment
+/// and writes `BENCH_<name>.json` on destruction, so every bench binary
+/// leaves a parseable artifact next to its human-readable table. The
+/// "vars"/"lits" fields are the paper tables' "Var."/"Lit." columns;
+/// "seconds"/"conflicts" correspond to the runtime and search-effort
+/// numbers (see README "Observability").
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  /// Row from the SA + SAT harness.
+  void add(const std::string& instance, const RunOutcome& out) {
+    obs::JsonObject row;
+    row.str("instance", instance);
+    fill(row, out.sat);
+    row.boolean("verified", out.verified)
+        .boolean("sa_feasible", out.sa.feasible)
+        .num("sa_seconds", out.sa_seconds);
+    if (out.sa.feasible) row.num("sa_cost", out.sa.cost);
+    rows_.push(row.build());
+  }
+
+  /// Row from a bare optimizer result (ablation variants, portfolio).
+  void add_result(const std::string& instance,
+                  const alloc::OptimizeResult& res) {
+    obs::JsonObject row;
+    row.str("instance", instance);
+    fill(row, res);
+    rows_.push(row.build());
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << obs::JsonObject()
+               .str("bench", name_)
+               .num("budget_seconds", budget_seconds())
+               .num("sa_iterations",
+                    static_cast<std::int64_t>(sa_iterations()))
+               .raw("instances", rows_.build())
+               .build()
+        << '\n';
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  static void fill(obs::JsonObject& row, const alloc::OptimizeResult& res) {
+    row.str("status", res.status_string());
+    if (res.has_allocation) row.num("cost", res.cost);
+    row.num("lower_bound", res.lower_bound)
+        .num("seconds", res.stats.seconds)
+        .num("sat_calls", static_cast<std::int64_t>(res.stats.sat_calls))
+        .num("sat_calls_sat",
+             static_cast<std::int64_t>(res.stats.sat_calls_sat))
+        .num("sat_calls_unsat",
+             static_cast<std::int64_t>(res.stats.sat_calls_unsat))
+        .num("encode_seconds", res.stats.encode_seconds)
+        .num("solve_seconds", res.stats.solve_seconds)
+        .num("vars", res.stats.boolean_vars)
+        .num("lits", static_cast<std::int64_t>(res.stats.boolean_literals))
+        .num("conflicts", static_cast<std::int64_t>(res.stats.conflicts))
+        .num("pb_constraints",
+             static_cast<std::int64_t>(res.stats.pb_constraints));
+  }
+
+  std::string name_;
+  obs::JsonArray rows_;
+  bool written_ = false;
+};
 
 inline void print_header(const char* title, const char* paper_note) {
   std::printf("==================================================================\n");

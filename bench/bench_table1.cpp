@@ -21,11 +21,13 @@ int main() {
 
   std::printf("%-12s %-22s %-14s %-10s %-9s %-9s %s\n", "experiment",
               "result", "SA baseline", "time", "vars", "lits", "verified");
+  bench::JsonReport json("table1");
 
   {
     const alloc::Problem p = workload::tindell_system();
     const auto out =
         bench::run_experiment(p, alloc::Objective::ring_trt(0), 200.0);
+    json.add("tindell-ring-trt", out);
     std::printf("%-12s %-22s %-14s %-10s %-9lld %-9llu %s\n", "[5] TRT",
                 bench::result_cell(out.sat).c_str(),
                 out.sa.feasible ? bench::ms_string(out.sa.cost).c_str()
@@ -47,6 +49,7 @@ int main() {
     const alloc::Problem p = workload::with_can_bus(workload::tindell_system());
     const auto out =
         bench::run_experiment(p, alloc::Objective::can_load(0), 300.0);
+    json.add("tindell-can-load", out);
     std::printf("%-12s %-22s %-14s %-10s %-9lld %-9llu %s\n", "[5] + CAN",
                 bench::result_cell(out.sat).c_str(),
                 out.sa.feasible

@@ -17,9 +17,11 @@ int main() {
 
   std::printf("%-6s %-22s %-14s %-10s %-9s %-9s %s\n", "ECUs", "result",
               "SA baseline", "time", "vars", "lits", "verified");
+  bench::JsonReport json("table2");
   for (const int ecus : {8, 16, 25, 32, 45, 64}) {
     const alloc::Problem p = workload::scaling_system(ecus);
     const auto out = bench::run_experiment(p, alloc::Objective::ring_trt(0));
+    json.add("ecus-" + std::to_string(ecus), out);
     std::printf("%-6d %-22s %-14s %-10s %-9lld %-9llu %s\n", ecus,
                 bench::result_cell(out.sat).c_str(),
                 out.sa.feasible

@@ -16,10 +16,12 @@ int main() {
 
   std::printf("%-6s %-22s %-14s %-10s %-9s %-9s %s\n", "tasks", "result",
               "SA baseline", "time", "vars", "lits", "verified");
+  bench::JsonReport json("table3");
   for (const int tasks : {7, 12, 20, 30, 43}) {
     const alloc::Problem p = workload::tindell_prefix(tasks);
     const auto out = bench::run_experiment(p, alloc::Objective::ring_trt(0),
                                            tasks >= 43 ? 200.0 : 0.0);
+    json.add("tasks-" + std::to_string(tasks), out);
     std::printf("%-6d %-22s %-14s %-10s %-9lld %-9llu %s\n", tasks,
                 bench::result_cell(out.sat).c_str(),
                 out.sa.feasible

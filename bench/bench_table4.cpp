@@ -29,11 +29,13 @@ int t4_tasks() {
   return 24;
 }
 
-void row(const char* name, const alloc::Problem& p, alloc::Objective obj) {
+void row(bench::JsonReport& json, const char* name,
+         const alloc::Problem& p, alloc::Objective obj) {
   alloc::OptimizeOptions base;
   base.strategy = alloc::SearchStrategy::kDescending;
   const auto out =
       bench::run_experiment(p, obj, bench::budget_seconds() * 2, base);
+  json.add(name, out);
   std::printf("%-14s %-22s %-14s %-10s %-9lld %-9llu %s\n", name,
               bench::result_cell(out.sat).c_str(),
               out.sa.feasible ? std::to_string(out.sa.cost).c_str()
@@ -66,13 +68,14 @@ int main() {
 
   std::printf("%-14s %-22s %-14s %-10s %-9s %-9s %s\n", "architecture",
               "result", "SA baseline", "time", "vars", "lits", "verified");
-  row("flat (ref)", workload::tindell_prefix(tasks),
+  bench::JsonReport json("table4");
+  row(json, "flat (ref)", workload::tindell_prefix(tasks),
       alloc::Objective::ring_trt(0));
-  row("A", workload::architecture_a(tasks), alloc::Objective::sum_trt());
-  row("B", workload::architecture_b(tasks), alloc::Objective::sum_trt());
-  row("C", workload::architecture_c(false, tasks),
+  row(json, "A", workload::architecture_a(tasks), alloc::Objective::sum_trt());
+  row(json, "B", workload::architecture_b(tasks), alloc::Objective::sum_trt());
+  row(json, "C", workload::architecture_c(false, tasks),
       alloc::Objective::sum_trt());
-  row("C + CAN up", workload::architecture_c(true, tasks),
+  row(json, "C + CAN up", workload::architecture_c(true, tasks),
       alloc::Objective::sum_trt());
   return 0;
 }

@@ -5,11 +5,16 @@
 //   $ ./allocate_file system.prob can-load:1 --time 60
 //   $ ./allocate_file system.prob trt:0 --report   # schedulability report
 //   $ ./allocate_file system.prob trt:0 --dot      # graphviz topology
+//   $ ./allocate_file system.prob trt:0 --trace t.jsonl  # JSONL telemetry
+//   $ ./allocate_file system.prob trt:0 --stats    # search-effort summary
 //   $ ./allocate_file - feasibility < system.prob
 //
 // Objectives: feasibility | trt:<medium> | sum-trt | can-load:<medium> |
 // max-util. The optional --time budget (seconds) turns the run into an
-// anytime optimization that reports best-so-far plus bounds.
+// anytime optimization that reports best-so-far plus bounds. --trace FILE
+// streams every SOLVE call, interval update and the final optimum as
+// structured JSONL events (see README "Observability"); --stats enables
+// phase timers and prints the metrics registry on exit.
 
 #include <cstdio>
 #include <cstring>
@@ -18,6 +23,8 @@
 
 #include "alloc/io.hpp"
 #include "net/dot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/report.hpp"
 #include "alloc/optimizer.hpp"
 #include "heur/annealing.hpp"
@@ -28,7 +35,8 @@ using namespace optalloc;
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <file|-> <objective> [--time <seconds>]\n",
+                 "usage: %s <file|-> <objective> [--time <seconds>] "
+                 "[--trace <file>] [--stats] [--report] [--dot]\n",
                  argv[0]);
     return 2;
   }
@@ -53,6 +61,7 @@ int main(int argc, char** argv) {
   alloc::OptimizeOptions opts;
   bool want_report = false;
   bool want_dot = false;
+  bool want_stats = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--time") == 0 && i + 1 < argc) {
       opts.time_limit_s = std::atof(argv[++i]);
@@ -60,16 +69,29 @@ int main(int argc, char** argv) {
       want_report = true;
     } else if (std::strcmp(argv[i], "--dot") == 0) {
       want_dot = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      if (!obs::trace_open(argv[++i])) {
+        std::fprintf(stderr, "error: cannot open trace file %s\n", argv[i]);
+        return 2;
+      }
     }
   }
+  if (want_stats) obs::set_phase_timing(true);
 
   // Heuristic seed (also the anytime fallback under tight budgets).
   const auto sa = heur::anneal(problem, objective, {.iterations = 8000});
   if (sa.feasible) opts.warm_start = sa.allocation;
 
   const alloc::OptimizeResult res = alloc::optimize(problem, objective, opts);
+  obs::trace_close();
   std::printf("objective: %s\n", objective.describe().c_str());
   std::printf("status:    %s\n", res.status_string().c_str());
+  if (want_stats) {
+    std::printf("effort:    %s\n", res.stats.summary().c_str());
+    std::printf("--- metrics ---\n%s", obs::render_metrics().c_str());
+  }
   if (res.status == alloc::OptimizeResult::Status::kInfeasible) return 1;
   std::printf("cost:      %lld", static_cast<long long>(res.cost));
   if (res.status == alloc::OptimizeResult::Status::kBudgetExhausted) {
@@ -117,7 +139,8 @@ int main(int argc, char** argv) {
   std::printf("verified:  %s\n", report.feasible ? "feasible" : "INFEASIBLE");
   if (want_report) {
     std::printf("%s", rt::render_report(problem.tasks, problem.arch,
-                                        res.allocation)
+                                        res.allocation,
+                                        res.stats.summary())
                           .c_str());
   }
   if (want_dot) {

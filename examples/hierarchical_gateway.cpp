@@ -4,16 +4,33 @@
 // chosen multi-hop routes, per-medium deadline budgets and jitter chains.
 //
 //   $ ./hierarchical_gateway
+//   $ ./hierarchical_gateway --trace t.jsonl   # JSONL telemetry
+//   $ ./hierarchical_gateway --stats           # search-effort summary
 
 #include <cstdio>
+#include <cstring>
 
 #include "alloc/optimizer.hpp"
 #include "net/paths.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/verify.hpp"
 
 using namespace optalloc;
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+      obs::set_phase_timing(true);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      if (!obs::trace_open(argv[++i])) {
+        std::fprintf(stderr, "error: cannot open trace file %s\n", argv[i]);
+        return 2;
+      }
+    }
+  }
   // Figure 1 topology: k1 = {p1,p2,p3}, k2 = {p2,p4}, k3 = {p3,p5}
   // (0-based: ECUs 0..4, media 0..2). p2 and p3 are gateways.
   alloc::Problem p;
@@ -58,8 +75,13 @@ int main() {
 
   const alloc::OptimizeResult res =
       alloc::optimize(p, alloc::Objective::sum_trt());
+  obs::trace_close();
   std::printf("status: %s, sum of TRTs = %lld ticks\n",
               res.status_string().c_str(), static_cast<long long>(res.cost));
+  if (want_stats) {
+    std::printf("effort: %s\n", res.stats.summary().c_str());
+    std::printf("--- metrics ---\n%s", obs::render_metrics().c_str());
+  }
   if (res.status != alloc::OptimizeResult::Status::kOptimal) return 1;
 
   for (std::size_t i = 0; i < p.tasks.tasks.size(); ++i) {

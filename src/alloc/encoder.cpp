@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "rt/analysis.hpp"
 #include "util/intmath.hpp"
 
@@ -38,7 +39,16 @@ AllocEncoder::AllocEncoder(const Problem& problem, Objective objective,
 }
 
 void AllocEncoder::require(NodeId formula) {
-  ok_ = blaster_->assert_true(formula) && ok_;
+  // The paper's "translation into SAT" phase: bit-blasting one asserted
+  // constraint. Timed only on request; assert_true recurses, so the timer
+  // wraps the top-level call.
+  static const obs::Metric t_bitblast = obs::timer("encode.time.bitblast");
+  if (obs::phase_timing()) {
+    obs::ScopedTimer timer(t_bitblast);
+    ok_ = blaster_->assert_true(formula) && ok_;
+  } else {
+    ok_ = blaster_->assert_true(formula) && ok_;
+  }
 }
 
 NodeId AllocEncoder::member_of(NodeId a, std::vector<int> ecus) {
@@ -58,6 +68,8 @@ NodeId AllocEncoder::member_of(NodeId a, std::vector<int> ecus) {
 bool AllocEncoder::build() {
   if (built_) throw std::logic_error("AllocEncoder::build called twice");
   built_ = true;
+  static const obs::Metric t_build = obs::timer("encode.time.build");
+  obs::ScopedTimer build_timer(t_build);
   const auto problems = net::validate_topology(problem_.arch);
   if (!problems.empty()) {
     throw std::invalid_argument("invalid topology: " + problems.front());

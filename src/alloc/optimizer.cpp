@@ -1,8 +1,11 @@
 #include "alloc/optimizer.hpp"
 
+#include <cstdio>
 #include <memory>
 
 #include "alloc/cost.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
@@ -18,7 +21,49 @@ void absorb_stats(OptimizeStats& stats, const AllocEncoder& enc) {
   stats.pb_constraints += enc.pb().stats().constraints;
 }
 
+const char* verdict_name(sat::LBool v) {
+  switch (v) {
+    case sat::LBool::kTrue: return "sat";
+    case sat::LBool::kFalse: return "unsat";
+    case sat::LBool::kUndef: return "undef";
+  }
+  return "?";
+}
+
+/// Fold one finished optimize() run into the global metrics registry.
+void flush_optimize_metrics(const OptimizeResult& result) {
+  static const obs::Metric runs = obs::counter("opt.runs");
+  static const obs::Metric optimal = obs::counter("opt.optimal");
+  static const obs::Metric calls = obs::counter("opt.sat_calls");
+  static const obs::Metric calls_sat = obs::counter("opt.sat_calls_sat");
+  static const obs::Metric calls_unsat = obs::counter("opt.sat_calls_unsat");
+  static const obs::Metric t_total = obs::timer("opt.time.total");
+  static const obs::Metric t_encode = obs::timer("opt.time.encode");
+  static const obs::Metric t_solve = obs::timer("opt.time.solve");
+  obs::add(runs, 1);
+  if (result.status == OptimizeResult::Status::kOptimal) obs::add(optimal, 1);
+  obs::add(calls, result.stats.sat_calls);
+  obs::add(calls_sat, result.stats.sat_calls_sat);
+  obs::add(calls_unsat, result.stats.sat_calls_unsat);
+  obs::record(t_total, result.stats.seconds);
+  obs::record(t_encode, result.stats.encode_seconds);
+  obs::record(t_solve, result.stats.solve_seconds);
+}
+
 }  // namespace
+
+std::string OptimizeStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "calls=%d (%d sat / %d unsat) encode=%.3fs solve=%.3fs "
+                "total=%.3fs vars=%lld lits=%llu conflicts=%llu pb=%llu",
+                sat_calls, sat_calls_sat, sat_calls_unsat, encode_seconds,
+                solve_seconds, seconds, static_cast<long long>(boolean_vars),
+                static_cast<unsigned long long>(boolean_literals),
+                static_cast<unsigned long long>(conflicts),
+                static_cast<unsigned long long>(pb_constraints));
+  return buf;
+}
 
 OptimizeResult optimize(const Problem& problem, Objective objective,
                         const OptimizeOptions& options) {
@@ -44,17 +89,88 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     return b;
   };
 
+  // Anytime progress: invoked after the initial solution and after every
+  // interval-narrowing SOLVE; mirrored as an "interval" trace event.
+  auto report_progress = [&](std::int64_t lower, std::int64_t upper) {
+    if (obs::trace_enabled()) {
+      obs::TraceEvent e("interval");
+      e.num("lower", lower).num("upper", upper);
+      if (result.has_allocation) e.num("incumbent", result.cost);
+      e.num("sat_calls", result.stats.sat_calls);
+    }
+    if (options.on_progress) {
+      Progress p;
+      p.seconds = total.seconds();
+      p.lower = lower;
+      p.upper = upper;
+      p.has_incumbent = result.has_allocation;
+      p.incumbent_cost = result.has_allocation ? result.cost : -1;
+      p.sat_calls = result.stats.sat_calls;
+      options.on_progress(p);
+    }
+  };
+
+  // One SOLVE call against `enc`, with wall time, SAT/UNSAT breakdown,
+  // and a "solve" trace event carrying the queried bounds.
+  auto timed_solve = [&](AllocEncoder& enc, std::optional<std::int64_t> lo,
+                         std::optional<std::int64_t> hi) -> sat::LBool {
+    ++result.stats.sat_calls;
+    const std::uint64_t conflicts_before = enc.solver().stats().conflicts;
+    Stopwatch sw;
+    const sat::LBool verdict = enc.solve(lo, hi, call_budget());
+    const double secs = sw.seconds();
+    result.stats.solve_seconds += secs;
+    if (verdict == sat::LBool::kTrue) {
+      ++result.stats.sat_calls_sat;
+    } else if (verdict == sat::LBool::kFalse) {
+      ++result.stats.sat_calls_unsat;
+    }
+    if (obs::trace_enabled()) {
+      obs::TraceEvent e("solve");
+      e.num("call", result.stats.sat_calls);
+      if (lo) e.num("lo", *lo);
+      if (hi) e.num("hi", *hi);
+      e.str("result", verdict_name(verdict))
+          .num("conflicts", enc.solver().stats().conflicts - conflicts_before)
+          .num("seconds", secs);
+    }
+    return verdict;
+  };
+
+  auto trace_optimum = [&] {
+    if (!obs::trace_enabled()) return;
+    obs::TraceEvent e("optimum");
+    e.str("status", result.status_string());
+    if (result.has_allocation) e.num("cost", result.cost);
+    e.num("lower", result.lower_bound)
+        .num("sat_calls", result.stats.sat_calls)
+        .num("seconds", result.stats.seconds);
+  };
+
   // --- Incremental mode: one encoder, bounds as assumptions. ------------
   if (options.incremental) {
     AllocEncoder enc(problem, objective, options.encoder);
-    const bool built = enc.build();
+    {
+      Stopwatch sw;
+      const bool built = enc.build();
+      result.stats.encode_seconds += sw.seconds();
+      if (!built) {
+        result.status = OptimizeResult::Status::kInfeasible;
+        absorb_stats(result.stats, enc);
+        result.stats.seconds = total.seconds();
+        trace_optimum();
+        flush_optimize_metrics(result);
+        return result;
+      }
+    }
     auto finish = [&](OptimizeResult::Status status) {
       result.status = status;
       absorb_stats(result.stats, enc);
       result.stats.seconds = total.seconds();
+      trace_optimum();
+      flush_optimize_metrics(result);
       return result;
     };
-    if (!built) return finish(OptimizeResult::Status::kInfeasible);
 
     // R := SOLVE(phi): the first query yields an upper estimate. A
     // verified warm-start allocation short-circuits it entirely — its
@@ -76,11 +192,9 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     }
     sat::LBool verdict = sat::LBool::kUndef;
     if (!have_upper) {
-      ++result.stats.sat_calls;
-      verdict = enc.solve({}, options.initial_upper, call_budget());
+      verdict = timed_solve(enc, {}, options.initial_upper);
       if (verdict == sat::LBool::kFalse && options.initial_upper) {
-        ++result.stats.sat_calls;
-        verdict = enc.solve({}, {}, call_budget());
+        verdict = timed_solve(enc, {}, {});
       }
       if (verdict == sat::LBool::kFalse) {
         return finish(OptimizeResult::Status::kInfeasible);
@@ -97,6 +211,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     log_info("optimize: initial solution cost=%lld, searching [%lld, %lld]",
              static_cast<long long>(upper), static_cast<long long>(lower),
              static_cast<long long>(upper));
+    report_progress(lower, upper);
 
     // BIN_SEARCH(phi). The paper's loop sets L := M on an UNSAT interval
     // [L, M]; since the optimum then lies in (M, R], we advance to M + 1
@@ -111,8 +226,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
           options.strategy == SearchStrategy::kBisection
               ? lower + (upper - lower) / 2
               : upper - 1;
-      ++result.stats.sat_calls;
-      verdict = enc.solve(lower, mid, call_budget());
+      verdict = timed_solve(enc, lower, mid);
       if (verdict == sat::LBool::kUndef) {
         result.lower_bound = lower;
         return finish(OptimizeResult::Status::kBudgetExhausted);
@@ -127,6 +241,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       }
       log_info("optimize: interval [%lld, %lld]",
                static_cast<long long>(lower), static_cast<long long>(upper));
+      report_progress(lower, upper);
     }
     result.cost = upper;
     result.lower_bound = upper;
@@ -134,18 +249,30 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
   }
 
   // --- Scratch mode: fresh encoder per SOLVE (paper's base procedure). --
+  auto finish_scratch = [&](OptimizeResult::Status status) {
+    result.status = status;
+    result.stats.seconds = total.seconds();
+    trace_optimum();
+    flush_optimize_metrics(result);
+    return result;
+  };
   auto scratch_solve = [&](std::optional<std::int64_t> lo,
                            std::optional<std::int64_t> hi,
                            std::int64_t& cost_out,
                            rt::Allocation& alloc_out,
                            ir::Range& cost_range_out) -> sat::LBool {
     AllocEncoder enc(problem, objective, options.encoder);
+    Stopwatch sw;
     const bool built = enc.build();
+    result.stats.encode_seconds += sw.seconds();
     cost_range_out = enc.cost_range();
-    ++result.stats.sat_calls;
     sat::LBool verdict = sat::LBool::kFalse;
     if (built && (!lo || !hi || enc.assert_cost_bounds(*lo, *hi))) {
-      verdict = enc.solve({}, {}, call_budget());
+      verdict = timed_solve(enc, {}, {});
+    } else {
+      // Encode-time UNSAT still counts as one (answered) SOLVE call.
+      ++result.stats.sat_calls;
+      ++result.stats.sat_calls_unsat;
     }
     if (verdict == sat::LBool::kTrue) {
       cost_out = enc.decode_cost();
@@ -160,34 +287,27 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
   ir::Range cost_range{0, 0};
   sat::LBool verdict = scratch_solve({}, {}, cost, alloc, cost_range);
   if (verdict == sat::LBool::kFalse) {
-    result.status = OptimizeResult::Status::kInfeasible;
-    result.stats.seconds = total.seconds();
-    return result;
+    return finish_scratch(OptimizeResult::Status::kInfeasible);
   }
   if (verdict == sat::LBool::kUndef) {
-    result.status = OptimizeResult::Status::kBudgetExhausted;
-    result.stats.seconds = total.seconds();
-    return result;
+    return finish_scratch(OptimizeResult::Status::kBudgetExhausted);
   }
   std::int64_t upper = cost;
   std::int64_t lower = cost_range.lo;
   result.cost = upper;
   result.allocation = alloc;
   result.has_allocation = true;
+  report_progress(lower, upper);
   while (lower < upper) {
     if (out_of_time()) {
-      result.status = OptimizeResult::Status::kBudgetExhausted;
       result.lower_bound = lower;
-      result.stats.seconds = total.seconds();
-      return result;
+      return finish_scratch(OptimizeResult::Status::kBudgetExhausted);
     }
     const std::int64_t mid = lower + (upper - lower) / 2;
     verdict = scratch_solve(lower, mid, cost, alloc, cost_range);
     if (verdict == sat::LBool::kUndef) {
-      result.status = OptimizeResult::Status::kBudgetExhausted;
       result.lower_bound = lower;
-      result.stats.seconds = total.seconds();
-      return result;
+      return finish_scratch(OptimizeResult::Status::kBudgetExhausted);
     }
     if (verdict == sat::LBool::kFalse) {
       lower = mid + 1;
@@ -196,12 +316,11 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       result.cost = upper;
       result.allocation = alloc;
     }
+    report_progress(lower, upper);
   }
-  result.status = OptimizeResult::Status::kOptimal;
   result.cost = upper;
   result.lower_bound = upper;
-  result.stats.seconds = total.seconds();
-  return result;
+  return finish_scratch(OptimizeResult::Status::kOptimal);
 }
 
 }  // namespace optalloc::alloc

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "alloc/encoder.hpp"
@@ -29,6 +30,18 @@ enum class SearchStrategy {
   /// More calls, but every call until the optimum is satisfiable (cheap
   /// with phase warm starts); only the final UNSAT proof is hard.
   kDescending,
+};
+
+/// Anytime search-progress report: the state of the cost interval after a
+/// SOLVE call. `lower > upper` never holds; the interval shrinks
+/// monotonically, and lower == upper on the report that pins the optimum.
+struct Progress {
+  double seconds = 0.0;            ///< wall time since optimize() started
+  std::int64_t lower = 0;          ///< greatest proven lower bound
+  std::int64_t upper = 0;          ///< incumbent cost (least known upper)
+  std::int64_t incumbent_cost = -1;  ///< best feasible cost; -1 before one
+  bool has_incumbent = false;
+  int sat_calls = 0;               ///< SOLVE calls issued so far
 };
 
 struct OptimizeOptions {
@@ -47,6 +60,10 @@ struct OptimizeOptions {
   std::optional<rt::Allocation> warm_start;
   /// Cooperative cancellation (set by the portfolio runner).
   const std::atomic<bool>* stop = nullptr;
+  /// Anytime progress callback, invoked after the initial solution and
+  /// after every interval-narrowing SOLVE call (from the optimizer's own
+  /// thread). Used to plot cost-convergence curves; keep it cheap.
+  std::function<void(const Progress&)> on_progress;
 };
 
 struct OptimizeStats {
@@ -56,6 +73,14 @@ struct OptimizeStats {
   std::uint64_t boolean_literals = 0;  ///< paper's "Lit." column
   std::uint64_t conflicts = 0;
   std::uint64_t pb_constraints = 0;
+  // Per-call breakdown of where the search effort went.
+  int sat_calls_sat = 0;      ///< SOLVE calls answered SAT
+  int sat_calls_unsat = 0;    ///< SOLVE calls answered UNSAT
+  double encode_seconds = 0.0;  ///< building + bit-blasting constraints
+  double solve_seconds = 0.0;   ///< inside sat::Solver::solve()
+
+  /// One-line human summary ("calls=7 (5 sat/2 unsat) encode=0.1s ...").
+  std::string summary() const;
 };
 
 struct OptimizeResult {

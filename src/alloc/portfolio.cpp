@@ -4,9 +4,16 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace optalloc::alloc {
 
 namespace {
+
+const char* strategy_name(SearchStrategy s) {
+  return s == SearchStrategy::kBisection ? "bisection" : "descending";
+}
 
 std::vector<OptimizeOptions> default_configs() {
   OptimizeOptions bisect;  // paper's BIN_SEARCH
@@ -39,7 +46,25 @@ PortfolioResult optimize_portfolio(const Problem& problem,
          opts.time_limit_s > options.time_limit_s)) {
       opts.time_limit_s = options.time_limit_s;
     }
+    if (obs::trace_enabled()) {
+      obs::TraceEvent("portfolio_start")
+          .num("worker", index)
+          .str("strategy", strategy_name(opts.strategy))
+          .str("backend", opts.encoder.backend == encode::Backend::kPbMixed
+                              ? "pb-mixed"
+                              : "cnf")
+          .boolean("incremental", opts.incremental);
+    }
     OptimizeResult local = optimize(problem, objective, opts);
+    const bool cancelled = stop.load(std::memory_order_relaxed) &&
+                           local.status ==
+                               OptimizeResult::Status::kBudgetExhausted;
+    if (obs::trace_enabled()) {
+      obs::TraceEvent e(cancelled ? "portfolio_cancel" : "portfolio_finish");
+      e.num("worker", index).str("status", local.status_string());
+      if (local.has_allocation) e.num("cost", local.cost);
+      e.num("seconds", local.stats.seconds);
+    }
     std::lock_guard<std::mutex> lock(mutex);
     result.per_config[static_cast<std::size_t>(index)] = local.status;
     auto definitive = [](const OptimizeResult& r) {
@@ -72,6 +97,22 @@ PortfolioResult optimize_portfolio(const Problem& problem,
     threads.emplace_back(runner, i);
   }
   for (std::thread& t : threads) t.join();
+
+  static const obs::Metric races = obs::counter("portfolio.races");
+  static const obs::Metric workers = obs::counter("portfolio.workers");
+  static const obs::Metric definitive =
+      obs::counter("portfolio.definitive_results");
+  obs::add(races, 1);
+  obs::add(workers, static_cast<std::int64_t>(configs.size()));
+  if (result.best.status == OptimizeResult::Status::kOptimal ||
+      result.best.status == OptimizeResult::Status::kInfeasible) {
+    obs::add(definitive, 1);
+  }
+  if (obs::trace_enabled()) {
+    obs::TraceEvent e("portfolio_win");
+    e.num("winner", result.winner).str("status", result.best.status_string());
+    if (result.best.has_allocation) e.num("cost", result.best.cost);
+  }
   return result;
 }
 

@@ -5,6 +5,8 @@
 
 #include "heur/common.hpp"
 #include "net/paths.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/verify.hpp"
 #include "util/rng.hpp"
 
@@ -27,10 +29,45 @@ std::vector<std::vector<int>> allowed_table(const alloc::Problem& problem) {
 
 }  // namespace
 
+/// Fold one finished annealing run into the metrics registry and emit a
+/// trace event, so heuristic effort shows up next to the SAT search's.
+class AnnealTelemetry {
+ public:
+  explicit AnnealTelemetry(const AnnealingResult& result)
+      : result_(result), start_ns_(obs::monotonic_ns()) {}
+  ~AnnealTelemetry() {
+    static const obs::Metric runs = obs::counter("heur.sa.runs");
+    static const obs::Metric iters = obs::counter("heur.sa.iterations");
+    static const obs::Metric accepted = obs::counter("heur.sa.accepted_moves");
+    static const obs::Metric feasible = obs::counter("heur.sa.feasible");
+    static const obs::Metric t_total = obs::timer("heur.sa.time");
+    const double seconds =
+        static_cast<double>(obs::monotonic_ns() - start_ns_) * 1e-9;
+    obs::add(runs, 1);
+    obs::add(iters, result_.iterations_run);
+    obs::add(accepted, result_.accepted_moves);
+    if (result_.feasible) obs::add(feasible, 1);
+    obs::record(t_total, seconds);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent e("anneal");
+      e.boolean("feasible", result_.feasible);
+      if (result_.feasible) e.num("cost", result_.cost);
+      e.num("iterations", result_.iterations_run)
+          .num("accepted", result_.accepted_moves)
+          .num("seconds", seconds);
+    }
+  }
+
+ private:
+  const AnnealingResult& result_;
+  std::uint64_t start_ns_;
+};
+
 AnnealingResult anneal(const alloc::Problem& problem,
                        alloc::Objective objective,
                        const AnnealingOptions& options) {
   AnnealingResult result;
+  AnnealTelemetry telemetry(result);
   const net::PathClosures closures(problem.arch);
   const auto allowed = allowed_table(problem);
   for (const auto& a : allowed) {

@@ -1,0 +1,229 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace optalloc::obs {
+namespace {
+
+/// Upper bound on distinct metrics: lets shards be fixed-size arrays whose
+/// slots never move, so writers stay lock-free while snapshot() reads them.
+constexpr std::size_t kMaxMetrics = 1024;
+
+struct Shard {
+  // Counter sums / timer invocation counts, indexed by metric id. Only the
+  // owning thread writes; snapshot() reads concurrently (relaxed).
+  std::atomic<std::int64_t> value[kMaxMetrics] = {};
+  // Timer nanoseconds.
+  std::atomic<std::uint64_t> ns[kMaxMetrics] = {};
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> names;
+  std::vector<MetricKind> kinds;
+  std::map<std::string, std::uint32_t, std::less<>> by_name;
+  std::vector<Shard*> live;
+  // Totals folded in from exited threads.
+  std::int64_t retired_value[kMaxMetrics] = {};
+  std::uint64_t retired_ns[kMaxMetrics] = {};
+  // Gauges are process-wide levels, not per-thread accumulations.
+  std::atomic<std::int64_t> gauges[kMaxMetrics] = {};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+std::atomic<bool> g_phase_timing{false};
+
+struct ShardOwner {
+  Shard* shard = new Shard();
+
+  ShardOwner() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.live.push_back(shard);
+  }
+
+  ~ShardOwner() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (std::size_t i = 0; i < kMaxMetrics; ++i) {
+      r.retired_value[i] += shard->value[i].load(std::memory_order_relaxed);
+      r.retired_ns[i] += shard->ns[i].load(std::memory_order_relaxed);
+    }
+    r.live.erase(std::find(r.live.begin(), r.live.end(), shard));
+    delete shard;
+  }
+};
+
+Shard& local_shard() {
+  thread_local ShardOwner owner;
+  return *owner.shard;
+}
+
+Metric register_metric(std::string_view name, MetricKind kind) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) {
+    if (r.kinds[it->second] != kind) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' re-registered with a different kind");
+    }
+    return {it->second};
+  }
+  if (r.names.size() >= kMaxMetrics) {
+    throw std::logic_error("metric registry full");
+  }
+  const auto id = static_cast<std::uint32_t>(r.names.size());
+  r.names.emplace_back(name);
+  r.kinds.push_back(kind);
+  r.by_name.emplace(std::string(name), id);
+  return {id};
+}
+
+}  // namespace
+
+Metric counter(std::string_view name) {
+  return register_metric(name, MetricKind::kCounter);
+}
+Metric gauge(std::string_view name) {
+  return register_metric(name, MetricKind::kGauge);
+}
+Metric timer(std::string_view name) {
+  return register_metric(name, MetricKind::kTimer);
+}
+
+void add(Metric m, std::int64_t delta) {
+  local_shard().value[m.id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void set(Metric m, std::int64_t value) {
+  registry().gauges[m.id].store(value, std::memory_order_relaxed);
+}
+
+void record(Metric m, double seconds) {
+  Shard& s = local_shard();
+  s.value[m.id].fetch_add(1, std::memory_order_relaxed);
+  s.ns[m.id].fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedTimer::ScopedTimer(Metric m) : m_(m), start_ns_(monotonic_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  Shard& s = local_shard();
+  s.value[m_.id].fetch_add(1, std::memory_order_relaxed);
+  s.ns[m_.id].fetch_add(monotonic_ns() - start_ns_,
+                        std::memory_order_relaxed);
+}
+
+std::vector<MetricValue> snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const std::size_t n = r.names.size();
+  std::vector<MetricValue> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MetricValue& v = out[i];
+    v.name = r.names[i];
+    v.kind = r.kinds[i];
+    if (v.kind == MetricKind::kGauge) {
+      v.value = r.gauges[i].load(std::memory_order_relaxed);
+      continue;
+    }
+    std::int64_t value = r.retired_value[i];
+    std::uint64_t ns = r.retired_ns[i];
+    for (const Shard* s : r.live) {
+      value += s->value[i].load(std::memory_order_relaxed);
+      ns += s->ns[i].load(std::memory_order_relaxed);
+    }
+    v.value = value;
+    v.seconds = static_cast<double>(ns) * 1e-9;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (std::size_t i = 0; i < kMaxMetrics; ++i) {
+    r.retired_value[i] = 0;
+    r.retired_ns[i] = 0;
+    r.gauges[i].store(0, std::memory_order_relaxed);
+    for (Shard* s : r.live) {
+      s->value[i].store(0, std::memory_order_relaxed);
+      s->ns[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string render_metrics(bool include_zero) {
+  std::string out;
+  char buf[192];
+  for (const MetricValue& v : snapshot()) {
+    if (!include_zero && v.value == 0 && v.seconds == 0.0) continue;
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof buf, "%-40s counter %lld\n", v.name.c_str(),
+                      static_cast<long long>(v.value));
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof buf, "%-40s gauge   %lld\n", v.name.c_str(),
+                      static_cast<long long>(v.value));
+        break;
+      case MetricKind::kTimer:
+        std::snprintf(buf, sizeof buf, "%-40s timer   %.6fs x%lld\n",
+                      v.name.c_str(), v.seconds,
+                      static_cast<long long>(v.value));
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string metrics_json() {
+  JsonObject obj;
+  for (const MetricValue& v : snapshot()) {
+    if (v.kind == MetricKind::kTimer) {
+      obj.raw(v.name, JsonObject()
+                          .num("seconds", v.seconds)
+                          .num("count", v.value)
+                          .build());
+    } else {
+      obj.num(v.name, v.value);
+    }
+  }
+  return obj.build();
+}
+
+void set_phase_timing(bool on) {
+  g_phase_timing.store(on, std::memory_order_relaxed);
+}
+
+bool phase_timing() {
+  return g_phase_timing.load(std::memory_order_relaxed);
+}
+
+}  // namespace optalloc::obs

@@ -1,0 +1,96 @@
+#pragma once
+// Process-wide metrics registry with per-thread accumulation and
+// merge-on-read, so portfolio workers and the solver hot path can count
+// without contending on shared cache lines:
+//
+//   * registration (name -> dense id) happens once per call site under a
+//     mutex — typically via a function-local `static Metric`;
+//   * writes go to the calling thread's shard: a relaxed atomic add on a
+//     slot only this thread writes (other threads read it during
+//     snapshot), i.e. no locks and no sharing on the hot path;
+//   * snapshot() takes the registry mutex, sums all live shards plus the
+//     totals folded in from exited threads.
+//
+// Three kinds:
+//   counter — monotonically accumulated integer (merge = sum)
+//   gauge   — last-write-wins integer level (stored globally, not sharded)
+//   timer   — accumulated wall seconds + invocation count (merge = sum)
+//
+// Phase timing inside the SAT solver is additionally gated by
+// set_phase_timing(): clock reads only happen when someone asked for them,
+// keeping the solver's inner loop at a single relaxed load + branch.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optalloc::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kTimer };
+
+/// Cheap copyable handle; obtain via counter()/gauge()/timer().
+struct Metric {
+  std::uint32_t id = 0;
+};
+
+/// Register (or look up) a metric. Name collisions across kinds throw
+/// std::logic_error; repeated registration of the same (name, kind) returns
+/// the same handle.
+Metric counter(std::string_view name);
+Metric gauge(std::string_view name);
+Metric timer(std::string_view name);
+
+/// Counter: accumulate `delta` into the calling thread's shard.
+void add(Metric m, std::int64_t delta = 1);
+
+/// Gauge: set the process-wide level.
+void set(Metric m, std::int64_t value);
+
+/// Timer: accumulate one observation of `seconds`.
+void record(Metric m, double seconds);
+
+/// RAII timer observation.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Metric m);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Metric m_;
+  std::uint64_t start_ns_;
+};
+
+/// Monotonic clock in nanoseconds (shared with the trace sink).
+std::uint64_t monotonic_ns();
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;    ///< counter sum / gauge level / timer count
+  double seconds = 0.0;      ///< timers only: accumulated wall time
+};
+
+/// Merge-on-read view of every registered metric, sorted by name.
+std::vector<MetricValue> snapshot();
+
+/// Zero all shards, retired totals and gauges (registrations persist).
+void reset_metrics();
+
+/// "name kind value [seconds]" per line; omits zero entries unless
+/// `include_zero`.
+std::string render_metrics(bool include_zero = false);
+
+/// One flat JSON object: counters/gauges as numbers, timers as
+/// {"seconds": s, "count": n}.
+std::string metrics_json();
+
+/// Global switch for the solver/encoder phase timers (propagate, analyze,
+/// reduce-DB, bit-blast...). Off by default: the hot path then pays one
+/// relaxed atomic load per phase entry and takes no clock readings.
+void set_phase_timing(bool on);
+bool phase_timing();
+
+}  // namespace optalloc::obs

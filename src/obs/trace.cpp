@@ -1,0 +1,86 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace optalloc::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_on{false};
+}
+
+namespace {
+
+struct Sink {
+  std::mutex mutex;
+  std::unique_ptr<std::ofstream> file;  // owned when tracing to a path
+  std::ostream* out = nullptr;          // active destination (file or external)
+  std::atomic<std::uint64_t> epoch_ns{0};  // trace-open time ("ts" base)
+};
+
+Sink& sink() {
+  static Sink* s = new Sink();  // leaked: events may fire during exit
+  return *s;
+}
+
+std::atomic<int> g_next_tid{0};
+
+}  // namespace
+
+int thread_ordinal() {
+  thread_local const int tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+bool trace_open(const std::string& path) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*file) return false;
+  s.file = std::move(file);
+  s.out = s.file.get();
+  s.epoch_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  detail::g_trace_on.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void trace_to_stream(std::ostream* os) {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.file.reset();
+  s.out = os;
+  s.epoch_ns.store(monotonic_ns(), std::memory_order_relaxed);
+  detail::g_trace_on.store(os != nullptr, std::memory_order_relaxed);
+}
+
+void trace_close() {
+  Sink& s = sink();
+  // Disable first so producers racing with close see the guard drop and
+  // skip event construction; late events that already passed the guard
+  // serialize on the mutex and find out == nullptr.
+  detail::g_trace_on.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.out != nullptr) s.out->flush();
+  s.file.reset();
+  s.out = nullptr;
+}
+
+TraceEvent::TraceEvent(std::string_view type) {
+  obj_.str("type", type);
+  obj_.num("ts", static_cast<double>(monotonic_ns() - sink().epoch_ns.load(std::memory_order_relaxed)) * 1e-9);
+  obj_.num("tid", static_cast<std::int64_t>(thread_ordinal()));
+}
+
+TraceEvent::~TraceEvent() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.out == nullptr) return;
+  *s.out << obj_.build() << '\n';
+}
+
+}  // namespace optalloc::obs

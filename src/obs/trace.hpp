@@ -1,0 +1,88 @@
+#pragma once
+// Structured JSONL trace sink. One process-wide sink; events are emitted
+// as one JSON object per line with three standard fields —
+//   "type" : event name ("solve", "interval", "solver_restart", ...)
+//   "ts"   : seconds since the sink was opened (monotonic clock)
+//   "tid"  : small per-thread ordinal, stable for the thread's lifetime
+// — plus event-specific fields. Lines are written atomically under a
+// mutex, so portfolio workers never interleave.
+//
+// Cost model: every producer site is guarded by `if (obs::trace_enabled())`
+// — a single relaxed atomic load when tracing is off, which is the default.
+// Event construction (string building, clock reads) only happens inside
+// the guard.
+//
+// The event vocabulary is documented in README.md ("Observability").
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace optalloc::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_on;
+}
+
+/// Near-zero-cost guard: producers must check this before building events.
+inline bool trace_enabled() {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+/// Open `path` for writing (truncates) and enable tracing. Returns false
+/// (tracing stays off) if the file cannot be opened.
+bool trace_open(const std::string& path);
+
+/// Route events to an external stream (tests). The stream must outlive
+/// tracing; pass nullptr to detach and disable.
+void trace_to_stream(std::ostream* os);
+
+/// Flush, close the sink and disable tracing. Safe to call when closed.
+void trace_close();
+
+/// Small per-thread ordinal used for the "tid" field (0 = first thread to
+/// emit). Also used by the thread-safe logger's line tags.
+int thread_ordinal();
+
+/// One trace event. Builds the JSON object in a local buffer; the
+/// destructor writes the finished line. Standard fields are filled by the
+/// constructor.
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string_view type);
+  ~TraceEvent();
+  TraceEvent(const TraceEvent&) = delete;
+  TraceEvent& operator=(const TraceEvent&) = delete;
+
+  TraceEvent& str(std::string_view key, std::string_view value) {
+    obj_.str(key, value);
+    return *this;
+  }
+  TraceEvent& num(std::string_view key, std::int64_t value) {
+    obj_.num(key, value);
+    return *this;
+  }
+  TraceEvent& num(std::string_view key, double value) {
+    obj_.num(key, value);
+    return *this;
+  }
+  TraceEvent& num(std::string_view key, int value) {
+    return num(key, static_cast<std::int64_t>(value));
+  }
+  TraceEvent& num(std::string_view key, std::uint64_t value) {
+    return num(key, static_cast<std::int64_t>(value));
+  }
+  TraceEvent& boolean(std::string_view key, bool value) {
+    obj_.boolean(key, value);
+    return *this;
+  }
+
+ private:
+  JsonObject obj_;
+};
+
+}  // namespace optalloc::obs

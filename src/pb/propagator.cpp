@@ -1,6 +1,9 @@
 #include "pb/propagator.hpp"
 
 #include <cassert>
+#include <optional>
+
+#include "obs/metrics.hpp"
 
 namespace optalloc::pb {
 
@@ -57,6 +60,13 @@ bool PbPropagator::check(std::uint32_t id, std::vector<sat::Lit>& conflict) {
 bool PbPropagator::add(Constraint c) {
   assert(solver_.decision_level() == 0 &&
          "PB constraints must be added at the top level");
+  // The paper's native 0-1 constraint path: count every translated
+  // constraint, and time the translation when phase timing is on.
+  static const obs::Metric n_constraints = obs::counter("pb.constraints");
+  static const obs::Metric t_translate = obs::timer("pb.time.translate");
+  obs::add(n_constraints, 1);
+  std::optional<obs::ScopedTimer> timer;
+  if (obs::phase_timing()) timer.emplace(t_translate);
   if (!solver_.ok()) return false;
   if (c.trivially_true()) return true;
   if (c.trivially_false()) {

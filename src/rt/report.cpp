@@ -17,7 +17,8 @@ void line(std::ostringstream& out, const char* fmt, auto... args) {
 }  // namespace
 
 std::string render_report(const TaskSet& ts, const Architecture& arch,
-                          const Allocation& allocation) {
+                          const Allocation& allocation,
+                          std::string_view footer) {
   const VerifyReport report = verify(ts, arch, allocation);
   std::ostringstream out;
 
@@ -95,6 +96,9 @@ std::string render_report(const TaskSet& ts, const Architecture& arch,
              static_cast<long long>(leg.response), leg.ok ? "ok" : "MISS");
       }
     }
+  }
+  if (!footer.empty()) {
+    out << "search effort: " << footer << '\n';
   }
   return out.str();
 }

@@ -4,14 +4,18 @@
 // routes, budgets, jitters and responses, and TDMA round summaries.
 
 #include <string>
+#include <string_view>
 
 #include "rt/verify.hpp"
 
 namespace optalloc::rt {
 
 /// Render a full report. Runs the verifier internally; infeasible
-/// allocations list their violations at the top.
+/// allocations list their violations at the top. A non-empty `footer`
+/// (e.g. the optimizer's OptimizeStats::summary()) is appended as a
+/// "search effort" trailer.
 std::string render_report(const TaskSet& ts, const Architecture& arch,
-                          const Allocation& allocation);
+                          const Allocation& allocation,
+                          std::string_view footer = {});
 
 }  // namespace optalloc::rt

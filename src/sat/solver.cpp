@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/luby.hpp"
 
 namespace optalloc::sat {
@@ -13,6 +15,42 @@ double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Push one solve() call's worth of deltas into the global metrics
+/// registry — once per call, so the search loop itself never touches
+/// shared state.
+void flush_solve_metrics(const SolverStats& before, const SolverStats& after) {
+  static const obs::Metric solve_calls = obs::counter("sat.solve_calls");
+  static const obs::Metric decisions = obs::counter("sat.decisions");
+  static const obs::Metric propagations = obs::counter("sat.propagations");
+  static const obs::Metric conflicts = obs::counter("sat.conflicts");
+  static const obs::Metric restarts = obs::counter("sat.restarts");
+  static const obs::Metric theory = obs::counter("sat.theory_propagations");
+  static const obs::Metric gc_runs = obs::counter("sat.gc_runs");
+  static const obs::Metric t_prop = obs::timer("sat.time.propagate");
+  static const obs::Metric t_analyze = obs::timer("sat.time.analyze");
+  static const obs::Metric t_reduce = obs::timer("sat.time.reduce_db");
+  const auto delta = [](std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::int64_t>(a - b);
+  };
+  obs::add(solve_calls, 1);
+  obs::add(decisions, delta(after.decisions, before.decisions));
+  obs::add(propagations, delta(after.propagations, before.propagations));
+  obs::add(conflicts, delta(after.conflicts, before.conflicts));
+  obs::add(restarts, delta(after.restarts, before.restarts));
+  obs::add(theory,
+           delta(after.theory_propagations, before.theory_propagations));
+  obs::add(gc_runs, delta(after.gc_runs, before.gc_runs));
+  if (after.propagate_seconds > before.propagate_seconds) {
+    obs::record(t_prop, after.propagate_seconds - before.propagate_seconds);
+  }
+  if (after.analyze_seconds > before.analyze_seconds) {
+    obs::record(t_analyze, after.analyze_seconds - before.analyze_seconds);
+  }
+  if (after.reduce_seconds > before.reduce_seconds) {
+    obs::record(t_reduce, after.reduce_seconds - before.reduce_seconds);
+  }
 }
 
 }  // namespace
@@ -437,10 +475,17 @@ void Solver::reloc_all(ClauseArena& to) {
 }
 
 void Solver::garbage_collect() {
+  const std::size_t before = arena_.size();
   ClauseArena to;
   reloc_all(to);
   arena_.swap(to);
   ++stats_.gc_runs;
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("solver_gc")
+        .num("gc_runs", stats_.gc_runs)
+        .num("arena_before", static_cast<std::int64_t>(before))
+        .num("arena_after", static_cast<std::int64_t>(arena_.size()));
+  }
 }
 
 bool Solver::simplify() {
@@ -489,9 +534,19 @@ bool Solver::budget_exhausted() const {
 LBool Solver::search(std::int64_t conflicts_before_restart) {
   std::int64_t conflict_count = 0;
   std::vector<Lit> learnt_clause;
+  // Sampled once per restart: one relaxed load, no clock reads when off.
+  const bool timed = obs::phase_timing();
 
   for (;;) {
-    const CRef confl = propagate();
+    CRef confl;
+    if (timed) {
+      const std::uint64_t t0 = obs::monotonic_ns();
+      confl = propagate();
+      stats_.propagate_seconds +=
+          static_cast<double>(obs::monotonic_ns() - t0) * 1e-9;
+    } else {
+      confl = propagate();
+    }
     if (confl != kUndefClause) {
       ++stats_.conflicts;
       ++conflict_count;
@@ -504,7 +559,14 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
 
       std::int32_t backtrack_level = 0;
       std::uint32_t lbd = 0;
-      analyze(confl, learnt_clause, backtrack_level, lbd);
+      if (timed) {
+        const std::uint64_t t0 = obs::monotonic_ns();
+        analyze(confl, learnt_clause, backtrack_level, lbd);
+        stats_.analyze_seconds +=
+            static_cast<double>(obs::monotonic_ns() - t0) * 1e-9;
+      } else {
+        analyze(confl, learnt_clause, backtrack_level, lbd);
+      }
       if (arena_.deref(confl).theory()) arena_.free_clause(confl);
       cancel_until(backtrack_level);
 
@@ -530,13 +592,27 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
     } else {
       if (conflict_count >= conflicts_before_restart || budget_exhausted()) {
         ++stats_.restarts;
+        if (obs::trace_enabled() &&
+            conflict_count >= conflicts_before_restart) {
+          obs::TraceEvent("solver_restart")
+              .num("restarts", stats_.restarts)
+              .num("conflicts", stats_.conflicts)
+              .num("learnts", num_learnts());
+        }
         cancel_until(0);
         return LBool::kUndef;
       }
       if (static_cast<double>(learnts_.size()) -
               static_cast<double>(trail_.size()) >=
           max_learnts_) {
-        reduce_db();
+        if (timed) {
+          const std::uint64_t t0 = obs::monotonic_ns();
+          reduce_db();
+          stats_.reduce_seconds +=
+              static_cast<double>(obs::monotonic_ns() - t0) * 1e-9;
+        } else {
+          reduce_db();
+        }
       }
 
       Lit next = kUndefLit;
@@ -569,6 +645,7 @@ LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
   model_.clear();
   conflict_core_.clear();
   if (!ok_) return LBool::kFalse;
+  const SolverStats stats_before = stats_;
 
   assumptions_.assign(assumptions.begin(), assumptions.end());
   conflict_budget_ =
@@ -595,6 +672,7 @@ LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
   }
   cancel_until(0);
   assumptions_.clear();
+  flush_solve_metrics(stats_before, stats_);
   return status;
 }
 

@@ -63,6 +63,11 @@ struct SolverStats {
   std::uint64_t removed_clauses = 0;
   std::uint64_t theory_propagations = 0;
   std::uint64_t gc_runs = 0;
+  /// Phase wall-times. Only accumulated while obs::phase_timing() is on
+  /// (e.g. --stats); otherwise the search loop takes no clock readings.
+  double propagate_seconds = 0.0;
+  double analyze_seconds = 0.0;
+  double reduce_seconds = 0.0;
 };
 
 class Solver {

@@ -1,34 +1,57 @@
 #include "util/log.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "obs/trace.hpp"
 
 namespace optalloc {
 namespace {
-LogLevel g_level = LogLevel::kSilent;
 
-void vlog(const char* prefix, const char* fmt, std::va_list args) {
-  std::fputs(prefix, stderr);
-  std::vfprintf(stderr, fmt, args);
+std::atomic<LogLevel> g_level{LogLevel::kSilent};
+std::mutex g_mutex;
+
+void vlog(const char* suffix, const char* fmt, std::va_list args) {
+  // Format into a local buffer first so the mutex only covers the write,
+  // and one message is always one uninterleaved line.
+  char line[1024];
+  int n = std::snprintf(line, sizeof line, "[optalloc t%d%s] ",
+                        obs::thread_ordinal(), suffix);
+  if (n < 0) return;
+  auto off = static_cast<std::size_t>(n);
+  if (off < sizeof line) {
+    n = std::vsnprintf(line + off, sizeof line - off, fmt, args);
+    if (n > 0) off = std::min(off + static_cast<std::size_t>(n),
+                              sizeof line - 1);
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fwrite(line, 1, off, stderr);
   std::fputc('\n', stderr);
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_info(const char* fmt, ...) {
-  if (g_level < LogLevel::kInfo) return;
+  if (log_level() < LogLevel::kInfo) return;
   std::va_list args;
   va_start(args, fmt);
-  vlog("[optalloc] ", fmt, args);
+  vlog("", fmt, args);
   va_end(args);
 }
 
 void log_debug(const char* fmt, ...) {
-  if (g_level < LogLevel::kDebug) return;
+  if (log_level() < LogLevel::kDebug) return;
   std::va_list args;
   va_start(args, fmt);
-  vlog("[optalloc:debug] ", fmt, args);
+  vlog(":debug", fmt, args);
   va_end(args);
 }
 

@@ -1,6 +1,12 @@
 #pragma once
 // Minimal leveled logging. Off by default so library users (and benchmarks)
 // see nothing unless they opt in; the CLI examples turn it on with -v.
+//
+// Thread-safe: the level is atomic and each message is formatted into a
+// line buffer, then written to stderr in one call under a mutex with a
+// thread tag ("[optalloc t2]"), so parallel portfolio workers can log
+// without interleaving. The tag ordinal matches the "tid" field of the
+// structured trace (obs::thread_ordinal).
 
 #include <cstdarg>
 
@@ -8,8 +14,7 @@ namespace optalloc {
 
 enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
 
-/// Global verbosity. Not thread-local: the solver is single-threaded and
-/// multi-threaded benches keep logging silent.
+/// Global verbosity (atomic; safe to flip while workers run).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

@@ -1,0 +1,282 @@
+// Observability layer: JSON round-trips, metrics registry merge semantics
+// under concurrent writers, JSONL trace schema, and the anytime progress
+// callback's interval monotonicity on a real optimization run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alloc/optimizer.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "workload/tindell.hpp"
+
+namespace optalloc {
+namespace {
+
+// --- JSON --------------------------------------------------------------
+
+TEST(Json, EscapeRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\x01 f";
+  const std::string doc = obs::JsonObject().str("k", nasty).build();
+  const auto parsed = obs::json_parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_string("k"), nasty);
+}
+
+TEST(Json, BuilderTypesParseBack) {
+  obs::JsonArray arr;
+  arr.push("1");
+  arr.push("\"two\"");
+  const std::string doc = obs::JsonObject()
+                              .str("s", "hi")
+                              .num("i", std::int64_t{-42})
+                              .num("d", 2.5)
+                              .boolean("b", true)
+                              .raw("a", arr.build())
+                              .build();
+  const auto parsed = obs::json_parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_string("s"), "hi");
+  EXPECT_EQ(parsed->get_number("i"), -42.0);
+  EXPECT_EQ(parsed->get_number("d"), 2.5);
+  const obs::JsonValue* b = parsed->get("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->b);
+  const obs::JsonValue* a = parsed->get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 2u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].string, "two");
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_FALSE(obs::json_parse("").has_value());
+  EXPECT_FALSE(obs::json_parse("{").has_value());
+  EXPECT_FALSE(obs::json_parse("{}x").has_value());
+  EXPECT_FALSE(obs::json_parse("{\"k\":}").has_value());
+  EXPECT_FALSE(obs::json_parse("[1,]").has_value());
+  EXPECT_TRUE(obs::json_parse(" { \"k\" : [ 1 , null ] } ").has_value());
+}
+
+TEST(Json, UnicodeEscapes) {
+  const auto parsed = obs::json_parse("{\"k\":\"\\u00e9\\u0041\"}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_string("k"), "\xc3\xa9" "A");
+}
+
+// --- Metrics registry --------------------------------------------------
+
+std::int64_t lookup(const std::vector<obs::MetricValue>& snap,
+                    const std::string& name) {
+  for (const auto& m : snap) {
+    if (m.name == name) return m.value;
+  }
+  return -1;
+}
+
+TEST(Metrics, RegistrationIsIdempotentAndKindChecked) {
+  const obs::Metric a = obs::counter("test.reg");
+  const obs::Metric b = obs::counter("test.reg");
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_THROW(obs::gauge("test.reg"), std::logic_error);
+}
+
+TEST(Metrics, ConcurrentWritersMergeExactly) {
+  obs::reset_metrics();
+  const obs::Metric c = obs::counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c] {
+      for (int i = 0; i < kAdds; ++i) obs::add(c, 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  // All writer threads have exited: the sum must include retired shards.
+  EXPECT_EQ(lookup(obs::snapshot(), "test.concurrent"),
+            std::int64_t{kThreads} * kAdds);
+
+  // A second wave after the snapshot keeps accumulating on top.
+  std::thread extra([c] { obs::add(c, 5); });
+  extra.join();
+  EXPECT_EQ(lookup(obs::snapshot(), "test.concurrent"),
+            std::int64_t{kThreads} * kAdds + 5);
+}
+
+TEST(Metrics, SnapshotWhileWritersLive) {
+  obs::reset_metrics();
+  const obs::Metric c = obs::counter("test.live");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) obs::add(c, 1);
+  });
+  // Merge-on-read must be safe against a concurrently writing shard.
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = lookup(obs::snapshot(), "test.live");
+    EXPECT_GE(v, 0);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Metrics, GaugeAndTimerSemantics) {
+  obs::reset_metrics();
+  const obs::Metric g = obs::gauge("test.gauge");
+  obs::set(g, 7);
+  obs::set(g, 3);
+  EXPECT_EQ(lookup(obs::snapshot(), "test.gauge"), 3);
+
+  const obs::Metric t = obs::timer("test.timer");
+  obs::record(t, 0.25);
+  obs::record(t, 0.5);
+  for (const auto& m : obs::snapshot()) {
+    if (m.name != "test.timer") continue;
+    EXPECT_EQ(m.kind, obs::MetricKind::kTimer);
+    EXPECT_EQ(m.value, 2);  // invocation count
+    EXPECT_DOUBLE_EQ(m.seconds, 0.75);
+  }
+
+  const auto doc = obs::json_parse(obs::metrics_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_number("test.gauge"), 3.0);
+  const obs::JsonValue* timer = doc->get("test.timer");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->get_number("count"), 2.0);
+}
+
+// --- Trace sink + progress callback ------------------------------------
+
+struct TraceRun {
+  alloc::OptimizeResult result;
+  std::vector<obs::JsonValue> events;
+  std::vector<alloc::Progress> progress;
+};
+
+/// Optimize a small Tindell prefix with the trace sink routed to a string
+/// stream; returns the parsed events and the progress-callback samples.
+TraceRun traced_run() {
+  TraceRun run;
+  std::ostringstream sink;
+  obs::trace_to_stream(&sink);
+  alloc::OptimizeOptions opts;
+  opts.on_progress = [&run](const alloc::Progress& p) {
+    run.progress.push_back(p);
+  };
+  run.result = alloc::optimize(workload::tindell_prefix(10),
+                               alloc::Objective::ring_trt(0), opts);
+  obs::trace_close();
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto parsed = obs::json_parse(line);
+    EXPECT_TRUE(parsed.has_value()) << "unparseable trace line: " << line;
+    if (parsed) run.events.push_back(std::move(*parsed));
+  }
+  return run;
+}
+
+TEST(Trace, JsonlSchemaAndEventVocabulary) {
+  const TraceRun run = traced_run();
+  ASSERT_EQ(run.result.status, alloc::OptimizeResult::Status::kOptimal);
+  ASSERT_FALSE(run.events.empty());
+
+  int solves = 0, intervals = 0, optimums = 0;
+  double last_ts = 0.0;
+  for (const auto& ev : run.events) {
+    ASSERT_TRUE(ev.is_object());
+    const auto type = ev.get_string("type");
+    ASSERT_TRUE(type.has_value());
+    const auto ts = ev.get_number("ts");
+    ASSERT_TRUE(ts.has_value());
+    EXPECT_GE(*ts, last_ts);  // single-threaded run: timestamps ordered
+    last_ts = *ts;
+    ASSERT_TRUE(ev.get_number("tid").has_value());
+
+    if (*type == "solve") {
+      ++solves;
+      const auto result = ev.get_string("result");
+      ASSERT_TRUE(result.has_value());
+      EXPECT_TRUE(*result == "sat" || *result == "unsat" ||
+                  *result == "undef");
+      EXPECT_TRUE(ev.get_number("call").has_value());
+      EXPECT_TRUE(ev.get_number("conflicts").has_value());
+      EXPECT_TRUE(ev.get_number("seconds").has_value());
+    } else if (*type == "interval") {
+      ++intervals;
+      const auto lower = ev.get_number("lower");
+      const auto upper = ev.get_number("upper");
+      ASSERT_TRUE(lower.has_value());
+      ASSERT_TRUE(upper.has_value());
+      EXPECT_LE(*lower, *upper);
+    } else if (*type == "optimum") {
+      ++optimums;
+      EXPECT_EQ(ev.get_string("status"), "optimal");
+      EXPECT_EQ(ev.get_number("cost"),
+                static_cast<double>(run.result.cost));
+    }
+  }
+  EXPECT_GE(solves, 1);
+  EXPECT_GE(intervals, 1);
+  EXPECT_EQ(optimums, 1);
+  EXPECT_EQ(solves, run.result.stats.sat_calls);
+}
+
+TEST(Trace, ProgressIntervalsShrinkMonotonically) {
+  const TraceRun run = traced_run();
+  ASSERT_EQ(run.result.status, alloc::OptimizeResult::Status::kOptimal);
+  ASSERT_FALSE(run.progress.empty());
+
+  const alloc::Progress* prev = nullptr;
+  for (const alloc::Progress& p : run.progress) {
+    EXPECT_LE(p.lower, p.upper);
+    EXPECT_GE(p.seconds, 0.0);
+    if (prev) {
+      EXPECT_GE(p.lower, prev->lower);   // lower bound never retreats
+      EXPECT_LE(p.upper, prev->upper);   // incumbent never worsens
+      EXPECT_GE(p.sat_calls, prev->sat_calls);
+    }
+    if (p.has_incumbent) {
+      EXPECT_EQ(p.incumbent_cost, p.upper);
+    }
+    prev = &p;
+  }
+  // Final sample: the interval has collapsed onto the optimum.
+  const alloc::Progress& last = run.progress.back();
+  EXPECT_EQ(last.lower, last.upper);
+  EXPECT_EQ(last.upper, run.result.cost);
+}
+
+TEST(Trace, DisabledSinkEmitsNothing) {
+  std::ostringstream sink;
+  obs::trace_to_stream(&sink);
+  obs::trace_close();
+  EXPECT_FALSE(obs::trace_enabled());
+  { obs::TraceEvent ev("ignored"); }
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Metrics, OptimizerFlushesRegistry) {
+  obs::reset_metrics();
+  const auto res = alloc::optimize(workload::tindell_prefix(8),
+                                   alloc::Objective::ring_trt(0), {});
+  ASSERT_EQ(res.status, alloc::OptimizeResult::Status::kOptimal);
+  const auto snap = obs::snapshot();
+  EXPECT_EQ(lookup(snap, "opt.runs"), 1);
+  EXPECT_EQ(lookup(snap, "opt.sat_calls"),
+            static_cast<std::int64_t>(res.stats.sat_calls));
+  EXPECT_EQ(lookup(snap, "sat.solve_calls"),
+            static_cast<std::int64_t>(res.stats.sat_calls));
+  EXPECT_GT(lookup(snap, "sat.decisions"), 0);
+}
+
+}  // namespace
+}  // namespace optalloc

@@ -1,0 +1,31 @@
+# End-to-end telemetry smoke test (driven by ctest, see tests/CMakeLists):
+# run allocate_file with --trace on the bundled gateway problem, then
+# validate the emitted JSONL against the event schema.
+#
+# Expects: -DALLOCATE_FILE=<path> -DSCHEMA_CHECK=<path> -DPROBLEM=<path>
+#          -DWORK_DIR=<scratch dir>
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(trace_file "${WORK_DIR}/smoke_trace.jsonl")
+
+execute_process(
+  COMMAND "${ALLOCATE_FILE}" "${PROBLEM}" sum-trt
+          --trace "${trace_file}" --stats
+  RESULT_VARIABLE allocate_status
+  OUTPUT_VARIABLE allocate_output
+  ERROR_VARIABLE allocate_output)
+if(NOT allocate_status EQUAL 0)
+  message(FATAL_ERROR
+          "allocate_file failed (${allocate_status}):\n${allocate_output}")
+endif()
+
+execute_process(
+  COMMAND "${SCHEMA_CHECK}" "${trace_file}"
+  RESULT_VARIABLE check_status
+  OUTPUT_VARIABLE check_output
+  ERROR_VARIABLE check_output)
+if(NOT check_status EQUAL 0)
+  message(FATAL_ERROR
+          "trace schema check failed (${check_status}):\n${check_output}")
+endif()
+message(STATUS "trace schema ok:\n${check_output}")

@@ -1,0 +1,120 @@
+// Standalone JSONL trace validator, used by the `smoke_allocate_trace`
+// ctest target (and handy manually: `trace_schema_check run.jsonl`).
+// Checks that every line is a JSON object carrying the standard fields
+// and that the per-type required fields are present; prints a per-type
+// event census on success.
+//
+// Exit status: 0 = valid, 1 = schema violation, 2 = usage/IO error.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using optalloc::obs::JsonValue;
+
+/// type -> fields that must be present on every event of that type.
+const std::map<std::string, std::vector<const char*>>& required_fields() {
+  static const std::map<std::string, std::vector<const char*>> kSchema = {
+      {"solve", {"call", "result", "conflicts", "seconds"}},
+      {"interval", {"lower", "upper", "sat_calls"}},
+      {"optimum", {"status", "lower", "sat_calls", "seconds"}},
+      {"solver_restart", {"restarts", "conflicts", "learnts"}},
+      {"solver_gc", {"gc_runs", "arena_before", "arena_after"}},
+      {"portfolio_start", {"worker", "strategy", "backend"}},
+      {"portfolio_finish", {"worker", "status"}},
+      {"portfolio_cancel", {"worker"}},
+      {"portfolio_win", {"winner", "status"}},
+      {"anneal", {"feasible", "iterations", "accepted", "seconds"}},
+  };
+  return kSchema;
+}
+
+bool fail(int line, const std::string& why) {
+  std::fprintf(stderr, "trace_schema_check: line %d: %s\n", line,
+               why.c_str());
+  return false;
+}
+
+bool check_line(int line_no, const std::string& line,
+                std::map<std::string, int>& census) {
+  const auto parsed = optalloc::obs::json_parse(line);
+  if (!parsed) return fail(line_no, "not valid JSON");
+  if (!parsed->is_object()) return fail(line_no, "not a JSON object");
+  const auto type = parsed->get_string("type");
+  if (!type) return fail(line_no, "missing \"type\"");
+  const auto ts = parsed->get_number("ts");
+  if (!ts || *ts < 0.0) return fail(line_no, "missing/negative \"ts\"");
+  if (!parsed->get_number("tid")) return fail(line_no, "missing \"tid\"");
+
+  const auto& schema = required_fields();
+  const auto it = schema.find(*type);
+  if (it != schema.end()) {
+    for (const char* field : it->second) {
+      if (!parsed->get(field)) {
+        return fail(line_no, "event \"" + *type + "\" missing \"" + field +
+                                 "\"");
+      }
+    }
+  }
+  ++census[*type];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.jsonl>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_schema_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::map<std::string, int> census;
+  std::string line;
+  int line_no = 0;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    ok = check_line(line_no, line, census) && ok;
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "trace_schema_check: %s is empty\n", argv[1]);
+    return 1;
+  }
+  for (const auto& [type, count] : census) {
+    std::printf("%-16s %d\n", type.c_str(), count);
+  }
+  // An optimizer run must have produced solves and a verdict: exactly one
+  // "optimum" per optimize() call — a portfolio race has one per worker
+  // plus a single "portfolio_win".
+  if (census["solve"] < 1) {
+    std::fprintf(stderr, "trace_schema_check: no \"solve\" events\n");
+    ok = false;
+  }
+  const int workers = census["portfolio_start"];
+  if (workers == 0 ? census["optimum"] != 1
+                   : census["optimum"] < 1 || census["optimum"] > workers) {
+    std::fprintf(stderr,
+                 "trace_schema_check: saw %d \"optimum\" events for %d "
+                 "optimizer runs\n",
+                 census["optimum"], workers == 0 ? 1 : workers);
+    ok = false;
+  }
+  if (workers > 0 && census["portfolio_win"] != 1) {
+    std::fprintf(stderr,
+                 "trace_schema_check: portfolio trace without exactly one "
+                 "\"portfolio_win\"\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
