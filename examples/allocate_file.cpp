@@ -7,19 +7,26 @@
 //   $ ./allocate_file system.prob trt:0 --dot      # graphviz topology
 //   $ ./allocate_file system.prob trt:0 --trace t.jsonl  # JSONL telemetry
 //   $ ./allocate_file system.prob trt:0 --stats    # search-effort summary
+//   $ ./allocate_file --certify system.prob        # certified optimum
 //   $ ./allocate_file - feasibility < system.prob
 //
 // Objectives: feasibility | trt:<medium> | sum-trt | can-load:<medium> |
-// max-util. The optional --time budget (seconds) turns the run into an
-// anytime optimization that reports best-so-far plus bounds. --trace FILE
-// streams every SOLVE call, interval update and the final optimum as
-// structured JSONL events (see README "Observability"); --stats enables
-// phase timers and prints the metrics registry on exit.
+// max-util; sum-trt is the default when omitted. The optional --time
+// budget (seconds) turns the run into an anytime optimization that
+// reports best-so-far plus bounds. --trace FILE streams every SOLVE call,
+// interval update and the final optimum as structured JSONL events (see
+// README "Observability"); --stats enables phase timers and prints the
+// metrics registry on exit. --certify runs the independent checkers over
+// every search step (models on SAT, DRAT proofs on UNSAT, RT re-analysis
+// of the answer) and the exit status reflects the verdict; --proof FILE
+// additionally dumps the solver's proof log for the standalone
+// drat_check tool.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "alloc/io.hpp"
 #include "net/dot.hpp"
@@ -29,40 +36,31 @@
 #include "alloc/optimizer.hpp"
 #include "heur/annealing.hpp"
 #include "rt/verify.hpp"
+#include "sat/proof.hpp"
 
 using namespace optalloc;
 
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s <file|-> [objective] [--time <seconds>] "
+               "[--trace <file>] [--stats] [--report] [--dot] "
+               "[--certify] [--proof <file>]\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <file|-> <objective> [--time <seconds>] "
-                 "[--trace <file>] [--stats] [--report] [--dot]\n",
-                 argv[0]);
-    return 2;
-  }
-  alloc::Problem problem;
-  alloc::Objective objective;
-  try {
-    if (std::strcmp(argv[1], "-") == 0) {
-      problem = alloc::parse_problem(std::cin);
-    } else {
-      std::ifstream in(argv[1]);
-      if (!in) {
-        std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
-        return 2;
-      }
-      problem = alloc::parse_problem(in);
-    }
-    objective = alloc::parse_objective(argv[2]);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
   alloc::OptimizeOptions opts;
   bool want_report = false;
   bool want_dot = false;
   bool want_stats = false;
-  for (int i = 3; i < argc; ++i) {
+  const char* proof_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--time") == 0 && i + 1 < argc) {
       opts.time_limit_s = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--report") == 0) {
@@ -71,14 +69,47 @@ int main(int argc, char** argv) {
       want_dot = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+    } else if (std::strcmp(argv[i], "--certify") == 0) {
+      opts.certify = true;
+    } else if (std::strcmp(argv[i], "--proof") == 0 && i + 1 < argc) {
+      proof_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       if (!obs::trace_open(argv[++i])) {
         std::fprintf(stderr, "error: cannot open trace file %s\n", argv[i]);
         return 2;
       }
+    } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return usage(argv[0]);
+    } else {
+      positional.push_back(argv[i]);
     }
   }
+  if (positional.empty() || positional.size() > 2) return usage(argv[0]);
+
+  alloc::Problem problem;
+  alloc::Objective objective = alloc::Objective::sum_trt();
+  try {
+    if (std::strcmp(positional[0], "-") == 0) {
+      problem = alloc::parse_problem(std::cin);
+    } else {
+      std::ifstream in(positional[0]);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", positional[0]);
+        return 2;
+      }
+      problem = alloc::parse_problem(in);
+    }
+    if (positional.size() == 2) {
+      objective = alloc::parse_objective(positional[1]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   if (want_stats) obs::set_phase_timing(true);
+  sat::ProofLog proof_log;
+  if (proof_path != nullptr) opts.proof = &proof_log;
 
   // Heuristic seed (also the anytime fallback under tight budgets).
   const auto sa = heur::anneal(problem, objective, {.iterations = 8000});
@@ -86,12 +117,32 @@ int main(int argc, char** argv) {
 
   const alloc::OptimizeResult res = alloc::optimize(problem, objective, opts);
   obs::trace_close();
+  if (proof_path != nullptr) {
+    std::ofstream out(proof_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open proof file %s\n", proof_path);
+      return 2;
+    }
+    proof_log.write_text(out);
+  }
   std::printf("objective: %s\n", objective.describe().c_str());
   std::printf("status:    %s\n", res.status_string().c_str());
+  bool certify_failed = false;
+  if (opts.certify) {
+    if (res.certified) {
+      std::printf("certified: true\n");
+    } else {
+      certify_failed = true;
+      std::printf("certified: FAILED (%s)\n",
+                  res.certify_error.empty() ? "search not run to completion"
+                                            : res.certify_error.c_str());
+    }
+  }
   if (want_stats) {
     std::printf("effort:    %s\n", res.stats.summary().c_str());
     std::printf("--- metrics ---\n%s", obs::render_metrics().c_str());
   }
+  if (certify_failed) return 3;
   if (res.status == alloc::OptimizeResult::Status::kInfeasible) return 1;
   std::printf("cost:      %lld", static_cast<long long>(res.cost));
   if (res.status == alloc::OptimizeResult::Status::kBudgetExhausted) {

@@ -6,6 +6,7 @@
 //   $ ./hierarchical_gateway
 //   $ ./hierarchical_gateway --trace t.jsonl   # JSONL telemetry
 //   $ ./hierarchical_gateway --stats           # search-effort summary
+//   $ ./hierarchical_gateway --certify         # checker-verified optimum
 
 #include <cstdio>
 #include <cstring>
@@ -20,10 +21,13 @@ using namespace optalloc;
 
 int main(int argc, char** argv) {
   bool want_stats = false;
+  bool want_certify = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
       obs::set_phase_timing(true);
+    } else if (std::strcmp(argv[i], "--certify") == 0) {
+      want_certify = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       if (!obs::trace_open(argv[++i])) {
         std::fprintf(stderr, "error: cannot open trace file %s\n", argv[i]);
@@ -73,11 +77,21 @@ int main(int argc, char** argv) {
   control.messages.push_back({3, 2, 80, 0});    // control -> monitor
   p.tasks.tasks = {acquire, logger, control, monitor};
 
+  alloc::OptimizeOptions opts;
+  opts.certify = want_certify;
   const alloc::OptimizeResult res =
-      alloc::optimize(p, alloc::Objective::sum_trt());
+      alloc::optimize(p, alloc::Objective::sum_trt(), opts);
   obs::trace_close();
   std::printf("status: %s, sum of TRTs = %lld ticks\n",
               res.status_string().c_str(), static_cast<long long>(res.cost));
+  if (want_certify) {
+    if (res.certified) {
+      std::printf("certified: true\n");
+    } else {
+      std::printf("certified: FAILED (%s)\n", res.certify_error.c_str());
+      return 3;
+    }
+  }
   if (want_stats) {
     std::printf("effort: %s\n", res.stats.summary().c_str());
     std::printf("--- metrics ---\n%s", obs::render_metrics().c_str());

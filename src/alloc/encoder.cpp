@@ -39,6 +39,7 @@ AllocEncoder::AllocEncoder(const Problem& problem, Objective objective,
 }
 
 void AllocEncoder::require(NodeId formula) {
+  asserted_.push_back(formula);
   // The paper's "translation into SAT" phase: bit-blasting one asserted
   // constraint. Timed only on request; assert_true recurses, so the timer
   // wraps the top-level call.

@@ -83,6 +83,18 @@ class AllocEncoder {
   const pb::PbPropagator& pb() const { return *pb_; }
   const net::PathClosures& closures() const { return *closures_; }
 
+  // --- Certification hooks (see src/check) ------------------------------
+
+  /// Attach a proof log to the underlying solver. Must be called before
+  /// build() so the log captures the full clause database.
+  void set_proof(sat::ProofLog* proof) { solver_->set_proof(proof); }
+
+  /// The IR context and the formulas asserted through it — the inputs the
+  /// model certifier replays a SAT answer against.
+  const ir::Context& ctx() const { return ctx_; }
+  std::span<const ir::NodeId> asserted_formulas() const { return asserted_; }
+  const encode::BitBlaster& blaster() const { return *blaster_; }
+
  private:
   using NodeId = ir::NodeId;
 
@@ -140,6 +152,9 @@ class AllocEncoder {
 
   NodeId cost_ = ir::kInvalidNode;
   ir::Range cost_range_{0, 0};
+
+  /// Every formula passed to require(), for the model certifier.
+  std::vector<NodeId> asserted_;
 
   /// Guard literals already built for (lo,hi) bound pairs.
   std::map<std::pair<std::int64_t, std::int64_t>, sat::Lit> bound_guards_;

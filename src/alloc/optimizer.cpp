@@ -2,10 +2,15 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "alloc/cost.hpp"
+#include "check/drat.hpp"
+#include "check/model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rt/verify.hpp"
+#include "sat/proof.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
@@ -62,7 +67,16 @@ std::string OptimizeStats::summary() const {
                 static_cast<unsigned long long>(boolean_literals),
                 static_cast<unsigned long long>(conflicts),
                 static_cast<unsigned long long>(pb_constraints));
-  return buf;
+  std::string s = buf;
+  if (models_certified > 0 || proofs_certified > 0) {
+    std::snprintf(buf, sizeof buf,
+                  " certify: models=%d proofs=%d lemmas=%llu time=%.3fs",
+                  models_certified, proofs_certified,
+                  static_cast<unsigned long long>(proof_lemmas_checked),
+                  certify_seconds);
+    s += buf;
+  }
+  return s;
 }
 
 OptimizeResult optimize(const Problem& problem, Objective objective,
@@ -110,6 +124,102 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     }
   };
 
+  // --- Certification machinery (active only under options.certify). -----
+  // Every SAT answer is replayed against the PB store and the pre-encode
+  // IR formulas; every UNSAT answer contributes its core lemma as a proof
+  // obligation, discharged by one backward RUP-checking pass at the end
+  // (incremental mode) or per call (scratch mode); the final allocation is
+  // re-validated by the independent RT analysis.
+  std::vector<std::size_t> unsat_steps;  // proof-step indices of UNSAT cores
+  bool cert_ok = true;
+  auto cert_fail = [&](std::string msg) {
+    if (cert_ok) {
+      cert_ok = false;
+      result.certify_error = std::move(msg);
+    }
+    log_info("certify: FAILED: %s", result.certify_error.c_str());
+  };
+
+  auto certify_model = [&](AllocEncoder& enc, std::optional<std::int64_t> lo,
+                           std::optional<std::int64_t> hi) {
+    if (!options.certify) return;
+    Stopwatch sw;
+    const check::ModelResult mr =
+        check::check_model(enc.ctx(), enc.asserted_formulas(), enc.blaster(),
+                           enc.solver(), &enc.pb());
+    bool ok = mr.ok;
+    std::string err = mr.error;
+    if (ok) {
+      const std::int64_t cost = enc.decode_cost();
+      if ((lo && cost < *lo) || (hi && cost > *hi)) {
+        ok = false;
+        err = "decoded cost " + std::to_string(cost) +
+              " escapes the queried bounds";
+      }
+    }
+    result.stats.certify_seconds += sw.seconds();
+    if (ok) {
+      ++result.stats.models_certified;
+    } else {
+      cert_fail("model: " + err);
+    }
+    if (obs::trace_enabled()) {
+      obs::TraceEvent e("certify");
+      e.str("kind", "model").boolean("ok", ok);
+      if (!ok) e.str("error", err);
+    }
+  };
+
+  auto certify_proof = [&](const sat::ProofLog& log,
+                           std::span<const std::size_t> targets) {
+    if (!options.certify) return;
+    Stopwatch sw;
+    const check::DratResult dr = check::check_proof(log, targets);
+    result.stats.certify_seconds += sw.seconds();
+    if (dr.ok) {
+      ++result.stats.proofs_certified;
+      result.stats.proof_lemmas_checked += dr.lemmas_checked;
+    } else {
+      cert_fail("proof: " + dr.error);
+    }
+    if (obs::trace_enabled()) {
+      obs::TraceEvent e("certify");
+      e.str("kind", "proof")
+          .boolean("ok", dr.ok)
+          .num("lemmas", static_cast<std::int64_t>(dr.lemmas_checked))
+          .num("theory", static_cast<std::int64_t>(dr.theory_checked));
+      if (!dr.ok) e.str("error", dr.error);
+    }
+  };
+
+  auto certify_allocation = [&] {
+    if (!options.certify || !result.has_allocation) return;
+    Stopwatch sw;
+    bool ok = true;
+    std::string err;
+    const rt::VerifyReport report =
+        rt::verify(problem.tasks, problem.arch, result.allocation);
+    if (!report.feasible) {
+      ok = false;
+      err = "final allocation failed RT re-validation";
+    } else {
+      const std::int64_t value =
+          objective_value(problem, objective, result.allocation);
+      if (value != result.cost) {
+        ok = false;
+        err = "objective re-evaluates to " + std::to_string(value) +
+              ", solver reported " + std::to_string(result.cost);
+      }
+    }
+    result.stats.certify_seconds += sw.seconds();
+    if (!ok) cert_fail("allocation: " + err);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent e("certify");
+      e.str("kind", "allocation").boolean("ok", ok);
+      if (!ok) e.str("error", err);
+    }
+  };
+
   // One SOLVE call against `enc`, with wall time, SAT/UNSAT breakdown,
   // and a "solve" trace event carrying the queried bounds.
   auto timed_solve = [&](AllocEncoder& enc, std::optional<std::int64_t> lo,
@@ -124,6 +234,13 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       ++result.stats.sat_calls_sat;
     } else if (verdict == sat::LBool::kFalse) {
       ++result.stats.sat_calls_unsat;
+      // The last logged step is this answer's conflict-core (or empty)
+      // lemma: a proof obligation for the final backward check.
+      const sat::ProofLog* log = enc.solver().proof();
+      if (log != nullptr && log->num_steps() > 0 &&
+          log->step(log->last_step()).kind == sat::ProofStepKind::kLemma) {
+        unsat_steps.push_back(log->last_step());
+      }
     }
     if (obs::trace_enabled()) {
       obs::TraceEvent e("solve");
@@ -145,32 +262,46 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     e.num("lower", result.lower_bound)
         .num("sat_calls", result.stats.sat_calls)
         .num("seconds", result.stats.seconds);
+    if (options.certify) e.boolean("certified", result.certified);
   };
 
   // --- Incremental mode: one encoder, bounds as assumptions. ------------
   if (options.incremental) {
+    // The proof log must be attached before build() so it captures the
+    // whole clause database; one log spans the entire binary search, and
+    // one backward pass at the end discharges every UNSAT step's core.
+    sat::ProofLog local_proof;
+    sat::ProofLog* proof = options.proof != nullptr
+                               ? options.proof
+                               : options.certify ? &local_proof : nullptr;
     AllocEncoder enc(problem, objective, options.encoder);
-    {
-      Stopwatch sw;
-      const bool built = enc.build();
-      result.stats.encode_seconds += sw.seconds();
-      if (!built) {
-        result.status = OptimizeResult::Status::kInfeasible;
-        absorb_stats(result.stats, enc);
-        result.stats.seconds = total.seconds();
-        trace_optimum();
-        flush_optimize_metrics(result);
-        return result;
-      }
-    }
+    if (proof != nullptr) enc.set_proof(proof);
+
     auto finish = [&](OptimizeResult::Status status) {
       result.status = status;
+      if (options.certify &&
+          (status == OptimizeResult::Status::kOptimal ||
+           status == OptimizeResult::Status::kInfeasible)) {
+        if (proof != nullptr &&
+            (!unsat_steps.empty() ||
+             status == OptimizeResult::Status::kInfeasible)) {
+          certify_proof(*proof, unsat_steps);
+        }
+        certify_allocation();
+        result.certified = cert_ok;
+      }
       absorb_stats(result.stats, enc);
       result.stats.seconds = total.seconds();
       trace_optimum();
       flush_optimize_metrics(result);
       return result;
     };
+    {
+      Stopwatch sw;
+      const bool built = enc.build();
+      result.stats.encode_seconds += sw.seconds();
+      if (!built) return finish(OptimizeResult::Status::kInfeasible);
+    }
 
     // R := SOLVE(phi): the first query yields an upper estimate. A
     // verified warm-start allocation short-circuits it entirely — its
@@ -202,6 +333,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       if (verdict == sat::LBool::kUndef) {
         return finish(OptimizeResult::Status::kBudgetExhausted);
       }
+      certify_model(enc, {}, {});
       upper = enc.decode_cost();
       result.cost = upper;
       result.allocation = enc.decode();
@@ -234,6 +366,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       if (verdict == sat::LBool::kFalse) {
         lower = mid + 1;
       } else {
+        certify_model(enc, lower, mid);
         upper = enc.decode_cost();
         result.cost = upper;
         result.allocation = enc.decode();
@@ -251,6 +384,12 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
   // --- Scratch mode: fresh encoder per SOLVE (paper's base procedure). --
   auto finish_scratch = [&](OptimizeResult::Status status) {
     result.status = status;
+    if (options.certify &&
+        (status == OptimizeResult::Status::kOptimal ||
+         status == OptimizeResult::Status::kInfeasible)) {
+      certify_allocation();
+      result.certified = cert_ok;
+    }
     result.stats.seconds = total.seconds();
     trace_optimum();
     flush_optimize_metrics(result);
@@ -261,7 +400,12 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
                            std::int64_t& cost_out,
                            rt::Allocation& alloc_out,
                            ir::Range& cost_range_out) -> sat::LBool {
+    // Scratch proofs are per call: each UNSAT answer is checked on the
+    // spot, against the clause database of its own throwaway solver.
+    sat::ProofLog call_proof;
+    unsat_steps.clear();
     AllocEncoder enc(problem, objective, options.encoder);
+    if (options.certify) enc.set_proof(&call_proof);
     Stopwatch sw;
     const bool built = enc.build();
     result.stats.encode_seconds += sw.seconds();
@@ -275,8 +419,11 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       ++result.stats.sat_calls_unsat;
     }
     if (verdict == sat::LBool::kTrue) {
+      certify_model(enc, lo, hi);
       cost_out = enc.decode_cost();
       alloc_out = enc.decode();
+    } else if (verdict == sat::LBool::kFalse && options.certify) {
+      certify_proof(call_proof, unsat_steps);
     }
     absorb_stats(result.stats, enc);
     return verdict;

@@ -58,6 +58,16 @@ struct OptimizeOptions {
   /// Known feasible allocation: biases the solver's first descent
   /// (phase-saving warm start).
   std::optional<rt::Allocation> warm_start;
+  /// Certify every step of the search (see src/check): SAT answers are
+  /// replayed against the PB store and the pre-bit-blast IR formulas,
+  /// UNSAT answers are backed by DRAT proofs checked by the independent
+  /// RUP checker, and the final allocation is re-validated by the RT
+  /// analysis. The outcome lands in OptimizeResult::certified.
+  bool certify = false;
+  /// Route proof logging into an external log (incremental mode only) so
+  /// callers can dump it for the standalone drat_check tool. Implies
+  /// nothing about `certify`; both may be set independently.
+  sat::ProofLog* proof = nullptr;
   /// Cooperative cancellation (set by the portfolio runner).
   const std::atomic<bool>* stop = nullptr;
   /// Anytime progress callback, invoked after the initial solution and
@@ -78,6 +88,11 @@ struct OptimizeStats {
   int sat_calls_unsat = 0;    ///< SOLVE calls answered UNSAT
   double encode_seconds = 0.0;  ///< building + bit-blasting constraints
   double solve_seconds = 0.0;   ///< inside sat::Solver::solve()
+  // Certification effort (all zero unless OptimizeOptions::certify).
+  int models_certified = 0;   ///< SAT answers accepted by the model checker
+  int proofs_certified = 0;   ///< proof checker passes (per log checked)
+  std::uint64_t proof_lemmas_checked = 0;  ///< RUP lemmas verified
+  double certify_seconds = 0.0;
 
   /// One-line human summary ("calls=7 (5 sat/2 unsat) encode=0.1s ...").
   std::string summary() const;
@@ -96,6 +111,13 @@ struct OptimizeResult {
   /// Remaining search interval on interruption ([lower, cost] with
   /// lower == cost when optimal).
   std::int64_t lower_bound = 0;
+  /// True iff OptimizeOptions::certify was set, the search ran to a
+  /// definitive status (kOptimal/kInfeasible), and every certification
+  /// layer accepted: all SAT models, all UNSAT proofs, and the final
+  /// allocation's RT re-validation + objective cross-check.
+  bool certified = false;
+  /// First certification failure, empty when none (or not certifying).
+  std::string certify_error;
   OptimizeStats stats;
 
   std::string status_string() const {

@@ -1,0 +1,343 @@
+#include "check/drat.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace optalloc::check {
+namespace {
+
+using sat::Lit;
+using sat::ProofLog;
+using sat::ProofStep;
+using sat::ProofStepKind;
+
+constexpr std::uint32_t kNoClause = 0xFFFFFFFFu;
+constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+struct DbClause {
+  std::uint32_t begin = 0;  ///< into Checker::pool_
+  std::uint32_t end = 0;
+  std::size_t add_step = 0;
+  std::size_t delete_step = kNever;
+  ProofStepKind kind = ProofStepKind::kInput;
+  bool marked = false;
+};
+
+class Checker {
+ public:
+  explicit Checker(const ProofLog& log) : log_(log) {}
+
+  DratResult run(std::span<const std::size_t> targets, bool all_lemmas) {
+    DratResult res;
+    if (!build_db(&res)) return res;
+    res.db_clauses = clauses_.size();
+    if (all_lemmas) {
+      for (DbClause& c : clauses_) {
+        if (c.kind != ProofStepKind::kInput) c.marked = true;
+      }
+    } else if (!mark_targets(targets, &res)) {
+      return res;
+    }
+
+    // Backward pass: verify marked lemmas last-to-first. A check only ever
+    // marks clauses added earlier, so everything marked is eventually
+    // either verified (lemma/theory) or trusted (input/axiom).
+    for (std::size_t s = log_.num_steps(); s-- > 0;) {
+      const std::uint32_t cid = step_clause_[s];
+      if (cid == kNoClause || !clauses_[cid].marked) continue;
+      if (clauses_[cid].kind == ProofStepKind::kLemma) {
+        if (!check_rup(cid, &res)) return res;
+        ++res.lemmas_checked;
+      } else if (clauses_[cid].kind == ProofStepKind::kTheory) {
+        if (!check_weakening(cid, &res)) return res;
+        ++res.theory_checked;
+      }
+    }
+    res.ok = true;
+    return res;
+  }
+
+ private:
+  std::span<const Lit> lits(const DbClause& c) const {
+    return {pool_.data() + c.begin, pool_.data() + c.end};
+  }
+
+  bool fail(DratResult* res, std::string msg) {
+    res->ok = false;
+    res->error = std::move(msg);
+    return false;
+  }
+
+  bool build_db(DratResult* res) {
+    // Deletions match clauses by literal multiset; the key is the sorted
+    // literal vector, the bucket a stack of clause ids.
+    std::map<std::vector<Lit>, std::vector<std::uint32_t>> by_lits;
+    std::vector<Lit> key;
+    std::int32_t max_var = -1;
+    for (const sat::ProofPbConstraint& c : log_.pb_constraints()) {
+      for (const sat::ProofPbTerm& t : c.terms) {
+        max_var = std::max(max_var, t.lit.var());
+        if (t.coef <= 0) {
+          return fail(res, "PB axiom with non-positive coefficient");
+        }
+      }
+    }
+
+    step_clause_.assign(log_.num_steps(), kNoClause);
+    for (std::size_t s = 0; s < log_.num_steps(); ++s) {
+      const ProofStep& step = log_.step(s);
+      const std::span<const Lit> ls = log_.lits(step);
+      for (const Lit l : ls) max_var = std::max(max_var, l.var());
+      key.assign(ls.begin(), ls.end());
+      std::sort(key.begin(), key.end());
+      if (step.kind == ProofStepKind::kDelete) {
+        // Unmatched deletions are ignored (sound for a RUP-only checker).
+        const auto it = by_lits.find(key);
+        if (it != by_lits.end()) {
+          for (std::size_t i = it->second.size(); i-- > 0;) {
+            DbClause& c = clauses_[it->second[i]];
+            if (c.delete_step == kNever) {
+              c.delete_step = s;
+              it->second.erase(it->second.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+              break;
+            }
+          }
+        }
+        continue;
+      }
+      DbClause c;
+      c.begin = static_cast<std::uint32_t>(pool_.size());
+      pool_.insert(pool_.end(), ls.begin(), ls.end());
+      c.end = static_cast<std::uint32_t>(pool_.size());
+      c.add_step = s;
+      c.kind = step.kind;
+      const auto cid = static_cast<std::uint32_t>(clauses_.size());
+      clauses_.push_back(c);
+      step_clause_[s] = cid;
+      by_lits[key].push_back(cid);
+    }
+
+    const std::size_t nvars = static_cast<std::size_t>(max_var) + 1;
+    vals_.assign(nvars, 0);
+    reason_.assign(nvars, kNoClause);
+    occs_.assign(2 * nvars, {});
+    for (std::uint32_t cid = 0; cid < clauses_.size(); ++cid) {
+      const DbClause& c = clauses_[cid];
+      if (c.end == c.begin) {
+        empty_.push_back(cid);
+      } else if (c.end - c.begin == 1) {
+        units_.push_back(cid);
+      }
+      for (const Lit l : lits(c)) {
+        occs_[static_cast<std::size_t>(l.index())].push_back(cid);
+      }
+    }
+    return true;
+  }
+
+  bool mark_targets(std::span<const std::size_t> targets, DratResult* res) {
+    if (!targets.empty()) {
+      for (const std::size_t s : targets) {
+        if (s >= log_.num_steps() || step_clause_[s] == kNoClause ||
+            clauses_[step_clause_[s]].kind != ProofStepKind::kLemma) {
+          return fail(res, "target step " + std::to_string(s) +
+                               " is not a lemma");
+        }
+        clauses_[step_clause_[s]].marked = true;
+      }
+      return true;
+    }
+    bool found = false;
+    std::uint32_t last_lemma = kNoClause;
+    for (std::uint32_t cid = 0; cid < clauses_.size(); ++cid) {
+      if (clauses_[cid].kind != ProofStepKind::kLemma) continue;
+      last_lemma = cid;
+      if (clauses_[cid].begin == clauses_[cid].end) {
+        clauses_[cid].marked = true;
+        found = true;
+      }
+    }
+    if (!found) {
+      if (last_lemma == kNoClause) {
+        return fail(res, "proof contains no lemma to check");
+      }
+      clauses_[last_lemma].marked = true;
+    }
+    return true;
+  }
+
+  // -- RUP check ---------------------------------------------------------
+
+  bool live_at(const DbClause& c, std::size_t s) const {
+    return c.add_step < s && c.delete_step > s;
+  }
+
+  enum LitVal : signed char { kFalse = -1, kUnset = 0, kTrue = 1 };
+
+  LitVal val(Lit l) const {
+    const signed char v = vals_[static_cast<std::size_t>(l.var())];
+    if (v == 0) return kUnset;
+    return (v > 0) != l.sign() ? kTrue : kFalse;
+  }
+
+  void assign(Lit l, std::uint32_t why) {
+    vals_[static_cast<std::size_t>(l.var())] =
+        static_cast<signed char>(l.sign() ? -1 : 1);
+    reason_[static_cast<std::size_t>(l.var())] = why;
+    trail_.push_back(l);
+  }
+
+  void undo() {
+    for (const Lit l : trail_) {
+      vals_[static_cast<std::size_t>(l.var())] = 0;
+      reason_[static_cast<std::size_t>(l.var())] = kNoClause;
+    }
+    trail_.clear();
+  }
+
+  /// Mark the conflict clause and, transitively, every reason clause that
+  /// supports the propagation chain leading into it.
+  void mark_used(std::uint32_t confl) {
+    std::vector<Lit> todo(lits(clauses_[confl]).begin(),
+                          lits(clauses_[confl]).end());
+    clauses_[confl].marked = true;
+    std::vector<char> visited(vals_.size(), 0);
+    while (!todo.empty()) {
+      const Lit l = todo.back();
+      todo.pop_back();
+      const auto v = static_cast<std::size_t>(l.var());
+      if (visited[v]) continue;
+      visited[v] = 1;
+      const std::uint32_t r = reason_[v];
+      if (r == kNoClause) continue;
+      clauses_[r].marked = true;
+      const auto rl = lits(clauses_[r]);
+      todo.insert(todo.end(), rl.begin(), rl.end());
+    }
+  }
+
+  /// Assert the negation of clause `cid` and unit propagate over the DB as
+  /// it stood at the clause's add step; succeed iff that closes with a
+  /// conflict (or the clause is a tautology).
+  bool check_rup(std::uint32_t cid, DratResult* res) {
+    const DbClause& target = clauses_[cid];
+    const std::size_t s = target.add_step;
+    std::uint32_t confl = kNoClause;
+
+    for (const Lit l : lits(target)) {
+      if (val(l) == kTrue) {  // tautological target: vacuously implied
+        undo();
+        return true;
+      }
+      if (val(l) == kUnset) assign(~l, kNoClause);
+    }
+    for (const std::uint32_t e : empty_) {
+      if (live_at(clauses_[e], s)) {
+        confl = e;
+        break;
+      }
+    }
+    for (std::size_t u = 0; confl == kNoClause && u < units_.size(); ++u) {
+      const std::uint32_t ucid = units_[u];
+      if (!live_at(clauses_[ucid], s)) continue;
+      const Lit l = lits(clauses_[ucid])[0];
+      if (val(l) == kFalse) {
+        confl = ucid;
+      } else if (val(l) == kUnset) {
+        assign(l, ucid);
+      }
+    }
+    for (std::size_t head = 0; confl == kNoClause && head < trail_.size();
+         ++head) {
+      const Lit falsified = ~trail_[head];
+      for (const std::uint32_t wcid :
+           occs_[static_cast<std::size_t>(falsified.index())]) {
+        if (!live_at(clauses_[wcid], s)) continue;
+        Lit unit = sat::kUndefLit;
+        bool determined = true;  // no true literal, <= 1 unset
+        for (const Lit l : lits(clauses_[wcid])) {
+          const LitVal v = val(l);
+          if (v == kTrue) {
+            determined = false;
+            break;
+          }
+          if (v == kUnset) {
+            if (unit != sat::kUndefLit && unit != l) {
+              determined = false;
+              break;
+            }
+            unit = l;
+          }
+        }
+        if (!determined) continue;
+        if (unit == sat::kUndefLit) {
+          confl = wcid;
+          break;
+        }
+        assign(unit, wcid);
+      }
+    }
+    if (confl == kNoClause) {
+      undo();
+      return fail(res, "lemma at step " + std::to_string(s) +
+                           " is not RUP (propagation closed without "
+                           "conflict)");
+    }
+    mark_used(confl);
+    undo();
+    return true;
+  }
+
+  // -- Theory weakening check -------------------------------------------
+
+  /// C is implied by  sum a_i l_i >= k  iff assigning every literal of C
+  /// false caps the achievable left-hand side below k. Terms whose literal
+  /// is in C contribute 0; all others (including negations of C literals,
+  /// which ~C forces true) can contribute their coefficient.
+  bool check_weakening(std::uint32_t cid, DratResult* res) {
+    const auto cl = lits(clauses_[cid]);
+    for (const Lit l : cl) {
+      if (std::find(cl.begin(), cl.end(), ~l) != cl.end()) return true;
+    }
+    for (const sat::ProofPbConstraint& axiom : log_.pb_constraints()) {
+      std::int64_t max_lhs = 0;
+      for (const sat::ProofPbTerm& t : axiom.terms) {
+        if (std::find(cl.begin(), cl.end(), t.lit) == cl.end()) {
+          max_lhs += t.coef;
+        }
+      }
+      if (max_lhs < axiom.rhs) return true;
+    }
+    return fail(res, "theory lemma at step " +
+                         std::to_string(clauses_[cid].add_step) +
+                         " is not a weakening of any logged PB axiom");
+  }
+
+  const ProofLog& log_;
+  std::vector<DbClause> clauses_;
+  std::vector<Lit> pool_;
+  std::vector<std::uint32_t> step_clause_;  ///< step idx -> clause id
+  std::vector<std::vector<std::uint32_t>> occs_;
+  std::vector<std::uint32_t> units_;
+  std::vector<std::uint32_t> empty_;
+  // Per-check propagation state (reset by undo()).
+  std::vector<signed char> vals_;
+  std::vector<std::uint32_t> reason_;
+  std::vector<Lit> trail_;
+};
+
+}  // namespace
+
+DratResult check_proof(const sat::ProofLog& log,
+                       std::span<const std::size_t> targets) {
+  return Checker(log).run(targets, /*all_lemmas=*/false);
+}
+
+DratResult check_proof_all(const sat::ProofLog& log) {
+  return Checker(log).run({}, /*all_lemmas=*/true);
+}
+
+}  // namespace optalloc::check

@@ -1,0 +1,57 @@
+#pragma once
+// Independent backward RUP proof checker for the extended-DRAT logs
+// produced by sat::ProofLog. "Independent" means: the checker shares no
+// state or code with the solver's propagation engine — it re-derives every
+// target lemma from the logged clause database by its own unit propagation,
+// so a bug in the solver's watch lists, conflict analysis or clause
+// minimization cannot vouch for itself.
+//
+// Checking discipline (drat-trim style backward checking):
+//   * forward pass: build the clause DB with per-clause [add, delete)
+//     liveness intervals (unmatched deletions are ignored — sound, since
+//     the checker is RUP-only and every DB clause is entailed);
+//   * mark the target lemmas (by default: every empty lemma, or the last
+//     lemma when none is empty — callers with assumption cores pass the
+//     core steps explicitly);
+//   * backward pass: for each marked lemma, assert its negation and unit
+//     propagate over the clauses live at that point; the propagation must
+//     close with a conflict, and the clauses it used are marked in turn.
+//   * marked theory (`t`) lemmas are verified as clausal weakenings of a
+//     logged PB axiom: C is implied by  sum a_i l_i >= k  iff the maximum
+//     of the left-hand side over assignments falsifying C is below k.
+//
+// What a PASS means: every target lemma is entailed by the `i` input
+// clauses plus the `p` PB axioms. Input lines themselves are trusted —
+// whether they faithfully encode the allocation problem is the model
+// certifier's job (see check/model.hpp and the threat model in DESIGN.md).
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "sat/proof.hpp"
+
+namespace optalloc::check {
+
+struct DratResult {
+  bool ok = false;
+  std::string error;              ///< first failure, human-readable
+  std::size_t lemmas_checked = 0; ///< RUP lemmas actually verified
+  std::size_t theory_checked = 0; ///< theory lemmas verified against axioms
+  std::size_t db_clauses = 0;     ///< clause DB size after the forward pass
+};
+
+/// Verify `targets` (step indices of kLemma steps in `log`; empty = the
+/// default target rule above). Returns ok=false with a diagnostic if any
+/// marked lemma fails its check or the log is malformed.
+DratResult check_proof(const sat::ProofLog& log,
+                       std::span<const std::size_t> targets = {});
+
+/// Strict mode: verify every lemma in the log, not just those a target
+/// depends on. Every clause the solver ever learns is RUP at the moment it
+/// is derived, so a healthy log always passes — and a corrupted lemma is
+/// caught even when the final answer happens not to depend on it. Used by
+/// the standalone drat_check tool and the fault-injection tests.
+DratResult check_proof_all(const sat::ProofLog& log);
+
+}  // namespace optalloc::check

@@ -1,0 +1,23 @@
+#include "check/invariants.hpp"
+
+namespace optalloc::check {
+
+std::string AuditReport::summary() const {
+  if (ok) return "consistent";
+  std::string s = std::to_string(violations.size()) + " violation(s)";
+  for (const std::string& v : violations) {
+    s += "\n  - ";
+    s += v;
+  }
+  return s;
+}
+
+AuditReport audit_solver_state(const sat::Solver& solver,
+                               const pb::PbPropagator* pb) {
+  AuditReport report;
+  if (!solver.audit(&report.violations)) report.ok = false;
+  if (pb != nullptr && !pb->audit(&report.violations)) report.ok = false;
+  return report;
+}
+
+}  // namespace optalloc::check

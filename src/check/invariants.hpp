@@ -1,0 +1,26 @@
+#pragma once
+// Aggregated solver-state invariant audit: the CDCL core's structural
+// invariants (watch lists, trail, reasons, learnt clauses) plus the PB
+// propagator's cached-slack consistency, collected into one report so
+// tests and debug hooks have a single entry point.
+
+#include <string>
+#include <vector>
+
+#include "pb/propagator.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::check {
+
+struct AuditReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  std::string summary() const;
+};
+
+/// Run every available auditor. `pb` may be null.
+AuditReport audit_solver_state(const sat::Solver& solver,
+                               const pb::PbPropagator* pb);
+
+}  // namespace optalloc::check

@@ -1,0 +1,82 @@
+#include "check/model.hpp"
+
+#include "sat/proof.hpp"
+
+namespace optalloc::check {
+namespace {
+
+bool lit_true(const sat::Solver& solver, sat::Lit l) {
+  return solver.model_value(l) == sat::LBool::kTrue;
+}
+
+}  // namespace
+
+ModelResult check_model(const ir::Context& ctx,
+                        std::span<const ir::NodeId> asserted,
+                        const encode::BitBlaster& blaster,
+                        const sat::Solver& solver,
+                        const pb::PbPropagator* pb) {
+  ModelResult res;
+
+  // Decode every variable of the IR into an evaluator assignment.
+  ir::Evaluator eval(ctx);
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const auto id = static_cast<ir::NodeId>(static_cast<std::int32_t>(i));
+    const ir::Node& n = ctx.node(id);
+    if (n.op == ir::Op::kIntVar) {
+      const std::int64_t v =
+          blaster.has_int(id) ? blaster.int_value(id) : n.range.lo;
+      if (!n.range.contains(v)) {
+        res.error = "decoded value " + std::to_string(v) + " of '" +
+                    ctx.name(id) + "' escapes its declared range [" +
+                    std::to_string(n.range.lo) + ", " +
+                    std::to_string(n.range.hi) + "]";
+        return res;
+      }
+      eval.set_int(id, v);
+    } else if (n.op == ir::Op::kBoolVar) {
+      eval.set_bool(id, blaster.has_bool(id) && blaster.bool_value(id));
+    }
+  }
+
+  for (const ir::NodeId f : asserted) {
+    if (!eval.eval_bool(f)) {
+      res.error = "asserted formula evaluates to false on the decoded "
+                  "model: " +
+                  ctx.to_string(f);
+      return res;
+    }
+    ++res.formulas_checked;
+  }
+
+  const auto value = [&](sat::Lit l) { return lit_true(solver, l); };
+  if (pb != nullptr) {
+    for (std::size_t i = 0; i < pb->num_constraints(); ++i) {
+      if (!pb::satisfied(pb->constraint(i), value)) {
+        res.error = "model violates PB constraint " + std::to_string(i);
+        return res;
+      }
+      ++res.pb_checked;
+    }
+  }
+  // PB axioms in the proof log are a superset of the watched constraints
+  // (they include constraints folded into units at add() time).
+  if (const sat::ProofLog* proof = solver.proof()) {
+    for (std::size_t i = 0; i < proof->pb_constraints().size(); ++i) {
+      const sat::ProofPbConstraint& c = proof->pb_constraints()[i];
+      std::int64_t lhs = 0;
+      for (const sat::ProofPbTerm& t : c.terms) {
+        if (lit_true(solver, t.lit)) lhs += t.coef;
+      }
+      if (lhs < c.rhs) {
+        res.error = "model violates logged PB axiom " + std::to_string(i);
+        return res;
+      }
+      ++res.pb_checked;
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace optalloc::check

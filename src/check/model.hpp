@@ -1,0 +1,45 @@
+#pragma once
+// Model certifier: replays a SAT answer against the constraints *as they
+// were stated*, not as they were encoded. Two layers:
+//
+//   * pseudo-Boolean: every constraint held by the native propagator (and
+//     every PB axiom registered in the proof log, which additionally covers
+//     constraints folded into units at construction time) is evaluated
+//     under the solver model;
+//   * integer: every asserted IR formula is re-evaluated by ir::Evaluator
+//     on the *decoded* integer/Boolean values — this crosses the bit-blast
+//     boundary, so a bug in the Tseitin decomposition, the adder/multiplier
+//     gates or the value decoder shows up as a certification failure even
+//     though the solver's model is propositionally consistent.
+//
+// Variables never touched by the encoding are unconstrained; they are
+// assigned their lower bound (integers) / false (Booleans) for evaluation.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "encode/bitblast.hpp"
+#include "ir/expr.hpp"
+#include "pb/propagator.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::check {
+
+struct ModelResult {
+  bool ok = false;
+  std::string error;                 ///< first failure, human-readable
+  std::size_t formulas_checked = 0;  ///< IR formulas evaluated
+  std::size_t pb_checked = 0;        ///< PB constraints evaluated
+};
+
+/// Certify the solver's current model (solver.model_value) against the
+/// asserted IR formulas and the PB constraint store. `pb` may be null when
+/// no native PB propagation is in use. Call only after solve() == kTrue.
+ModelResult check_model(const ir::Context& ctx,
+                        std::span<const ir::NodeId> asserted,
+                        const encode::BitBlaster& blaster,
+                        const sat::Solver& solver,
+                        const pb::PbPropagator* pb);
+
+}  // namespace optalloc::check

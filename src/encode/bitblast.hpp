@@ -78,6 +78,16 @@ class BitBlaster {
   std::int64_t int_value(ir::NodeId node) const;
   bool bool_value(ir::NodeId node) const;
 
+  /// Whether a node has an encoding (i.e. int_value/bool_value will not
+  /// throw). Unencoded variables are unconstrained — the model certifier
+  /// assigns them an arbitrary in-range value.
+  bool has_int(ir::NodeId node) const {
+    return int_cache_.contains(static_cast<std::int32_t>(node));
+  }
+  bool has_bool(ir::NodeId node) const {
+    return bool_cache_.contains(static_cast<std::int32_t>(node));
+  }
+
   /// Warm-start hints: bias the solver's initial phases so that the given
   /// node decodes to `value` on the first descent. No-op for constants.
   void hint_int(ir::NodeId int_var, std::int64_t value);

@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <optional>
+#include <string>
 
 #include "obs/metrics.hpp"
+#include "sat/proof.hpp"
 
 namespace optalloc::pb {
 
@@ -69,15 +71,26 @@ bool PbPropagator::add(Constraint c) {
   if (obs::phase_timing()) timer.emplace(t_translate);
   if (!solver_.ok()) return false;
   if (c.trivially_true()) return true;
+  // Register the PB axiom with the proof before deriving anything from it,
+  // so every consequence below (and every reason/conflict clause emitted
+  // during search) can be checked as a clausal weakening of a logged axiom.
+  if (sat::ProofLog* proof = solver_.proof()) {
+    std::vector<sat::ProofPbTerm> terms;
+    terms.reserve(c.terms.size());
+    for (const Term& t : c.terms) terms.push_back({t.coef, t.lit});
+    proof->add_pb_ge(terms, c.rhs);
+  }
   if (c.trivially_false()) {
-    solver_.add_clause(std::span<const sat::Lit>{});  // derive top-level UNSAT
+    // Even the all-true assignment misses rhs: the empty clause is a
+    // weakening of the axiom itself.
+    solver_.add_theory_clause(std::span<const sat::Lit>{});
     return false;
   }
   // rhs == total forces every literal: emit units instead of a constraint.
   // (Also covers single-literal constraints.)
   if (c.total() == c.rhs) {
     for (const Term& t : c.terms) {
-      if (!solver_.add_unit(t.lit)) return false;
+      if (!solver_.add_theory_clause({t.lit})) return false;
     }
     return true;
   }
@@ -98,15 +111,26 @@ bool PbPropagator::add(Constraint c) {
   ++stats_.constraints;
 
   // Top-level consequences: violated -> UNSAT; implied literals -> units.
+  // Both are expressed as clausal weakenings of the axiom (over the level-0
+  // false literals), so the solver derives the unit / empty clause itself
+  // and the proof checker can verify every step.
   const Watched& added = constraints_[id];
   if (added.slack < 0) {
-    solver_.add_clause(std::span<const sat::Lit>{});
+    ++stats_.conflicts;
+    scratch_.clear();
+    explain(added.c, added.total - added.c.rhs + 1, scratch_);
+    solver_.add_theory_clause(scratch_);
     return false;
   }
   for (const Term& t : added.c.terms) {
     if (t.coef <= constraints_[id].slack) break;
     if (solver_.value(t.lit) == sat::LBool::kUndef) {
-      if (!solver_.add_unit(t.lit)) return false;
+      scratch_.clear();
+      scratch_.push_back(t.lit);
+      explain(constraints_[id].c,
+              constraints_[id].total - constraints_[id].c.rhs - t.coef + 1,
+              scratch_);
+      if (!solver_.add_theory_clause(scratch_)) return false;
     }
   }
   return solver_.ok();
@@ -129,6 +153,33 @@ bool PbPropagator::on_assign(sat::Lit l, std::vector<sat::Lit>& conflict) {
     if (!check(id, conflict)) return false;
   }
   return true;
+}
+
+bool PbPropagator::audit(std::vector<std::string>* out) const {
+  bool ok = true;
+  for (std::size_t id = 0; id < constraints_.size(); ++id) {
+    const Watched& w = constraints_[id];
+    if (w.total != w.c.total()) {
+      ok = false;
+      if (out) {
+        out->push_back("constraint " + std::to_string(id) +
+                       ": cached total disagrees with terms");
+      }
+    }
+    std::int64_t slack = -w.c.rhs;
+    for (const Term& t : w.c.terms) {
+      if (solver_.value(t.lit) != sat::LBool::kFalse) slack += t.coef;
+    }
+    if (slack != w.slack) {
+      ok = false;
+      if (out) {
+        out->push_back("constraint " + std::to_string(id) +
+                       ": cached slack " + std::to_string(w.slack) +
+                       " but recomputed " + std::to_string(slack));
+      }
+    }
+  }
+  return ok;
 }
 
 void PbPropagator::on_unassign(sat::Lit l) {

@@ -13,6 +13,7 @@
 // clause generation GOBLIN-style engines perform.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pb/constraint.hpp"
@@ -49,6 +50,18 @@ class PbPropagator final : public sat::Propagator {
 
   const PbStats& stats() const { return stats_; }
   std::size_t num_constraints() const { return constraints_.size(); }
+
+  /// Watched constraint by index (for the model certifier; excludes
+  /// constraints folded away into units at add() time — those are covered
+  /// by the proof log's axiom records).
+  const Constraint& constraint(std::size_t i) const {
+    return constraints_[i].c;
+  }
+
+  /// Debug invariant auditor: recomputes every cached slack and coefficient
+  /// total from the solver's current assignment and compares. Returns true
+  /// when consistent; appends one message per violation to `out`.
+  bool audit(std::vector<std::string>* out = nullptr) const;
 
   // sat::Propagator interface -------------------------------------------
   void on_new_var(sat::Var v) override;

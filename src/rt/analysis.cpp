@@ -7,19 +7,36 @@
 
 namespace optalloc::rt {
 
+namespace {
+
+/// One interferer's contribution ceil((r + jitter) / period) * cost to a
+/// fixed-point iterate, accumulated into `acc` with overflow checks. An
+/// overflowing sum has certainly left any feasible bound, so the caller
+/// treats nullopt exactly like divergence past `bound`.
+std::optional<Ticks> add_interference(std::optional<Ticks> acc, Ticks r,
+                                      const Interferer& j) {
+  if (!acc) return std::nullopt;
+  const std::optional<Ticks> activations = checked_add(r, j.jitter);
+  if (!activations) return std::nullopt;
+  const std::optional<Ticks> load =
+      checked_mul(ceil_div(*activations, j.period), j.cost);
+  if (!load) return std::nullopt;
+  return checked_add(*acc, *load);
+}
+
+}  // namespace
+
 std::optional<Ticks> response_time_fp(Ticks own_cost,
                                       std::span<const Interferer> hp,
                                       Ticks bound) {
   Ticks r = own_cost;
   if (r > bound) return std::nullopt;
   for (;;) {
-    Ticks next = own_cost;
-    for (const Interferer& j : hp) {
-      next += ceil_div(r + j.jitter, j.period) * j.cost;
-    }
-    if (next > bound) return std::nullopt;
-    if (next == r) return r;
-    r = next;
+    std::optional<Ticks> next = own_cost;
+    for (const Interferer& j : hp) next = add_interference(next, r, j);
+    if (!next || *next > bound) return std::nullopt;
+    if (*next == r) return r;
+    r = *next;
   }
 }
 
@@ -30,14 +47,16 @@ std::optional<Ticks> tdma_response_time(Ticks rho,
   Ticks r = rho;
   if (r > bound) return std::nullopt;
   for (;;) {
-    Ticks next = rho;
-    for (const Interferer& j : hp) {
-      next += ceil_div(r + j.jitter, j.period) * j.cost;
+    std::optional<Ticks> next = rho;
+    for (const Interferer& j : hp) next = add_interference(next, r, j);
+    if (next) {
+      const std::optional<Ticks> wait =
+          checked_mul(ceil_div(r, round_length), round_length - own_slot);
+      next = wait ? checked_add(*next, *wait) : std::nullopt;
     }
-    next += ceil_div(r, round_length) * (round_length - own_slot);
-    if (next > bound) return std::nullopt;
-    if (next == r) return r;
-    r = next;
+    if (!next || *next > bound) return std::nullopt;
+    if (*next == r) return r;
+    r = *next;
   }
 }
 

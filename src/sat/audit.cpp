@@ -1,0 +1,180 @@
+// Solver-state invariant auditor. Deliberately written against the
+// *definitions* of the invariants rather than the code paths that maintain
+// them, so a bookkeeping bug in propagate()/cancel_until() cannot hide
+// itself: the audit recomputes watch membership, trail/level agreement and
+// clause well-formedness from scratch in O(DB size).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace optalloc::sat {
+namespace {
+
+void report(std::vector<std::string>* out, bool& ok, std::string msg) {
+  ok = false;
+  if (out) out->push_back(std::move(msg));
+}
+
+}  // namespace
+
+bool Solver::audit(std::vector<std::string>* out) const {
+  bool ok = true;
+  const std::size_t nvars = static_cast<std::size_t>(num_vars());
+
+  // -- Table sizes -------------------------------------------------------
+  if (assigns_.size() != nvars || vardata_.size() != nvars ||
+      level_.size() != nvars || polarity_.size() != nvars ||
+      decision_.size() != nvars || watches_.size() != 2 * nvars) {
+    report(out, ok, "per-variable table sizes disagree with num_vars");
+    return ok;  // further checks would index out of bounds
+  }
+
+  // -- Queue heads and decision-level markers ----------------------------
+  if (qhead_ > trail_.size()) {
+    report(out, ok, "qhead beyond end of trail");
+  }
+  if (theory_qhead_ > trail_.size()) {
+    report(out, ok, "theory_qhead beyond end of trail");
+  }
+  for (std::size_t i = 0; i < trail_lim_.size(); ++i) {
+    const std::int32_t lim = trail_lim_[i];
+    if (lim < 0 || static_cast<std::size_t>(lim) > trail_.size() ||
+        (i > 0 && lim < trail_lim_[i - 1])) {
+      report(out, ok,
+             "trail_lim[" + std::to_string(i) + "] out of order or range");
+    }
+  }
+
+  // -- Trail vs. assignment state ----------------------------------------
+  std::vector<char> on_trail(nvars, 0);
+  std::size_t dl = 0;
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    while (dl < trail_lim_.size() &&
+           static_cast<std::size_t>(trail_lim_[dl]) <= i) {
+      ++dl;
+    }
+    const Lit l = trail_[i];
+    const Var v = l.var();
+    if (v < 0 || static_cast<std::size_t>(v) >= nvars) {
+      report(out, ok, "trail literal over unknown variable");
+      continue;
+    }
+    if (on_trail[static_cast<std::size_t>(v)]) {
+      report(out, ok, "variable " + std::to_string(v) + " on trail twice");
+    }
+    on_trail[static_cast<std::size_t>(v)] = 1;
+    if (value(l) != LBool::kTrue) {
+      report(out, ok,
+             "trail literal for variable " + std::to_string(v) +
+                 " not assigned true");
+    }
+    if (level_[static_cast<std::size_t>(v)] !=
+        vardata_[static_cast<std::size_t>(v)].level) {
+      report(out, ok,
+             "level mirror disagrees with vardata for variable " +
+                 std::to_string(v));
+    }
+    if (level_[static_cast<std::size_t>(v)] != static_cast<std::int32_t>(dl)) {
+      report(out, ok,
+             "variable " + std::to_string(v) + " at trail position " +
+                 std::to_string(i) + " has level " +
+                 std::to_string(level_[static_cast<std::size_t>(v)]) +
+                 ", expected " + std::to_string(dl));
+    }
+  }
+  for (std::size_t v = 0; v < nvars; ++v) {
+    if ((assigns_[v] != LBool::kUndef) != (on_trail[v] != 0)) {
+      report(out, ok,
+             "variable " + std::to_string(v) +
+                 " assigned/on-trail status disagree");
+    }
+  }
+
+  // -- Reason-clause sanity ----------------------------------------------
+  for (const Lit l : trail_) {
+    const Var v = l.var();
+    const CRef r = vardata_[static_cast<std::size_t>(v)].reason;
+    if (r == kUndefClause) continue;
+    const Clause& c = arena_.deref(r);
+    if (c.size() < 1 || c[0].var() != v || value(c[0]) != LBool::kTrue) {
+      report(out, ok,
+             "reason clause of variable " + std::to_string(v) +
+                 " does not imply it");
+      continue;
+    }
+    for (std::uint32_t j = 1; j < c.size(); ++j) {
+      if (value(c[j]) != LBool::kFalse ||
+          level_[static_cast<std::size_t>(c[j].var())] >
+              level_[static_cast<std::size_t>(v)]) {
+        report(out, ok,
+               "reason clause of variable " + std::to_string(v) +
+                   " has a non-false or later-level antecedent");
+        break;
+      }
+    }
+  }
+
+  // -- Clause well-formedness and watch membership -----------------------
+  // Each attached clause must be watched on exactly its first two literals;
+  // every watcher must point back at a live attached clause.
+  std::unordered_map<CRef, int> watch_count;
+  auto check_clause_list = [&](const std::vector<CRef>& list,
+                               const char* what) {
+    for (const CRef cref : list) {
+      const Clause& c = arena_.deref(cref);
+      if (c.size() < 2) {
+        report(out, ok, std::string(what) + " clause with fewer than 2 "
+                        "literals attached");
+      }
+      for (std::uint32_t a = 0; a < c.size(); ++a) {
+        for (std::uint32_t b = a + 1; b < c.size(); ++b) {
+          if (c[a].var() == c[b].var()) {
+            report(out, ok,
+                   std::string(what) + " clause contains variable " +
+                       std::to_string(c[a].var()) + " twice");
+            b = c.size();
+            a = c.size();
+            break;
+          }
+        }
+      }
+      watch_count.emplace(cref, 0);
+    }
+  };
+  check_clause_list(clauses_, "problem");
+  check_clause_list(learnts_, "learnt");
+
+  for (std::size_t idx = 0; idx < watches_.size(); ++idx) {
+    const Lit watched = Lit::from_index(static_cast<std::int32_t>(idx));
+    for (const Watcher& w : watches_[idx]) {
+      auto it = watch_count.find(w.cref);
+      if (it == watch_count.end()) {
+        report(out, ok,
+               "watcher on " + std::to_string(idx) +
+                   " references a detached clause");
+        continue;
+      }
+      const Clause& c = arena_.deref(w.cref);
+      const Lit neg = ~watched;
+      if (c.size() < 2 || (c[0] != neg && c[1] != neg)) {
+        report(out, ok,
+               "clause watched on a literal that is not one of its first "
+               "two");
+      }
+      ++it->second;
+    }
+  }
+  for (const auto& [cref, count] : watch_count) {
+    if (count != 2) {
+      report(out, ok,
+             "attached clause has " + std::to_string(count) +
+                 " watchers, expected 2");
+    }
+  }
+  return ok;
+}
+
+}  // namespace optalloc::sat

@@ -1,0 +1,135 @@
+#include "sat/proof.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace optalloc::sat {
+namespace {
+
+// DIMACS convention: variable v -> v+1, negative literal -> negative int.
+long long to_dimacs(Lit l) {
+  const long long v = l.var() + 1;
+  return l.sign() ? -v : v;
+}
+
+Lit from_dimacs(long long d) {
+  const Var v = static_cast<Var>(d < 0 ? -d : d) - 1;
+  return Lit(v, /*sign=*/d < 0);
+}
+
+}  // namespace
+
+void ProofLog::push(ProofStepKind kind, std::span<const Lit> lits) {
+  ProofStep s;
+  s.kind = kind;
+  s.begin = static_cast<std::uint32_t>(pool_.size());
+  pool_.insert(pool_.end(), lits.begin(), lits.end());
+  s.end = static_cast<std::uint32_t>(pool_.size());
+  steps_.push_back(s);
+  if (kind == ProofStepKind::kLemma) ++num_lemmas_;
+}
+
+void ProofLog::add_pb_ge(std::span<const ProofPbTerm> terms, std::int64_t rhs) {
+  ProofPbConstraint c;
+  c.terms.assign(terms.begin(), terms.end());
+  c.rhs = rhs;
+  pb_.push_back(std::move(c));
+}
+
+void ProofLog::write_text(std::ostream& os) const {
+  // PB axioms first: the checker needs them before any `t` line, and the
+  // solver registers them all before search starts anyway.
+  for (const ProofPbConstraint& c : pb_) {
+    os << "p " << c.rhs;
+    for (const ProofPbTerm& t : c.terms) {
+      os << ' ' << t.coef << ' ' << to_dimacs(t.lit);
+    }
+    os << " 0\n";
+  }
+  for (const ProofStep& s : steps_) {
+    switch (s.kind) {
+      case ProofStepKind::kInput:
+        os << "i";
+        break;
+      case ProofStepKind::kTheory:
+        os << "t";
+        break;
+      case ProofStepKind::kLemma:
+        break;
+      case ProofStepKind::kDelete:
+        os << "d";
+        break;
+    }
+    bool first = s.kind == ProofStepKind::kLemma;
+    for (const Lit l : lits(s)) {
+      if (!first) os << ' ';
+      first = false;
+      os << to_dimacs(l);
+    }
+    if (!first) os << ' ';
+    os << "0\n";
+  }
+}
+
+bool ProofLog::parse_text(std::istream& is, std::string* error) {
+  auto fail = [&](const std::string& msg, std::size_t line) {
+    if (error) {
+      *error = "proof line " + std::to_string(line) + ": " + msg;
+    }
+    return false;
+  };
+  std::string line;
+  std::size_t lineno = 0;
+  std::vector<Lit> lits;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    ls >> std::ws;
+    if (ls.eof()) continue;
+    const int head = ls.peek();
+    if (head == 'c') continue;  // comment
+    ProofStepKind kind = ProofStepKind::kLemma;
+    bool is_pb = false;
+    if (head == 'i' || head == 't' || head == 'd' || head == 'p') {
+      ls.get();
+      is_pb = head == 'p';
+      kind = head == 'i'   ? ProofStepKind::kInput
+             : head == 't' ? ProofStepKind::kTheory
+                           : ProofStepKind::kDelete;
+    }
+    if (is_pb) {
+      ProofPbConstraint c;
+      if (!(ls >> c.rhs)) return fail("missing rhs on p line", lineno);
+      long long coef = 0;
+      while (ls >> coef) {
+        if (coef == 0) break;
+        long long d = 0;
+        if (!(ls >> d) || d == 0) {
+          return fail("truncated term on p line", lineno);
+        }
+        c.terms.push_back({coef, from_dimacs(d)});
+      }
+      if (coef != 0) return fail("p line not 0-terminated", lineno);
+      pb_.push_back(std::move(c));
+      continue;
+    }
+    lits.clear();
+    long long d = 0;
+    bool terminated = false;
+    while (ls >> d) {
+      if (d == 0) {
+        terminated = true;
+        break;
+      }
+      lits.push_back(from_dimacs(d));
+    }
+    if (!terminated) return fail("clause line not 0-terminated", lineno);
+    push(kind, lits);
+  }
+  return true;
+}
+
+}  // namespace optalloc::sat

@@ -1,0 +1,97 @@
+#pragma once
+// Clausal proof logging — the DRAT discipline of certified SAT solving,
+// extended for the theory-augmented CDCL core:
+//
+//   i  <lits> 0            input clause (trusted problem axiom)
+//   p  <rhs> <coef lit>* 0 pseudo-Boolean axiom  sum coef*lit >= rhs
+//   t  <lits> 0            theory lemma: a clausal weakening of one PB
+//                          axiom (checkable against the `p` lines alone)
+//      <lits> 0            RUP lemma (plain DRAT addition line)
+//   d  <lits> 0            clause deletion (advisory; ignoring it is sound
+//                          because every DB clause is entailed — this
+//                          checker restricts itself to RUP, never RAT)
+//
+// With no PB constraints the log degenerates to DRAT with an `i` prefix on
+// input clauses, i.e. a self-contained CNF + proof in one stream.
+//
+// Cost model: the solver holds a `ProofLog*` that is null by default; every
+// producer site is guarded by one pointer test, so search pays nothing when
+// proof logging is off.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace optalloc::sat {
+
+enum class ProofStepKind : std::uint8_t {
+  kInput,   ///< trusted problem clause
+  kTheory,  ///< clausal weakening of a PB axiom (checked, not RUP)
+  kLemma,   ///< RUP-checked derived clause
+  kDelete,  ///< advisory deletion
+};
+
+/// One step; literals live in the log's shared pool [begin, end).
+struct ProofStep {
+  ProofStepKind kind;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+/// A PB axiom registered with the proof:  sum coef_i * lit_i >= rhs
+/// (all coefficients positive — the propagator's normalized form).
+struct ProofPbTerm {
+  std::int64_t coef;
+  Lit lit;
+};
+struct ProofPbConstraint {
+  std::vector<ProofPbTerm> terms;
+  std::int64_t rhs = 0;
+};
+
+/// Append-only in-memory proof. One log may span several solve() calls on
+/// the same solver (the optimizer's incremental binary search): lemmas
+/// accumulate, and each UNSAT answer's conflict-core lemma becomes a
+/// checkable target (see check::check_proof).
+class ProofLog {
+ public:
+  void add_input(std::span<const Lit> lits) { push(ProofStepKind::kInput, lits); }
+  void add_theory(std::span<const Lit> lits) { push(ProofStepKind::kTheory, lits); }
+  void add_lemma(std::span<const Lit> lits) { push(ProofStepKind::kLemma, lits); }
+  void add_delete(std::span<const Lit> lits) { push(ProofStepKind::kDelete, lits); }
+  void add_pb_ge(std::span<const ProofPbTerm> terms, std::int64_t rhs);
+
+  std::size_t num_steps() const { return steps_.size(); }
+  const ProofStep& step(std::size_t i) const { return steps_[i]; }
+  std::span<const Lit> lits(const ProofStep& s) const {
+    return {pool_.data() + s.begin, pool_.data() + s.end};
+  }
+  std::span<const ProofPbConstraint> pb_constraints() const { return pb_; }
+
+  /// Index of the most recently appended step (log must be non-empty).
+  std::size_t last_step() const { return steps_.size() - 1; }
+
+  /// Number of kLemma steps appended so far.
+  std::uint64_t num_lemmas() const { return num_lemmas_; }
+
+  /// Serialize in the text format documented above (DIMACS literals).
+  void write_text(std::ostream& os) const;
+
+  /// Parse the text format, appending to this log. Returns false and fills
+  /// `error` on malformed input.
+  bool parse_text(std::istream& is, std::string* error);
+
+ private:
+  void push(ProofStepKind kind, std::span<const Lit> lits);
+
+  std::vector<ProofStep> steps_;
+  std::vector<Lit> pool_;
+  std::vector<ProofPbConstraint> pb_;
+  std::uint64_t num_lemmas_ = 0;
+};
+
+}  // namespace optalloc::sat

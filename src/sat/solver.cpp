@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sat/proof.hpp"
 #include "util/luby.hpp"
 
 namespace optalloc::sat {
@@ -78,8 +80,25 @@ Var Solver::new_var(bool decision) {
 }
 
 bool Solver::add_clause(std::span<const Lit> lits) {
+  return add_clause_impl(lits, /*theory=*/false);
+}
+
+bool Solver::add_theory_clause(std::span<const Lit> lits) {
+  return add_clause_impl(lits, /*theory=*/true);
+}
+
+bool Solver::add_clause_impl(std::span<const Lit> lits, bool theory) {
   assert(decision_level() == 0);
   if (!ok_) return false;
+  // Log the clause as given: the normalized form below is recovered by the
+  // checker's own unit propagation, so re-logging it would be redundant.
+  if (proof_) {
+    if (theory) {
+      proof_->add_theory(lits);
+    } else {
+      proof_->add_input(lits);
+    }
+  }
 
   // Normalize: sort, remove duplicates, drop level-0 false literals, and
   // detect tautologies / already-satisfied clauses.
@@ -98,12 +117,14 @@ bool Solver::add_clause(std::span<const Lit> lits) {
   stats_.added_literals += cl.size();
 
   if (cl.empty()) {
+    if (proof_) proof_->add_lemma({});
     ok_ = false;
     return false;
   }
   if (cl.size() == 1) {
     unchecked_enqueue(cl[0], kUndefClause);
     ok_ = (propagate() == kUndefClause);
+    if (!ok_ && proof_) proof_->add_lemma({});
     return ok_;
   }
   const CRef cref = arena_.alloc(cl, /*learnt=*/false);
@@ -143,6 +164,11 @@ bool Solver::locked(CRef cref) const {
 }
 
 void Solver::remove_clause(CRef cref) {
+  const Clause& c = arena_.deref(cref);
+  // Theory reason clauses are ephemeral and never proof-logged as
+  // deletions: keeping them in the checker DB is sound (RUP only gets
+  // stronger) and they may still back an UNSAT core.
+  if (proof_ && !c.theory()) proof_->add_delete(c.lits());
   detach_clause(cref);
   // A locked clause must stay alive as a reason; callers check locked().
   assert(!locked(cref));
@@ -162,6 +188,7 @@ bool Solver::theory_enqueue(Lit l, std::span<const Lit> reason) {
   assert(!reason.empty() && reason[0] == l);
   if (value(l) == LBool::kTrue) return true;
   if (value(l) == LBool::kFalse) return false;
+  if (proof_) proof_->add_theory(reason);
   const CRef cref =
       arena_.alloc(reason, /*learnt=*/true, /*theory=*/true);
   unchecked_enqueue(l, cref);
@@ -230,6 +257,7 @@ CRef Solver::propagate() {
       theory_conflict_.clear();
       if (!prop->on_assign(p, theory_conflict_)) {
         assert(!theory_conflict_.empty());
+        if (proof_) proof_->add_theory(theory_conflict_);
         qhead_ = trail_.size();
         return arena_.alloc(theory_conflict_, /*learnt=*/true,
                             /*theory=*/true);
@@ -550,8 +578,17 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
     if (confl != kUndefClause) {
       ++stats_.conflicts;
       ++conflict_count;
+      if (audit_period > 0 &&
+          stats_.conflicts % static_cast<std::uint64_t>(audit_period) == 0) {
+        std::vector<std::string> violations;
+        if (!audit(&violations)) {
+          throw std::logic_error("solver invariant violated: " +
+                                 violations.front());
+        }
+      }
       if (decision_level() == 0) {
         // Top-level conflict: the formula itself is unsatisfiable.
+        if (proof_) proof_->add_lemma({});
         ok_ = false;
         conflict_core_.clear();
         return LBool::kFalse;
@@ -570,6 +607,14 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
       if (arena_.deref(confl).theory()) arena_.free_clause(confl);
       cancel_until(backtrack_level);
 
+      ++learnt_count_;
+      if (test_corrupt_learnt != 0 && learnt_count_ == test_corrupt_learnt &&
+          learnt_clause.size() >= 3) {
+        // Fault injection: drop a literal so the clause (and its proof
+        // line) is no longer implied — the checker must catch this.
+        learnt_clause.pop_back();
+      }
+      if (proof_) proof_->add_lemma(learnt_clause);
       if (learnt_clause.size() == 1) {
         unchecked_enqueue(learnt_clause[0], kUndefClause);
       } else {
@@ -624,6 +669,10 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
           trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
         } else if (value(p) == LBool::kFalse) {
           analyze_final(~p);
+          // The conflict core (negated assumptions) is RUP with respect to
+          // the logged DB: its derivation only resolves on reason clauses,
+          // all of which are logged (inputs, lemmas, or theory lines).
+          if (proof_) proof_->add_lemma(conflict_core_);
           return LBool::kFalse;
         } else {
           next = p;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sat/clause.hpp"
@@ -18,6 +19,7 @@
 
 namespace optalloc::sat {
 
+class ProofLog;
 class Solver;
 
 /// Theory-propagator interface. A propagator watches assignments and may
@@ -93,6 +95,16 @@ class Solver {
   bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
   bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
 
+  /// Add a clause derived by a theory propagator at level 0 (e.g. a unit
+  /// implied by a pseudo-Boolean constraint during construction). Behaves
+  /// like add_clause but is proof-logged as a theory lemma (`t` line) —
+  /// the proof checker verifies it against the registered PB axioms rather
+  /// than trusting it as input.
+  bool add_theory_clause(std::span<const Lit> lits);
+  bool add_theory_clause(std::initializer_list<Lit> lits) {
+    return add_theory_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
   /// Attach a theory propagator. The solver does not own it. Must be done
   /// before any solving; multiple propagators are invoked in order.
   void attach_propagator(Propagator* p) { propagators_.push_back(p); }
@@ -156,6 +168,22 @@ class Solver {
   /// then report the reason clause as a conflict instead).
   bool theory_enqueue(Lit l, std::span<const Lit> reason);
 
+  // --- Certification ----------------------------------------------------
+
+  /// Attach a proof log (not owned; nullptr detaches). Attach before adding
+  /// clauses so the log is self-contained. When detached every logging site
+  /// is a single predicted-not-taken pointer test — search pays nothing.
+  void set_proof(ProofLog* p) { proof_ = p; }
+  ProofLog* proof() const { return proof_; }
+
+  /// Debug invariant auditor: checks watch-list consistency (every clause
+  /// watched exactly on its first two literals and vice versa), trail/level
+  /// agreement, queue-head bounds, reason-clause sanity, and absence of
+  /// duplicate literals in learnt clauses. Returns true when consistent;
+  /// appends one message per violation to `out` when given. O(DB size) —
+  /// meant for tests and the periodic `audit_period` hook, not hot paths.
+  bool audit(std::vector<std::string>* out = nullptr) const;
+
   // --- Tuning knobs ------------------------------------------------------
 
   double var_decay = 0.95;
@@ -165,6 +193,13 @@ class Solver {
   double learnt_size_inc = 1.1;
   bool phase_saving = true;
   bool default_polarity = false;  ///< initial branching polarity (sign)
+  /// Run the invariant auditor every N conflicts during search (0 = off);
+  /// throws std::logic_error on the first violation. Debug/test facility.
+  std::int64_t audit_period = 0;
+  /// Test-only fault injection: corrupt the Nth learnt clause (1-based) by
+  /// dropping its last literal, in both the clause DB and the proof log.
+  /// A sound checker must then reject the proof. 0 = off.
+  std::uint64_t test_corrupt_learnt = 0;
 
  private:
   // Reason for an assignment: clause reference or kUndefClause (decision /
@@ -180,6 +215,7 @@ class Solver {
   };
 
   // Construction helpers.
+  bool add_clause_impl(std::span<const Lit> lits, bool theory);
   void attach_clause(CRef cref);
   void detach_clause(CRef cref);
   void remove_clause(CRef cref);
@@ -256,6 +292,10 @@ class Solver {
 
   // Theory propagators.
   std::vector<Propagator*> propagators_;
+
+  // Certification.
+  ProofLog* proof_ = nullptr;
+  std::uint64_t learnt_count_ = 0;  ///< for test_corrupt_learnt targeting
 
   bool ok_ = true;
   SolverStats stats_;

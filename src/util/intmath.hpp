@@ -5,14 +5,17 @@
 
 #include <cassert>
 #include <cstdint>
+#include <optional>
 
 namespace optalloc {
 
 /// ceil(a / b) for a >= 0, b > 0 — the ceiling term of response-time
-/// analysis (paper eq. 1).
+/// analysis (paper eq. 1). Written quotient-plus-remainder instead of the
+/// usual (a + b - 1) / b so the numerator cannot overflow for any valid
+/// input (the fixed-point iterations feed near-INT64_MAX iterates here).
 constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   assert(a >= 0 && b > 0);
-  return (a + b - 1) / b;
+  return a / b + (a % b != 0 ? 1 : 0);
 }
 
 /// Number of bits needed to represent v (v >= 0) in an unsigned binary
@@ -28,6 +31,26 @@ constexpr int bits_for(std::int64_t v) {
 inline bool mul_fits(std::int64_t a, std::int64_t b) {
   std::int64_t out;
   return !__builtin_mul_overflow(a, b, &out);
+}
+
+/// a + b, or nullopt when the sum leaves int64. The fixed-point iterations
+/// of the response-time analysis accumulate through these so a diverging
+/// interference sum surfaces as "no bound" instead of wrapping (signed
+/// overflow is UB, and a wrapped negative response time would silently
+/// pass every deadline check).
+inline std::optional<std::int64_t> checked_add(std::int64_t a,
+                                               std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+/// a * b, or nullopt when the product leaves int64.
+inline std::optional<std::int64_t> checked_mul(std::int64_t a,
+                                               std::int64_t b) {
+  std::int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+  return out;
 }
 
 }  // namespace optalloc

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rt/analysis.hpp"
 #include "rt/verify.hpp"
 
@@ -102,6 +104,34 @@ TEST(CanTiming, TokenRingPerByteCost) {
   ring.ring_byte_ticks = 3;
   EXPECT_EQ(transmission_ticks(ring, 4), 12);
   EXPECT_EQ(transmission_ticks(ring, 0), 1);  // at least one tick
+}
+
+TEST(ResponseTime, OverflowingIterationDiverges) {
+  // An interference sum that leaves int64 is divergence, not wraparound: a
+  // wrapped negative iterate would "converge" under any deadline. The
+  // unlimited bound forces the iteration itself to detect the overflow.
+  const Ticks huge = std::numeric_limits<Ticks>::max();
+  const Interferer expensive[] = {{huge / 2, 1, 0}};
+  EXPECT_EQ(response_time_fp(10, expensive, huge), std::nullopt);
+
+  // Activation-count overflow (r + jitter) rather than product overflow.
+  const Interferer jittery[] = {{1, 1, huge - 2}};
+  EXPECT_EQ(response_time_fp(10, jittery, huge), std::nullopt);
+}
+
+TEST(ResponseTime, TdmaOverflowingIterationDiverges) {
+  const Ticks huge = std::numeric_limits<Ticks>::max();
+  const Interferer expensive[] = {{huge / 2, 1, 0}};
+  EXPECT_EQ(tdma_response_time(10, expensive, 8, 2, huge), std::nullopt);
+  // Blocking-term overflow: enormous round length against a late slot.
+  EXPECT_EQ(tdma_response_time(huge / 2, {}, huge / 2, 1, huge),
+            std::nullopt);
+}
+
+TEST(ResponseTime, UnlimitedBoundStillConverges) {
+  const Ticks huge = std::numeric_limits<Ticks>::max();
+  const Interferer hp[] = {{1, 4, 0}};
+  EXPECT_EQ(response_time_fp(2, hp, huge), 3);
 }
 
 TEST(Utilization, ExactRationalArithmetic) {
