@@ -9,6 +9,7 @@
 #include "check/model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/sharing.hpp"
 #include "rt/verify.hpp"
 #include "sat/proof.hpp"
 #include "util/log.hpp"
@@ -24,6 +25,20 @@ void absorb_stats(OptimizeStats& stats, const AllocEncoder& enc) {
   stats.boolean_literals += enc.solver().stats().added_literals;
   stats.conflicts += enc.solver().stats().conflicts;
   stats.pb_constraints += enc.pb().stats().constraints;
+  stats.clauses_exported += enc.solver().stats().clauses_exported;
+  stats.clauses_imported += enc.solver().stats().clauses_imported;
+}
+
+/// Apply the per-worker diversification knobs to a freshly built solver.
+/// Must run before build(): default_polarity seeds every new variable's
+/// initial phase at creation time.
+void apply_tuning(sat::Solver& solver, const SolverTuning& t) {
+  solver.var_decay = t.var_decay;
+  solver.restart_base = t.restart_base;
+  solver.default_polarity = t.default_polarity;
+  solver.phase_saving = t.phase_saving;
+  solver.random_branch_freq = t.random_branch_freq;
+  if (t.seed != 0) solver.set_random_seed(t.seed);
 }
 
 const char* verdict_name(sat::LBool v) {
@@ -68,6 +83,17 @@ std::string OptimizeStats::summary() const {
                 static_cast<unsigned long long>(conflicts),
                 static_cast<unsigned long long>(pb_constraints));
   std::string s = buf;
+  if (clauses_exported > 0 || clauses_imported > 0 || bounds_published > 0 ||
+      bounds_adopted > 0) {
+    std::snprintf(buf, sizeof buf,
+                  " share: exported=%llu imported=%llu bounds_pub=%llu "
+                  "bounds_adopt=%llu",
+                  static_cast<unsigned long long>(clauses_exported),
+                  static_cast<unsigned long long>(clauses_imported),
+                  static_cast<unsigned long long>(bounds_published),
+                  static_cast<unsigned long long>(bounds_adopted));
+    s += buf;
+  }
   if (models_certified > 0 || proofs_certified > 0) {
     std::snprintf(buf, sizeof buf,
                   " certify: models=%d proofs=%d lemmas=%llu time=%.3fs",
@@ -122,6 +148,73 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       p.sat_calls = result.stats.sat_calls;
       options.on_progress(p);
     }
+  };
+
+  // --- Cooperative shared search (active only under options.share). -----
+  // Bound broadcasting: lower bounds this worker proves and incumbents it
+  // finds are published to the shared interval; foreign bounds are folded
+  // into the local search before each SOLVE step. Under proof logging the
+  // worker stops *consuming* foreign lower bounds (they have no derivation
+  // in its log) but keeps publishing, and still adopts foreign incumbents
+  // — those are re-validated independently by the final RT analysis.
+  par::SharedInterval* interval =
+      options.share != nullptr ? options.share->interval() : nullptr;
+  const bool proof_active = options.certify || options.proof != nullptr;
+
+  auto publish_lower_bound = [&](std::int64_t lo) {
+    if (interval != nullptr && interval->raise_lower(lo)) {
+      ++result.stats.bounds_published;
+    }
+  };
+  // Store the allocation first, then tighten the shared bound, so any
+  // worker observing the bound can fetch an allocation matching it.
+  auto announce_incumbent = [&](std::int64_t cost) {
+    if (!result.has_allocation) return;
+    if (options.publish_incumbent) {
+      options.publish_incumbent(cost, result.allocation);
+    }
+    if (interval != nullptr && interval->drop_upper(cost)) {
+      ++result.stats.bounds_published;
+    }
+  };
+  auto sync_shared_bounds = [&](std::int64_t& lower, std::int64_t& upper) {
+    if (interval == nullptr) return;
+    bool adopted = false;
+    if (!proof_active) {
+      const std::int64_t gl = interval->lower();
+      if (gl > lower) {
+        lower = gl;
+        ++result.stats.bounds_adopted;
+        adopted = true;
+      }
+    }
+    if (interval->upper() < upper && options.fetch_incumbent) {
+      if (auto inc = options.fetch_incumbent()) {
+        if (inc->first < upper) {
+          upper = inc->first;
+          result.cost = upper;
+          result.allocation = std::move(inc->second);
+          result.has_allocation = true;
+          ++result.stats.bounds_adopted;
+          adopted = true;
+        }
+      }
+    }
+    if (adopted && obs::trace_enabled()) {
+      obs::TraceEvent("bound_sync").num("lower", lower).num("upper", upper);
+    }
+  };
+  // The first SOLVE can be capped by a sibling's incumbent as well as the
+  // caller-provided one.
+  auto first_solve_cap = [&]() -> std::optional<std::int64_t> {
+    std::optional<std::int64_t> cap = options.initial_upper;
+    if (interval != nullptr) {
+      const std::int64_t gu = interval->upper();
+      if (gu != par::SharedInterval::kNoUpper && (!cap || gu < *cap)) {
+        cap = gu;
+      }
+    }
+    return cap;
   };
 
   // --- Certification machinery (active only under options.certify). -----
@@ -275,6 +368,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
                                ? options.proof
                                : options.certify ? &local_proof : nullptr;
     AllocEncoder enc(problem, objective, options.encoder);
+    if (options.tuning) apply_tuning(enc.solver(), *options.tuning);
     if (proof != nullptr) enc.set_proof(proof);
 
     auto finish = [&](OptimizeResult::Status status) {
@@ -302,6 +396,13 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       result.stats.encode_seconds += sw.seconds();
       if (!built) return finish(OptimizeResult::Status::kInfeasible);
     }
+    // Clause exchange joins here: the variable count right after build()
+    // delimits the deterministic base encoding every sibling worker
+    // shares; later bound-guard variables are query-order-dependent and
+    // stay private.
+    if (options.share != nullptr) {
+      options.share->attach(enc.solver(), enc.solver().num_vars());
+    }
 
     // R := SOLVE(phi): the first query yields an upper estimate. A
     // verified warm-start allocation short-circuits it entirely — its
@@ -319,12 +420,14 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
         result.allocation = *options.warm_start;
         result.has_allocation = true;
         have_upper = true;
+        announce_incumbent(upper);
       }
     }
     sat::LBool verdict = sat::LBool::kUndef;
     if (!have_upper) {
-      verdict = timed_solve(enc, {}, options.initial_upper);
-      if (verdict == sat::LBool::kFalse && options.initial_upper) {
+      const std::optional<std::int64_t> cap = first_solve_cap();
+      verdict = timed_solve(enc, {}, cap);
+      if (verdict == sat::LBool::kFalse && cap) {
         verdict = timed_solve(enc, {}, {});
       }
       if (verdict == sat::LBool::kFalse) {
@@ -338,6 +441,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       result.cost = upper;
       result.allocation = enc.decode();
       result.has_allocation = true;
+      announce_incumbent(upper);
     }
     std::int64_t lower = enc.cost_range().lo;
     log_info("optimize: initial solution cost=%lld, searching [%lld, %lld]",
@@ -354,6 +458,8 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
         result.lower_bound = lower;
         return finish(OptimizeResult::Status::kBudgetExhausted);
       }
+      sync_shared_bounds(lower, upper);
+      if (lower >= upper) break;
       const std::int64_t mid =
           options.strategy == SearchStrategy::kBisection
               ? lower + (upper - lower) / 2
@@ -365,12 +471,14 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       }
       if (verdict == sat::LBool::kFalse) {
         lower = mid + 1;
+        publish_lower_bound(lower);
       } else {
         certify_model(enc, lower, mid);
         upper = enc.decode_cost();
         result.cost = upper;
         result.allocation = enc.decode();
         result.has_allocation = true;
+        announce_incumbent(upper);
       }
       log_info("optimize: interval [%lld, %lld]",
                static_cast<long long>(lower), static_cast<long long>(upper));
@@ -378,6 +486,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     }
     result.cost = upper;
     result.lower_bound = upper;
+    publish_lower_bound(upper);
     return finish(OptimizeResult::Status::kOptimal);
   }
 
@@ -405,6 +514,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     sat::ProofLog call_proof;
     unsat_steps.clear();
     AllocEncoder enc(problem, objective, options.encoder);
+    if (options.tuning) apply_tuning(enc.solver(), *options.tuning);
     if (options.certify) enc.set_proof(&call_proof);
     Stopwatch sw;
     const bool built = enc.build();
@@ -444,12 +554,15 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
   result.cost = upper;
   result.allocation = alloc;
   result.has_allocation = true;
+  announce_incumbent(upper);
   report_progress(lower, upper);
   while (lower < upper) {
     if (out_of_time()) {
       result.lower_bound = lower;
       return finish_scratch(OptimizeResult::Status::kBudgetExhausted);
     }
+    sync_shared_bounds(lower, upper);
+    if (lower >= upper) break;
     const std::int64_t mid = lower + (upper - lower) / 2;
     verdict = scratch_solve(lower, mid, cost, alloc, cost_range);
     if (verdict == sat::LBool::kUndef) {
@@ -458,15 +571,18 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     }
     if (verdict == sat::LBool::kFalse) {
       lower = mid + 1;
+      publish_lower_bound(lower);
     } else {
       upper = cost;
       result.cost = upper;
       result.allocation = alloc;
+      announce_incumbent(upper);
     }
     report_progress(lower, upper);
   }
   result.cost = upper;
   result.lower_bound = upper;
+  publish_lower_bound(upper);
   return finish_scratch(OptimizeResult::Status::kOptimal);
 }
 

@@ -1,11 +1,20 @@
 #include "alloc/portfolio.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/pool.hpp"
+#include "par/sharing.hpp"
+#include "util/stopwatch.hpp"
 
 namespace optalloc::alloc {
 
@@ -15,13 +24,59 @@ const char* strategy_name(SearchStrategy s) {
   return s == SearchStrategy::kBisection ? "bisection" : "descending";
 }
 
-std::vector<OptimizeOptions> default_configs() {
-  OptimizeOptions bisect;  // paper's BIN_SEARCH
-  OptimizeOptions descend;
+std::vector<OptimizeOptions> default_configs(const OptimizeOptions& base) {
+  OptimizeOptions bisect = base;  // paper's BIN_SEARCH
+  bisect.strategy = SearchStrategy::kBisection;
+  OptimizeOptions descend = base;
   descend.strategy = SearchStrategy::kDescending;
-  OptimizeOptions pbmix;
+  OptimizeOptions pbmix = base;
   pbmix.encoder.backend = encode::Backend::kPbMixed;
   return {bisect, descend, pbmix};
+}
+
+/// N diversified variants of `base`. Worker 0 keeps the base untouched
+/// (a 1-thread portfolio behaves exactly like plain optimize()); the rest
+/// alternate search strategies and spread out over the CDCL tuning space.
+std::vector<OptimizeOptions> diversified_configs(int threads,
+                                                 const OptimizeOptions& base) {
+  static constexpr double kDecay[] = {0.95, 0.90, 0.99, 0.85};
+  static constexpr int kRestart[] = {100, 50, 200, 150};
+  std::vector<OptimizeOptions> configs;
+  configs.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    OptimizeOptions c = base;
+    if (i > 0) {
+      c.strategy = (i % 2 == 1) ? SearchStrategy::kDescending
+                                : SearchStrategy::kBisection;
+      SolverTuning t;
+      t.var_decay = kDecay[i % 4];
+      t.restart_base = kRestart[i % 4];
+      t.default_polarity = (i / 2) % 2 != 0;
+      t.phase_saving = true;
+      t.random_branch_freq = i >= 2 ? 0.02 : 0.0;
+      t.seed = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(i) +
+               0x2545f4914f6cdd1dull;
+      c.tuning = t;
+    }
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+/// Clause exchange is sound only between workers whose solvers assign the
+/// same meaning to every shared variable: identical encoder configuration
+/// (the base encoding is deterministic) and incremental mode (scratch
+/// workers rebuild their solver every SOLVE, so there is no long-lived
+/// clause database to import into).
+bool same_encoding(const OptimizeOptions& a, const OptimizeOptions& b) {
+  return a.incremental && b.incremental &&
+         a.encoder.backend == b.encoder.backend &&
+         a.encoder.free_tie_priorities == b.encoder.free_tie_priorities &&
+         a.encoder.redundant_utilization == b.encoder.redundant_utilization;
+}
+
+const char* backend_name(const OptimizeOptions& o) {
+  return o.encoder.backend == encode::Backend::kPbMixed ? "pb-mixed" : "cnf";
 }
 
 }  // namespace
@@ -30,13 +85,95 @@ PortfolioResult optimize_portfolio(const Problem& problem,
                                    Objective objective,
                                    const PortfolioOptions& options) {
   std::vector<OptimizeOptions> configs =
-      options.configs.empty() ? default_configs() : options.configs;
+      !options.configs.empty() ? options.configs
+      : options.threads > 0
+          ? diversified_configs(options.threads, options.base_config)
+          : default_configs(options.base_config);
+  const int n = static_cast<int>(configs.size());
   std::atomic<bool> stop{false};
+  Stopwatch total;
 
   PortfolioResult result;
-  result.per_config.assign(configs.size(),
+  result.threads = n;
+  result.per_config.assign(static_cast<std::size_t>(n),
                            OptimizeResult::Status::kBudgetExhausted);
+  result.per_config_stats.assign(static_cast<std::size_t>(n), OptimizeStats{});
   std::mutex mutex;  // guards result.best / result.winner
+
+  // --- Shared cooperative state (see src/par). -------------------------
+  // One clause pool per group of identically-encoding incremental workers;
+  // one global cost interval plus an incumbent-allocation store.
+  par::SharedInterval interval;
+  struct Group {
+    std::vector<int> members;
+    std::unique_ptr<par::ClausePool> pool;
+  };
+  std::vector<Group> groups;
+  // config index -> (pool, rank within its group); null pool = no partner.
+  std::vector<std::pair<par::ClausePool*, int>> membership(
+      static_cast<std::size_t>(n), {nullptr, 0});
+  if (options.share_clauses) {
+    for (int i = 0; i < n; ++i) {
+      if (!configs[static_cast<std::size_t>(i)].incremental) continue;
+      Group* group = nullptr;
+      for (Group& g : groups) {
+        if (same_encoding(configs[static_cast<std::size_t>(g.members[0])],
+                          configs[static_cast<std::size_t>(i)])) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.push_back(Group{});
+        group = &groups.back();
+      }
+      group->members.push_back(i);
+    }
+    for (Group& g : groups) {
+      if (g.members.size() < 2) continue;  // nobody to exchange with
+      g.pool = std::make_unique<par::ClausePool>(
+          static_cast<int>(g.members.size()));
+      for (std::size_t rank = 0; rank < g.members.size(); ++rank) {
+        membership[static_cast<std::size_t>(g.members[rank])] = {
+            g.pool.get(), static_cast<int>(rank)};
+      }
+    }
+  }
+  std::vector<std::unique_ptr<par::SharingClient>> clients(
+      static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    par::SharedInterval* iv = options.share_bounds ? &interval : nullptr;
+    auto [pool, rank] = membership[static_cast<std::size_t>(i)];
+    if (iv == nullptr && pool == nullptr) continue;
+    auto client = std::make_unique<par::SharingClient>(iv, pool, rank);
+    client->max_export_lbd = options.share_max_lbd;
+    client->max_export_size = options.share_max_size;
+    clients[static_cast<std::size_t>(i)] = std::move(client);
+  }
+
+  // Best feasible allocation seen by anyone. Workers store here *before*
+  // dropping the shared upper bound, so a sibling that observes the bound
+  // always finds an allocation at least that good.
+  struct Incumbent {
+    std::mutex mu;
+    bool has = false;
+    std::int64_t cost = 0;
+    rt::Allocation allocation;
+  } incumbent;
+
+  // Serialized merged progress stream: one lock across all workers (no
+  // overlapping callbacks) and a monotone merged interval — the greatest
+  // lower bound and least upper bound reported by anyone so far.
+  struct Merged {
+    std::mutex mu;
+    std::int64_t lower = std::numeric_limits<std::int64_t>::min();
+    std::int64_t upper = std::numeric_limits<std::int64_t>::max();
+    bool any = false;
+    bool has_incumbent = false;
+    std::int64_t incumbent_cost = -1;
+    std::vector<int> calls;  // per-worker latest sat_calls
+  } merged;
+  merged.calls.assign(static_cast<std::size_t>(n), 0);
 
   auto runner = [&](int index) {
     OptimizeOptions opts = configs[static_cast<std::size_t>(index)];
@@ -46,14 +183,56 @@ PortfolioResult optimize_portfolio(const Problem& problem,
          opts.time_limit_s > options.time_limit_s)) {
       opts.time_limit_s = options.time_limit_s;
     }
+    par::SharingClient* client = clients[static_cast<std::size_t>(index)].get();
+    opts.share = client;
+    if (options.share_bounds) {
+      opts.publish_incumbent = [&](std::int64_t cost,
+                                   const rt::Allocation& alloc) {
+        std::lock_guard<std::mutex> lock(incumbent.mu);
+        if (!incumbent.has || cost < incumbent.cost) {
+          incumbent.has = true;
+          incumbent.cost = cost;
+          incumbent.allocation = alloc;
+        }
+      };
+      opts.fetch_incumbent =
+          [&]() -> std::optional<std::pair<std::int64_t, rt::Allocation>> {
+        std::lock_guard<std::mutex> lock(incumbent.mu);
+        if (!incumbent.has) return std::nullopt;
+        return std::make_pair(incumbent.cost, incumbent.allocation);
+      };
+    }
+    if (options.on_progress) {
+      opts.on_progress = [&, index](const Progress& p) {
+        std::lock_guard<std::mutex> lock(merged.mu);
+        merged.any = true;
+        merged.lower = std::max(merged.lower, p.lower);
+        merged.upper = std::min(merged.upper, p.upper);
+        if (p.has_incumbent &&
+            (!merged.has_incumbent || p.incumbent_cost < merged.incumbent_cost)) {
+          merged.has_incumbent = true;
+          merged.incumbent_cost = p.incumbent_cost;
+        }
+        merged.calls[static_cast<std::size_t>(index)] = p.sat_calls;
+        Progress out;
+        out.seconds = total.seconds();
+        out.lower = merged.lower;
+        out.upper = merged.upper;
+        out.has_incumbent = merged.has_incumbent;
+        out.incumbent_cost = merged.incumbent_cost;
+        out.sat_calls = 0;
+        for (int c : merged.calls) out.sat_calls += c;
+        options.on_progress(out);  // still under the lock: never overlaps
+      };
+    }
     if (obs::trace_enabled()) {
       obs::TraceEvent("portfolio_start")
           .num("worker", index)
           .str("strategy", strategy_name(opts.strategy))
-          .str("backend", opts.encoder.backend == encode::Backend::kPbMixed
-                              ? "pb-mixed"
-                              : "cnf")
-          .boolean("incremental", opts.incremental);
+          .str("backend", backend_name(opts))
+          .boolean("incremental", opts.incremental)
+          .boolean("share_clauses", client != nullptr && client->has_pool())
+          .boolean("share_bounds", options.share_bounds);
     }
     OptimizeResult local = optimize(problem, objective, opts);
     const bool cancelled = stop.load(std::memory_order_relaxed) &&
@@ -64,9 +243,14 @@ PortfolioResult optimize_portfolio(const Problem& problem,
       e.num("worker", index).str("status", local.status_string());
       if (local.has_allocation) e.num("cost", local.cost);
       e.num("seconds", local.stats.seconds);
+      e.num("clauses_exported",
+            static_cast<std::int64_t>(local.stats.clauses_exported));
+      e.num("clauses_imported",
+            static_cast<std::int64_t>(local.stats.clauses_imported));
     }
     std::lock_guard<std::mutex> lock(mutex);
     result.per_config[static_cast<std::size_t>(index)] = local.status;
+    result.per_config_stats[static_cast<std::size_t>(index)] = local.stats;
     auto definitive = [](const OptimizeResult& r) {
       return r.status == OptimizeResult::Status::kOptimal ||
              r.status == OptimizeResult::Status::kInfeasible;
@@ -76,6 +260,9 @@ PortfolioResult optimize_portfolio(const Problem& problem,
       take = true;  // first result of any kind
     } else if (definitive(local) && !definitive(result.best)) {
       take = true;  // definitive beats anytime
+    } else if (definitive(local) && definitive(result.best) &&
+               local.certified && !result.best.certified) {
+      take = true;  // certified beats uncertified
     } else if (!definitive(local) && !definitive(result.best) &&
                local.has_allocation &&
                (!result.best.has_allocation ||
@@ -92,18 +279,34 @@ PortfolioResult optimize_portfolio(const Problem& problem,
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(configs.size());
-  for (int i = 0; i < static_cast<int>(configs.size()); ++i) {
-    threads.emplace_back(runner, i);
-  }
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) threads.emplace_back(runner, i);
   for (std::thread& t : threads) t.join();
+
+  for (const OptimizeStats& s : result.per_config_stats) {
+    result.sharing.clauses_exported += s.clauses_exported;
+    result.sharing.clauses_imported += s.clauses_imported;
+    result.sharing.bounds_published += s.bounds_published;
+    result.sharing.bounds_adopted += s.bounds_adopted;
+  }
+  for (const Group& g : groups) {
+    if (g.pool) result.sharing.pool_dropped += g.pool->stats().overwritten;
+  }
 
   static const obs::Metric races = obs::counter("portfolio.races");
   static const obs::Metric workers = obs::counter("portfolio.workers");
   static const obs::Metric definitive =
       obs::counter("portfolio.definitive_results");
+  static const obs::Metric exported =
+      obs::counter("portfolio.clauses_exported");
+  static const obs::Metric imported =
+      obs::counter("portfolio.clauses_imported");
+  static const obs::Metric bounds = obs::counter("portfolio.bound_updates");
   obs::add(races, 1);
-  obs::add(workers, static_cast<std::int64_t>(configs.size()));
+  obs::add(workers, n);
+  obs::add(exported, static_cast<std::int64_t>(result.sharing.clauses_exported));
+  obs::add(imported, static_cast<std::int64_t>(result.sharing.clauses_imported));
+  obs::add(bounds, static_cast<std::int64_t>(interval.updates()));
   if (result.best.status == OptimizeResult::Status::kOptimal ||
       result.best.status == OptimizeResult::Status::kInfeasible) {
     obs::add(definitive, 1);
@@ -112,6 +315,15 @@ PortfolioResult optimize_portfolio(const Problem& problem,
     obs::TraceEvent e("portfolio_win");
     e.num("winner", result.winner).str("status", result.best.status_string());
     if (result.best.has_allocation) e.num("cost", result.best.cost);
+    e.num("threads", n);
+    e.num("clauses_exported",
+          static_cast<std::int64_t>(result.sharing.clauses_exported));
+    e.num("clauses_imported",
+          static_cast<std::int64_t>(result.sharing.clauses_imported));
+    e.num("bounds_published",
+          static_cast<std::int64_t>(result.sharing.bounds_published));
+    e.num("bounds_adopted",
+          static_cast<std::int64_t>(result.sharing.bounds_adopted));
   }
   return result;
 }

@@ -1,11 +1,30 @@
 #pragma once
-// Parallel portfolio optimization: run several optimizer configurations
-// (search strategies, encoder backends, warm starts) concurrently on the
-// same problem; the first definitive answer (optimal or infeasible) wins
-// and cancels the others cooperatively. Since every configuration solves
-// the identical constraint system, any "optimal" verdict is *the* global
-// optimum — the portfolio only changes how fast it is reached.
+// Cooperative parallel portfolio optimization: run several diversified
+// optimizer configurations concurrently on the same problem. Beyond the
+// classic race (first definitive answer wins and cancels the rest), the
+// workers cooperate through the src/par sharing layer:
+//
+//   * clause exchange — each CDCL worker exports its valuable learnt
+//     clauses (units, binaries, low-LBD) into a sharded lock-per-producer
+//     pool and drains its siblings' exports at restart boundaries. Only
+//     workers with an identical encoder configuration exchange clauses
+//     (same configuration => same deterministic variable numbering);
+//   * bound broadcasting — one shared atomic cost interval: any worker
+//     that proves a lower bound raises it, any worker that finds an
+//     incumbent drops the upper side (and parks the allocation in a
+//     shared store), and every worker folds the global interval into its
+//     own binary search before each SOLVE step;
+//   * diversification — generated workers vary search strategy, VSIDS
+//     decay, restart pacing, default polarity, random-branching rate and
+//     RNG seed, so the portfolio explores different parts of the search
+//     space instead of racing down the same path.
+//
+// Since every configuration solves the identical constraint system, any
+// "optimal" verdict is *the* global optimum — sharing only changes how
+// fast it is reached.
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "alloc/optimizer.hpp"
@@ -13,17 +32,51 @@
 namespace optalloc::alloc {
 
 struct PortfolioOptions {
-  /// Configurations to race; empty = a sensible default set (bisection,
-  /// descending, PB backend).
+  /// Configurations to race, verbatim. Empty = generate `threads`
+  /// diversified variants of `base_config` (worker 0 keeps the base
+  /// untouched); with `threads` == 0 too, a sensible default trio
+  /// (bisection, descending, PB backend).
   std::vector<OptimizeOptions> configs;
+  /// Worker count for generated configurations (ignored when `configs`
+  /// is non-empty). 0 = the historical default trio.
+  int threads = 0;
+  /// Template for generated configurations: carries encoder config,
+  /// certification, warm starts, per-call budgets into every worker.
+  OptimizeOptions base_config;
   /// Overall wall-clock limit (0 = unlimited).
   double time_limit_s = 0.0;
+  /// Cooperative clause exchange between same-encoding workers.
+  bool share_clauses = true;
+  /// Shared cost interval + incumbent-allocation exchange.
+  bool share_bounds = true;
+  /// Export filter: learnts with LBD <= this (or size <= 2) travel.
+  std::uint32_t share_max_lbd = 4;
+  /// Export filter: learnts longer than this never travel.
+  std::uint32_t share_max_size = 32;
+  /// Serialized anytime progress over the merged portfolio interval:
+  /// callbacks never overlap (mutual exclusion across workers) and the
+  /// reported interval shrinks monotonically even though the underlying
+  /// per-worker reports race. `sat_calls` counts all workers' SOLVE calls.
+  std::function<void(const Progress&)> on_progress;
+};
+
+/// Cooperative-search traffic aggregated over all workers.
+struct SharingStats {
+  std::uint64_t clauses_exported = 0;  ///< learnts pushed to the pools
+  std::uint64_t clauses_imported = 0;  ///< foreign learnts attached
+  std::uint64_t bounds_published = 0;  ///< shared-interval tightenings
+  std::uint64_t bounds_adopted = 0;    ///< foreign bounds folded in
+  std::uint64_t pool_dropped = 0;      ///< exports lost to ring overwrite
 };
 
 struct PortfolioResult {
   OptimizeResult best;
   int winner = -1;  ///< index of the winning configuration
+  int threads = 0;  ///< number of workers actually raced
   std::vector<OptimizeResult::Status> per_config;
+  /// Per-worker search effort (indexed like per_config).
+  std::vector<OptimizeStats> per_config_stats;
+  SharingStats sharing;
 };
 
 PortfolioResult optimize_portfolio(const Problem& problem,

@@ -1,0 +1,66 @@
+#include "par/pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace optalloc::par {
+
+ClausePool::ClausePool(int num_workers, PoolOptions options)
+    : capacity_(std::max<std::size_t>(1, options.shard_capacity)) {
+  assert(num_workers > 0);
+  shards_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->ring.resize(capacity_);
+  }
+}
+
+void ClausePool::publish(int worker, std::span<const sat::Lit> lits,
+                         std::uint32_t lbd) {
+  assert(worker >= 0 && worker < num_workers());
+  Shard& shard = *shards_[static_cast<std::size_t>(worker)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  SharedClause& slot = shard.ring[shard.head % capacity_];
+  slot.lits.assign(lits.begin(), lits.end());
+  slot.lbd = lbd;
+  ++shard.head;
+  published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t ClausePool::drain(int worker, Cursor& cursor,
+                              std::vector<SharedClause>& out,
+                              std::size_t max_clauses) {
+  assert(cursor.next.size() == shards_.size());
+  std::size_t taken = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (static_cast<int>(s) == worker) continue;
+    if (taken >= max_clauses) break;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::uint64_t from = cursor.next[s];
+    const std::uint64_t oldest =
+        shard.head > capacity_ ? shard.head - capacity_ : 0;
+    if (from < oldest) {
+      overwritten_.fetch_add(oldest - from, std::memory_order_relaxed);
+      from = oldest;
+    }
+    while (from < shard.head && taken < max_clauses) {
+      out.push_back(shard.ring[from % capacity_]);
+      ++from;
+      ++taken;
+    }
+    cursor.next[s] = from;
+  }
+  if (taken > 0) consumed_.fetch_add(taken, std::memory_order_relaxed);
+  return taken;
+}
+
+PoolStats ClausePool::stats() const {
+  PoolStats s;
+  s.published = published_.load(std::memory_order_relaxed);
+  s.consumed = consumed_.load(std::memory_order_relaxed);
+  s.overwritten = overwritten_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace optalloc::par

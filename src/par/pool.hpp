@@ -1,0 +1,92 @@
+#pragma once
+// Shared learnt-clause pool for the cooperative parallel portfolio
+// (src/alloc/portfolio): every worker exports its valuable learnt clauses
+// (units, binaries, low-LBD) and drains the other workers' exports at
+// restart boundaries.
+//
+// Layout: one shard per producer. A shard is a fixed-capacity overwrite
+// ring guarded by its own mutex, so
+//   * a producer only ever touches its own shard — publishers never
+//     contend with each other;
+//   * consumers lock a foreign shard briefly to copy the entries published
+//     since their last visit (per-shard cursors live in the consumer);
+//   * a slow consumer loses overwritten clauses instead of stalling the
+//     producer — clause exchange is best-effort, dropping is always sound.
+//
+// There is deliberately no global lock and no allocation on the consumer's
+// cursor path; the only allocations are the literal copies of published
+// clauses, which are rare by construction (the export filter admits a
+// small fraction of learnts).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace optalloc::par {
+
+/// One clause travelling between workers (defined next to the solver's
+/// sharing hooks so drains move straight into the import buffer).
+using SharedClause = sat::SharedClause;
+
+struct PoolOptions {
+  /// Entries retained per producer shard before overwrite.
+  std::size_t shard_capacity = 4096;
+};
+
+/// Cumulative pool-wide counters (relaxed atomics; exact under quiescence).
+struct PoolStats {
+  std::uint64_t published = 0;   ///< clauses accepted into a shard
+  std::uint64_t consumed = 0;    ///< clauses handed to consumers (all of them)
+  std::uint64_t overwritten = 0; ///< ring entries a consumer arrived too late for
+};
+
+class ClausePool {
+ public:
+  ClausePool(int num_workers, PoolOptions options = {});
+
+  int num_workers() const { return static_cast<int>(shards_.size()); }
+
+  /// Publish a clause from `worker`'s solver. The caller has already
+  /// applied the export filter (LBD/size/variable limits).
+  void publish(int worker, std::span<const sat::Lit> lits, std::uint32_t lbd);
+
+  /// Per-shard read positions of one consumer. Value-semantic so each
+  /// worker owns its own cursors and drain() needs no consumer registry.
+  struct Cursor {
+    std::vector<std::uint64_t> next;  ///< next sequence number per shard
+  };
+  Cursor make_cursor() const {
+    return Cursor{std::vector<std::uint64_t>(shards_.size(), 0)};
+  }
+
+  /// Copy every clause published by other workers since the cursor's last
+  /// visit into `out` (appending), advancing the cursor. Clauses from
+  /// `worker`'s own shard are skipped (re-export suppression: a clause
+  /// never echoes back to its producer). At most `max_clauses` are taken.
+  /// Returns the number of clauses delivered.
+  std::size_t drain(int worker, Cursor& cursor,
+                    std::vector<SharedClause>& out,
+                    std::size_t max_clauses = 1024);
+
+  PoolStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<SharedClause> ring;  ///< slot i holds sequence head-ring+i... % cap
+    std::uint64_t head = 0;          ///< total clauses ever published
+  };
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+};
+
+}  // namespace optalloc::par

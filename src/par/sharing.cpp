@@ -1,0 +1,21 @@
+#include "par/sharing.hpp"
+
+namespace optalloc::par {
+
+void SharingClient::attach(sat::Solver& solver, std::int32_t var_limit) {
+  if (pool_ == nullptr) return;
+  sat::Solver::ShareHooks hooks;
+  hooks.max_export_lbd = max_export_lbd;
+  hooks.max_export_size = max_export_size;
+  hooks.export_var_limit = var_limit;
+  hooks.export_clause = [this](std::span<const sat::Lit> lits,
+                               std::uint32_t lbd) {
+    pool_->publish(worker_, lits, lbd);
+  };
+  hooks.import_clauses = [this](std::vector<sat::SharedClause>& out) {
+    pool_->drain(worker_, cursor_, out, max_import_batch);
+  };
+  solver.set_share(std::move(hooks));
+}
+
+}  // namespace optalloc::par

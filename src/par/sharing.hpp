@@ -1,0 +1,117 @@
+#pragma once
+// Cooperative-search shared state and the per-worker client handle.
+//
+// A cooperative portfolio run (src/alloc/portfolio) owns:
+//   * one SharedInterval — the global cost interval [lower, upper]: any
+//     worker that proves "no allocation cheaper than L" raises lower, any
+//     worker that finds an incumbent of cost U drops upper, and every
+//     worker folds the global interval into its own binary search before
+//     each SOLVE step, so the searches converge jointly;
+//   * one ClausePool per group of workers with identical encodings — only
+//     solvers over the same variable numbering may exchange clauses.
+//
+// Each worker gets a SharingClient: a thin, single-thread handle bundling
+// its pool cursor, worker index, and export filter, and wiring the
+// sat::Solver sharing hooks. The client itself is not thread-safe; the
+// underlying pool and interval are.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "par/pool.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::par {
+
+/// Globally shared, monotonically shrinking cost interval. `lower` only
+/// rises (CAS-max), `upper` only drops (CAS-min); both start unbounded.
+/// Callers must only raise `lower` with a *proven* bound and only drop
+/// `upper` with the cost of a *feasible* incumbent, so lower <= upper
+/// always holds for consistent publishers.
+class SharedInterval {
+ public:
+  static constexpr std::int64_t kNoLower =
+      std::numeric_limits<std::int64_t>::min();
+  static constexpr std::int64_t kNoUpper =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::int64_t lower() const { return lower_.load(std::memory_order_acquire); }
+  std::int64_t upper() const { return upper_.load(std::memory_order_acquire); }
+
+  /// Raise the proven lower bound; returns true if `v` improved it.
+  bool raise_lower(std::int64_t v) {
+    std::int64_t cur = lower_.load(std::memory_order_relaxed);
+    while (v > cur) {
+      if (lower_.compare_exchange_weak(cur, v, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+        updates_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Drop the incumbent upper bound; returns true if `v` improved it.
+  bool drop_upper(std::int64_t v) {
+    std::int64_t cur = upper_.load(std::memory_order_relaxed);
+    while (v < cur) {
+      if (upper_.compare_exchange_weak(cur, v, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+        updates_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Total successful raises + drops across all workers.
+  std::uint64_t updates() const {
+    return updates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> lower_{kNoLower};
+  std::atomic<std::int64_t> upper_{kNoUpper};
+  std::atomic<std::uint64_t> updates_{0};
+};
+
+/// One worker's handle on the shared state. Constructed by the portfolio;
+/// passed to the optimizer via OptimizeOptions::share. Either pointer may
+/// be null: interval == nullptr disables bound broadcasting, pool ==
+/// nullptr disables clause exchange (e.g. a worker whose encoder config
+/// has no sharing partner).
+class SharingClient {
+ public:
+  SharingClient(SharedInterval* interval, ClausePool* pool, int worker)
+      : interval_(interval), pool_(pool), worker_(worker) {
+    if (pool_ != nullptr) cursor_ = pool_->make_cursor();
+  }
+
+  SharedInterval* interval() const { return interval_; }
+  bool has_pool() const { return pool_ != nullptr; }
+  int worker() const { return worker_; }
+
+  /// Export filter forwarded to the solver hooks.
+  std::uint32_t max_export_lbd = 4;
+  std::uint32_t max_export_size = 32;
+  /// Largest batch pulled per restart drain.
+  std::size_t max_import_batch = 512;
+
+  /// Install the clause-exchange hooks on `solver`. `var_limit` restricts
+  /// exchanged clauses to the deterministic base encoding (variables that
+  /// exist right after build(), before any query-dependent bound-guard
+  /// circuits), so a clause means the same thing in every group member.
+  /// No-op without a pool. The solver itself suppresses imports while a
+  /// proof log is attached (an imported clause has no RUP derivation in
+  /// the local log); exports stay on either way.
+  void attach(sat::Solver& solver, std::int32_t var_limit);
+
+ private:
+  SharedInterval* interval_;
+  ClausePool* pool_;
+  int worker_;
+  ClausePool::Cursor cursor_;
+};
+
+}  // namespace optalloc::par

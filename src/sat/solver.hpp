@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -16,6 +17,7 @@
 #include "sat/clause.hpp"
 #include "sat/heap.hpp"
 #include "sat/types.hpp"
+#include "util/rng.hpp"
 
 namespace optalloc::sat {
 
@@ -52,6 +54,13 @@ struct Budget {
   const std::atomic<bool>* stop = nullptr;
 };
 
+/// One clause crossing solver boundaries through the sharing hooks (see
+/// src/par for the pool that carries them between portfolio workers).
+struct SharedClause {
+  std::vector<Lit> lits;
+  std::uint32_t lbd = 0;
+};
+
 struct SolverStats {
   /// Literal occurrences across all added problem clauses — the "Lit."
   /// column of the paper's result tables.
@@ -65,6 +74,10 @@ struct SolverStats {
   std::uint64_t removed_clauses = 0;
   std::uint64_t theory_propagations = 0;
   std::uint64_t gc_runs = 0;
+  std::uint64_t random_decisions = 0;
+  /// Clause-exchange traffic (cooperative portfolio only).
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
   /// Phase wall-times. Only accumulated while obs::phase_timing() is on
   /// (e.g. --stats); otherwise the search loop takes no clock readings.
   double propagate_seconds = 0.0;
@@ -168,6 +181,32 @@ class Solver {
   /// then report the reason clause as a conflict instead).
   bool theory_enqueue(Lit l, std::span<const Lit> reason);
 
+  // --- Cooperative clause exchange --------------------------------------
+
+  /// Hooks wiring this solver into a shared clause pool (see src/par).
+  /// `export_clause` fires at learn time for every clause passing the
+  /// filter: units and binaries always, larger clauses when LBD <=
+  /// max_export_lbd and size <= max_export_size, and — when
+  /// export_var_limit >= 0 — only clauses whose variables all lie below
+  /// the limit (the deterministic base encoding shared by every worker;
+  /// clauses over query-local bound-guard circuits stay private).
+  /// `import_clauses` is polled at restart boundaries (decision level 0)
+  /// and appends foreign clauses to its argument; imported clauses are
+  /// attached as learnts and are never re-exported (they are not learnt
+  /// here, so the export site never sees them).
+  ///
+  /// Certification: imports are suppressed while a proof log is attached —
+  /// a foreign clause has no RUP derivation in the local log, so importing
+  /// would invalidate the DRAT certificate. Exporting is always sound.
+  struct ShareHooks {
+    std::function<void(std::span<const Lit>, std::uint32_t lbd)> export_clause;
+    std::function<void(std::vector<SharedClause>&)> import_clauses;
+    std::uint32_t max_export_lbd = 4;
+    std::uint32_t max_export_size = 32;
+    std::int32_t export_var_limit = -1;  ///< -1 = no variable restriction
+  };
+  void set_share(ShareHooks hooks) { share_ = std::move(hooks); }
+
   // --- Certification ----------------------------------------------------
 
   /// Attach a proof log (not owned; nullptr detaches). Attach before adding
@@ -193,6 +232,11 @@ class Solver {
   double learnt_size_inc = 1.1;
   bool phase_saving = true;
   bool default_polarity = false;  ///< initial branching polarity (sign)
+  /// Probability of replacing a VSIDS decision with a uniformly random
+  /// unassigned variable — a portfolio diversifier. 0 = pure VSIDS.
+  double random_branch_freq = 0.0;
+  /// Seed for the random-branching RNG (per-worker diversification).
+  void set_random_seed(std::uint64_t seed) { rng_.reseed(seed); }
   /// Run the invariant auditor every N conflicts during search (0 = off);
   /// throws std::logic_error on the first violation. Debug/test facility.
   std::int64_t audit_period = 0;
@@ -245,6 +289,11 @@ class Solver {
   std::uint32_t compute_lbd(std::span<const Lit> lits);
   bool budget_exhausted() const;
 
+  // Clause exchange.
+  void maybe_export(std::span<const Lit> lits, std::uint32_t lbd);
+  bool import_shared();  ///< drain + attach foreign clauses; returns ok_
+  bool attach_imported(const SharedClause& sc);
+
   // Clause database.
   ClauseArena arena_;
   std::vector<CRef> clauses_;  ///< problem clauses
@@ -292,6 +341,14 @@ class Solver {
 
   // Theory propagators.
   std::vector<Propagator*> propagators_;
+
+  // Clause exchange.
+  ShareHooks share_;
+  std::vector<SharedClause> import_buf_;
+  std::vector<Lit> import_scratch_;
+
+  // Random branching (diversification).
+  Rng rng_;
 
   // Certification.
   ProofLog* proof_ = nullptr;
