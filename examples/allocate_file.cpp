@@ -12,8 +12,11 @@
 //
 // Objectives: feasibility | trt:<medium> | sum-trt | can-load:<medium> |
 // max-util; sum-trt is the default when omitted. The optional --time
-// budget (seconds) turns the run into an anytime optimization that
-// reports best-so-far plus bounds. --trace FILE streams every SOLVE call,
+// budget (seconds) — or --timeout (milliseconds) — turns the run into an
+// anytime optimization that reports best-so-far plus bounds; a run that
+// ends with a feasible allocation that is *not* proven optimal exits 4
+// (vs 0 proven / 1 infeasible or unverified), so schedulers wrapping this
+// CLI can tell the two apart. --trace FILE streams every SOLVE call,
 // interval update and the final optimum as structured JSONL events (see
 // README "Observability"); --stats enables phase timers and prints the
 // metrics registry on exit. --certify runs the independent checkers over
@@ -51,6 +54,7 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s <file|-> [objective] [--time <seconds>] "
+               "[--timeout <ms>] "
                "[--trace <file>] [--stats] [--report] [--dot] "
                "[--certify] [--proof <file>] [--threads <n> | --portfolio]\n",
                prog);
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--time") == 0 && i + 1 < argc) {
       opts.time_limit_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      opts.time_limit_s = std::atof(argv[++i]) / 1000.0;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
       if (threads < 1) {
@@ -107,14 +113,14 @@ int main(int argc, char** argv) {
   alloc::Objective objective = alloc::Objective::sum_trt();
   try {
     if (std::strcmp(positional[0], "-") == 0) {
-      problem = alloc::parse_problem(std::cin);
+      problem = alloc::parse_problem(std::cin, "<stdin>");
     } else {
       std::ifstream in(positional[0]);
       if (!in) {
         std::fprintf(stderr, "error: cannot open %s\n", positional[0]);
         return 2;
       }
-      problem = alloc::parse_problem(in);
+      problem = alloc::parse_problem(in, positional[0]);
     }
     if (positional.size() == 2) {
       objective = alloc::parse_objective(positional[1]);
@@ -246,5 +252,9 @@ int main(int argc, char** argv) {
                                   res.allocation)
                           .c_str());
   }
-  return report.feasible ? 0 : 1;
+  if (!report.feasible) return 1;
+  // Anytime answer: feasible and verified, but the search ran out of
+  // budget before pinning the optimum — distinct exit code so callers can
+  // retry with a bigger budget (or accept the incumbent + lower bound).
+  return res.status == alloc::OptimizeResult::Status::kBudgetExhausted ? 4 : 0;
 }

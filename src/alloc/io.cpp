@@ -5,14 +5,19 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace optalloc::alloc {
 
 namespace {
 
+/// Name of the input being parsed, reported in every diagnostic. Thread
+/// local because the service parses submissions on connection threads.
+thread_local std::string t_source = "problem file";
+
 [[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::runtime_error("problem file, line " + std::to_string(line) +
+  throw std::runtime_error(t_source + ", line " + std::to_string(line) +
                            ": " + msg);
 }
 
@@ -60,7 +65,8 @@ std::int64_t to_int(const std::string& s, int line) {
 
 }  // namespace
 
-Problem parse_problem(std::istream& in) {
+Problem parse_problem(std::istream& in, std::string_view source) {
+  t_source = source.empty() ? "problem file" : std::string(source);
   Problem p;
   std::map<std::string, int> task_index;
   bool system_seen = false;

@@ -18,14 +18,17 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "alloc/problem.hpp"
 
 namespace optalloc::alloc {
 
-/// Parse a problem description. Throws std::runtime_error with a
-/// line-numbered message on malformed input.
-Problem parse_problem(std::istream& in);
+/// Parse a problem description. Throws std::runtime_error on malformed
+/// input; the message names the source (`source`, e.g. the file name —
+/// pass "<stdin>" for piped input) and the offending line number.
+Problem parse_problem(std::istream& in,
+                      std::string_view source = "problem file");
 
 /// Serialize a problem in the same format (round-trips through
 /// parse_problem).

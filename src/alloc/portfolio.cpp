@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -278,10 +279,31 @@ PortfolioResult optimize_portfolio(const Problem& problem,
     }
   };
 
+  // Forward an external cancellation request onto the internal stop flag
+  // (which the runner installs into every worker). Polling keeps the
+  // external flag a plain const atomic the caller can share freely.
+  std::thread watcher;
+  std::atomic<bool> watcher_done{false};
+  if (options.external_stop != nullptr) {
+    watcher = std::thread([&, external = options.external_stop] {
+      while (!watcher_done.load(std::memory_order_relaxed)) {
+        if (external->load(std::memory_order_relaxed)) {
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) threads.emplace_back(runner, i);
   for (std::thread& t : threads) t.join();
+  if (watcher.joinable()) {
+    watcher_done.store(true, std::memory_order_relaxed);
+    watcher.join();
+  }
 
   for (const OptimizeStats& s : result.per_config_stats) {
     result.sharing.clauses_exported += s.clauses_exported;

@@ -23,6 +23,7 @@
 // "optimal" verdict is *the* global optimum — sharing only changes how
 // fast it is reached.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -45,6 +46,13 @@ struct PortfolioOptions {
   OptimizeOptions base_config;
   /// Overall wall-clock limit (0 = unlimited).
   double time_limit_s = 0.0;
+  /// Caller-side cooperative cancellation. The portfolio drives its
+  /// workers through an *internal* stop flag (so a definitive answer can
+  /// cancel the losers); when this is set, a watcher thread forwards the
+  /// external request onto that internal flag. Per-config
+  /// OptimizeOptions::stop is overwritten by the runner — this is the only
+  /// way to cancel a whole portfolio from outside.
+  const std::atomic<bool>* external_stop = nullptr;
   /// Cooperative clause exchange between same-encoding workers.
   bool share_clauses = true;
   /// Shared cost interval + incumbent-allocation exchange.

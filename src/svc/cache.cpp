@@ -1,0 +1,73 @@
+#include "svc/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace optalloc::svc {
+
+ResultCache::ResultCache(std::size_t capacity, int shards) {
+  const std::size_t n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::max(1, shards)));
+  per_shard_capacity_ = std::max<std::size_t>(1, (capacity + n - 1) / n);
+  shards_ = std::vector<Shard>(n);
+}
+
+std::optional<CachedAnswer> ResultCache::get(const Fingerprint& key,
+                                             std::string_view canonical_text) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key.a);
+  if (it == s.index.end() || it->second->key != key ||
+      it->second->text != canonical_text) {
+    ++s.stats.misses;
+    return std::nullopt;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  ++s.stats.hits;
+  return it->second->answer;
+}
+
+void ResultCache::put(const Fingerprint& key, std::string canonical_text,
+                      CachedAnswer answer) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (const auto it = s.index.find(key.a); it != s.index.end()) {
+    // Refresh (or replace a colliding entry — last writer wins).
+    it->second->key = key;
+    it->second->text = std::move(canonical_text);
+    it->second->answer = std::move(answer);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  if (s.lru.size() >= per_shard_capacity_) {
+    s.index.erase(s.lru.back().key.a);
+    s.lru.pop_back();
+    ++s.stats.evictions;
+  }
+  s.lru.push_front(Entry{key, std::move(canonical_text), std::move(answer)});
+  s.index.emplace(key.a, s.lru.begin());
+  ++s.stats.insertions;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total.hits += s.stats.hits;
+    total.misses += s.stats.misses;
+    total.insertions += s.stats.insertions;
+    total.evictions += s.stats.evictions;
+  }
+  return total;
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.lru.size();
+  }
+  return n;
+}
+
+}  // namespace optalloc::svc

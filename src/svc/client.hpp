@@ -1,0 +1,24 @@
+#pragma once
+// Client-side socket plumbing for the NDJSON protocol, shared by the
+// alloc_client CLI and the bench_service load generator: connect to the
+// daemon, send one request line, read one response line.
+
+#include <string>
+
+namespace optalloc::svc {
+
+/// Connect to a Unix-domain socket; -1 on failure.
+int connect_unix(const std::string& path);
+
+/// Connect to a TCP endpoint (numeric IPv4 host, e.g. "127.0.0.1");
+/// -1 on failure.
+int connect_tcp(const std::string& host, int port);
+
+/// Write `line` plus the terminating newline; false on a broken pipe.
+bool send_line(int fd, const std::string& line);
+
+/// Read up to the next newline (buffering any over-read in `buffer`
+/// across calls). Returns false on EOF/error before a complete line.
+bool recv_line(int fd, std::string& buffer, std::string& line);
+
+}  // namespace optalloc::svc

@@ -1,0 +1,252 @@
+#include "svc/fingerprint.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <tuple>
+
+#include "alloc/io.hpp"
+
+namespace optalloc::svc {
+
+namespace {
+
+/// Sort key for a task: name first (the parser enforces uniqueness; API
+/// callers with duplicate names fall back to the timing fields).
+auto task_key(const rt::Task& t) {
+  return std::tie(t.name, t.period, t.deadline, t.release_jitter, t.memory);
+}
+
+/// Serialized content of one medium with its ECU list sorted — the media
+/// sort key, so identical media order deterministically regardless of
+/// declaration order.
+std::string medium_key(const rt::Medium& m) {
+  std::vector<int> ecus = m.ecus;
+  std::sort(ecus.begin(), ecus.end());
+  std::ostringstream os;
+  os << m.name << '|' << static_cast<int>(m.type);
+  for (const int e : ecus) os << ',' << e;
+  os << '|' << m.ring_byte_ticks << '|' << m.slot_min << '|' << m.slot_max
+     << '|' << m.can_bit_ticks << '|' << m.can_bits_per_tick << '|'
+     << m.can_blocking << '|' << m.gateway_cost;
+  return os.str();
+}
+
+std::uint64_t fnv1a(const std::string& text, std::uint64_t h,
+                    std::uint64_t prime) {
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= prime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  s.reserve(32);
+  for (const std::uint64_t v : {a, b}) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      s += kDigits[(v >> shift) & 0xF];
+    }
+  }
+  return s;
+}
+
+Fingerprint fingerprint_text(const std::string& text) {
+  Fingerprint fp;
+  fp.a = fnv1a(text, 0xcbf29ce484222325ull, 0x100000001b3ull);
+  // Second independent stream: different offset basis, and fold in the
+  // length so equal-hash-a texts of different lengths still separate.
+  fp.b = fnv1a(text, 0x9e3779b97f4a7c15ull ^ text.size(), 0x100000001b3ull);
+  return fp;
+}
+
+Canonical canonicalize(const alloc::Problem& problem,
+                       alloc::Objective objective) {
+  Canonical c;
+  const int num_tasks = static_cast<int>(problem.tasks.tasks.size());
+  const int num_media = static_cast<int>(problem.arch.media.size());
+
+  // --- Task permutation. ------------------------------------------------
+  std::vector<int> task_order(static_cast<std::size_t>(num_tasks));
+  std::iota(task_order.begin(), task_order.end(), 0);
+  std::stable_sort(task_order.begin(), task_order.end(), [&](int x, int y) {
+    return task_key(problem.tasks.tasks[static_cast<std::size_t>(x)]) <
+           task_key(problem.tasks.tasks[static_cast<std::size_t>(y)]);
+  });
+  c.task_perm.assign(static_cast<std::size_t>(num_tasks), 0);
+  for (int ci = 0; ci < num_tasks; ++ci) {
+    c.task_perm[static_cast<std::size_t>(task_order[static_cast<std::size_t>(
+        ci)])] = ci;
+  }
+
+  // --- Media permutation (+ per-medium ECU position permutation). -------
+  std::vector<int> media_order(static_cast<std::size_t>(num_media));
+  std::iota(media_order.begin(), media_order.end(), 0);
+  std::vector<std::string> media_keys;
+  media_keys.reserve(static_cast<std::size_t>(num_media));
+  for (const rt::Medium& m : problem.arch.media) {
+    media_keys.push_back(medium_key(m));
+  }
+  std::stable_sort(media_order.begin(), media_order.end(), [&](int x, int y) {
+    return media_keys[static_cast<std::size_t>(x)] <
+           media_keys[static_cast<std::size_t>(y)];
+  });
+  c.media_perm.assign(static_cast<std::size_t>(num_media), 0);
+  for (int ck = 0; ck < num_media; ++ck) {
+    c.media_perm[static_cast<std::size_t>(media_order[static_cast<std::size_t>(
+        ck)])] = ck;
+  }
+  c.ecu_pos_perm.resize(static_cast<std::size_t>(num_media));
+  for (int k = 0; k < num_media; ++k) {
+    const auto& ecus = problem.arch.media[static_cast<std::size_t>(k)].ecus;
+    std::vector<int> pos(ecus.size());
+    std::iota(pos.begin(), pos.end(), 0);
+    std::stable_sort(pos.begin(), pos.end(), [&](int x, int y) {
+      return ecus[static_cast<std::size_t>(x)] <
+             ecus[static_cast<std::size_t>(y)];
+    });
+    auto& perm = c.ecu_pos_perm[static_cast<std::size_t>(k)];
+    perm.assign(ecus.size(), 0);
+    for (std::size_t cp = 0; cp < pos.size(); ++cp) {
+      perm[static_cast<std::size_t>(pos[cp])] = static_cast<int>(cp);
+    }
+  }
+
+  // --- Canonical architecture. ------------------------------------------
+  c.problem.arch = problem.arch;
+  c.problem.arch.media.clear();
+  for (const int k : media_order) {
+    rt::Medium m = problem.arch.media[static_cast<std::size_t>(k)];
+    std::sort(m.ecus.begin(), m.ecus.end());
+    c.problem.arch.media.push_back(std::move(m));
+  }
+
+  // --- Canonical task set (remapped targets/separations, sorted). -------
+  // Per original task: message original-index -> sorted position, needed
+  // for the flattened global message id permutation below.
+  std::vector<std::vector<int>> msg_pos_perm(
+      static_cast<std::size_t>(num_tasks));
+  c.problem.tasks.tasks.clear();
+  c.problem.tasks.tasks.reserve(static_cast<std::size_t>(num_tasks));
+  for (const int orig : task_order) {
+    rt::Task t = problem.tasks.tasks[static_cast<std::size_t>(orig)];
+    for (int& s : t.separated_from) {
+      s = c.task_perm[static_cast<std::size_t>(s)];
+    }
+    std::sort(t.separated_from.begin(), t.separated_from.end());
+    for (rt::Message& m : t.messages) {
+      m.target_task = c.task_perm[static_cast<std::size_t>(m.target_task)];
+    }
+    std::vector<int> mpos(t.messages.size());
+    std::iota(mpos.begin(), mpos.end(), 0);
+    std::stable_sort(mpos.begin(), mpos.end(), [&](int x, int y) {
+      const rt::Message& mx = t.messages[static_cast<std::size_t>(x)];
+      const rt::Message& my = t.messages[static_cast<std::size_t>(y)];
+      return std::tie(mx.target_task, mx.size_bytes, mx.deadline,
+                      mx.release_jitter) <
+             std::tie(my.target_task, my.size_bytes, my.deadline,
+                      my.release_jitter);
+    });
+    std::vector<rt::Message> sorted;
+    sorted.reserve(t.messages.size());
+    auto& perm = msg_pos_perm[static_cast<std::size_t>(orig)];
+    perm.assign(t.messages.size(), 0);
+    for (std::size_t cp = 0; cp < mpos.size(); ++cp) {
+      sorted.push_back(t.messages[static_cast<std::size_t>(mpos[cp])]);
+      perm[static_cast<std::size_t>(mpos[cp])] = static_cast<int>(cp);
+    }
+    t.messages = std::move(sorted);
+    c.problem.tasks.tasks.push_back(std::move(t));
+  }
+
+  // --- Global message id permutation. -----------------------------------
+  // Flattened ids walk tasks in declaration order; recompute both bases.
+  std::vector<int> canon_base(static_cast<std::size_t>(num_tasks) + 1, 0);
+  for (int ci = 0; ci < num_tasks; ++ci) {
+    canon_base[static_cast<std::size_t>(ci) + 1] =
+        canon_base[static_cast<std::size_t>(ci)] +
+        static_cast<int>(
+            c.problem.tasks.tasks[static_cast<std::size_t>(ci)].messages
+                .size());
+  }
+  for (int i = 0; i < num_tasks; ++i) {
+    const int ci = c.task_perm[static_cast<std::size_t>(i)];
+    const auto& msgs = problem.tasks.tasks[static_cast<std::size_t>(i)].messages;
+    for (std::size_t j = 0; j < msgs.size(); ++j) {
+      c.msg_perm.push_back(canon_base[static_cast<std::size_t>(ci)] +
+                           msg_pos_perm[static_cast<std::size_t>(i)][j]);
+    }
+  }
+
+  // --- Objective + fingerprint. -----------------------------------------
+  c.objective = objective;
+  if (objective.medium >= 0 && objective.medium < num_media) {
+    c.objective.medium =
+        c.media_perm[static_cast<std::size_t>(objective.medium)];
+  }
+  std::ostringstream os;
+  alloc::write_problem(os, c.problem);
+  os << "objective " << c.objective.describe() << "\n";
+  c.text = os.str();
+  c.key = fingerprint_text(c.text);
+  return c;
+}
+
+rt::Allocation restore_allocation(const Canonical& canon,
+                                  const rt::Allocation& ca) {
+  rt::Allocation out;
+  const std::size_t num_tasks = canon.task_perm.size();
+  const std::size_t num_media = canon.media_perm.size();
+
+  if (!ca.task_ecu.empty()) {
+    out.task_ecu.resize(num_tasks);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      out.task_ecu[i] = ca.task_ecu[static_cast<std::size_t>(canon.task_perm[i])];
+    }
+  }
+  if (!ca.task_prio.empty()) {
+    out.task_prio.resize(num_tasks);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      out.task_prio[i] =
+          ca.task_prio[static_cast<std::size_t>(canon.task_perm[i])];
+    }
+  }
+  // Canonical medium index -> original medium index.
+  std::vector<int> inv_media(num_media, 0);
+  for (std::size_t k = 0; k < num_media; ++k) {
+    inv_media[static_cast<std::size_t>(canon.media_perm[k])] =
+        static_cast<int>(k);
+  }
+  if (!ca.msg_route.empty()) {
+    out.msg_route.resize(canon.msg_perm.size());
+    out.msg_local_deadline.resize(canon.msg_perm.size());
+    for (std::size_t g = 0; g < canon.msg_perm.size(); ++g) {
+      const std::size_t cg = static_cast<std::size_t>(canon.msg_perm[g]);
+      std::vector<int> route = ca.msg_route[cg];
+      for (int& k : route) k = inv_media[static_cast<std::size_t>(k)];
+      out.msg_route[g] = std::move(route);
+      if (cg < ca.msg_local_deadline.size()) {
+        out.msg_local_deadline[g] = ca.msg_local_deadline[cg];
+      }
+    }
+  }
+  if (!ca.slots.empty()) {
+    out.slots.resize(num_media);
+    for (std::size_t k = 0; k < num_media; ++k) {
+      const auto& canon_slots =
+          ca.slots[static_cast<std::size_t>(canon.media_perm[k])];
+      const auto& perm = canon.ecu_pos_perm[k];
+      out.slots[k].resize(perm.size());
+      for (std::size_t p = 0; p < perm.size(); ++p) {
+        out.slots[k][p] = canon_slots[static_cast<std::size_t>(perm[p])];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace optalloc::svc

@@ -1,0 +1,71 @@
+#pragma once
+// Canonical instance identity for the allocation service's result cache.
+//
+// Two submissions that describe the same system — same tasks, media and
+// constraints, merely declared in a different order — must map to the same
+// cache entry. canonicalize() therefore rewrites a (Problem, Objective)
+// pair into a normal form:
+//
+//   * tasks sorted by (name, period, deadline, ...); message targets and
+//     separation sets remapped and sorted; per-task messages sorted;
+//   * media sorted by their serialized content, with each medium's ECU
+//     list sorted ascending; the objective's medium index is remapped;
+//   * ECU *identities* are preserved (renumbering ECUs soundly would need
+//     graph canonicalization over WCET columns and media membership —
+//     deliberately out of scope; see DESIGN §10).
+//
+// The canonical form is what the scheduler actually solves, so permuted
+// duplicates are solved identically; the permutations are retained so a
+// cached allocation (stored in canonical indexing) can be translated back
+// into the requester's original task/medium/slot numbering.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/problem.hpp"
+
+namespace optalloc::svc {
+
+/// 128-bit content hash (two independent FNV-1a streams) of the canonical
+/// instance text. The cache additionally compares the full canonical text
+/// on lookup, so a hash collision degrades to a miss, never a wrong answer.
+struct Fingerprint {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  bool operator==(const Fingerprint& o) const { return a == o.a && b == o.b; }
+  bool operator!=(const Fingerprint& o) const { return !(*this == o); }
+  std::string hex() const;
+};
+
+/// A problem/objective pair in canonical form, plus the permutations
+/// needed to translate allocations between the two indexings.
+struct Canonical {
+  alloc::Problem problem;     ///< canonical instance (what gets solved)
+  alloc::Objective objective; ///< objective with remapped medium index
+  std::string text;           ///< serialized canonical instance + objective
+  Fingerprint key;            ///< hash of `text`
+
+  // Original index -> canonical index.
+  std::vector<int> task_perm;
+  std::vector<int> media_perm;
+  std::vector<int> msg_perm;  ///< original global message id -> canonical
+  /// Per *original* medium: original ECU-list position -> canonical
+  /// position (slot tables are indexed by position in Medium::ecus).
+  std::vector<std::vector<int>> ecu_pos_perm;
+};
+
+/// Build the canonical form of an instance.
+Canonical canonicalize(const alloc::Problem& problem,
+                       alloc::Objective objective);
+
+/// Translate an allocation produced for `canon.problem` back into the
+/// original instance's task/medium/slot indexing.
+rt::Allocation restore_allocation(const Canonical& canon,
+                                  const rt::Allocation& canonical_alloc);
+
+/// FNV-1a over `text` (exposed for tests).
+Fingerprint fingerprint_text(const std::string& text);
+
+}  // namespace optalloc::svc

@@ -1,0 +1,147 @@
+#include "svc/protocol.hpp"
+
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace optalloc::svc {
+
+namespace {
+
+bool get_bool(const obs::JsonValue& v, std::string_view key, bool dflt) {
+  const obs::JsonValue* m = v.get(key);
+  if (m == nullptr || m->kind != obs::JsonValue::Kind::kBool) return dflt;
+  return m->b;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error) {
+  const auto doc = obs::json_parse(line);
+  if (!doc || !doc->is_object()) {
+    if (error != nullptr) *error = "malformed JSON request";
+    return std::nullopt;
+  }
+  const auto verb = doc->get_string("verb");
+  if (!verb) {
+    if (error != nullptr) *error = "missing \"verb\"";
+    return std::nullopt;
+  }
+  Request req;
+  if (*verb == "submit") {
+    req.verb = Request::Verb::kSubmit;
+    const auto problem = doc->get_string("problem");
+    if (!problem || problem->empty()) {
+      if (error != nullptr) *error = "submit requires a \"problem\" string";
+      return std::nullopt;
+    }
+    req.problem_text = *problem;
+    if (const auto obj = doc->get_string("objective")) req.objective = *obj;
+    if (const auto d = doc->get_number("deadline_ms")) {
+      req.deadline_ms = *d > 0 ? *d : 0.0;
+    }
+    if (const auto c = doc->get_number("conflicts")) {
+      req.conflicts = static_cast<std::int64_t>(*c > 0 ? *c : 0);
+    }
+    if (const auto t = doc->get_number("threads")) {
+      req.threads = *t > 1 ? static_cast<int>(*t) : 1;
+    }
+    req.wait = get_bool(*doc, "wait", false);
+    return req;
+  }
+  if (*verb == "status" || *verb == "cancel" || *verb == "result") {
+    req.verb = *verb == "status"   ? Request::Verb::kStatus
+               : *verb == "cancel" ? Request::Verb::kCancel
+                                   : Request::Verb::kResult;
+    const auto id = doc->get_string("id");
+    if (!id || id->empty()) {
+      if (error != nullptr) *error = *verb + " requires an \"id\"";
+      return std::nullopt;
+    }
+    req.id = *id;
+    return req;
+  }
+  if (*verb == "stats") {
+    req.verb = Request::Verb::kStats;
+    return req;
+  }
+  if (*verb == "shutdown") {
+    req.verb = Request::Verb::kShutdown;
+    req.drain = get_bool(*doc, "drain", true);
+    return req;
+  }
+  if (error != nullptr) *error = "unknown verb \"" + *verb + "\"";
+  return std::nullopt;
+}
+
+std::string error_line(const std::string& message) {
+  return obs::JsonObject().boolean("ok", false).str("error", message).build();
+}
+
+std::string submit_ack_line(const std::string& id) {
+  return obs::JsonObject().boolean("ok", true).str("id", id).build();
+}
+
+std::string snapshot_line(const JobSnapshot& snapshot) {
+  obs::JsonObject o;
+  o.boolean("ok", true)
+      .str("id", snapshot.id)
+      .str("state", job_state_name(snapshot.state));
+  if (snapshot.state != JobState::kDone &&
+      snapshot.state != JobState::kCancelled) {
+    return o.build();
+  }
+  const JobAnswer& a = snapshot.answer;
+  o.str("status", a.status)
+      .boolean("proven_optimal", a.proven_optimal)
+      .boolean("deadline_expired", a.deadline_expired)
+      .boolean("cached", a.cached)
+      .num("cost", a.cost)
+      .num("lower_bound", a.lower_bound)
+      .num("sat_calls", static_cast<std::int64_t>(a.sat_calls))
+      .num("queue_ms", a.queue_seconds * 1000.0)
+      .num("solve_ms", a.solve_seconds * 1000.0)
+      .num("total_ms", a.total_seconds * 1000.0);
+  if (a.has_allocation) {
+    obs::JsonArray ecus;
+    for (const int e : a.allocation.task_ecu) {
+      ecus.push(std::to_string(e));
+    }
+    o.raw("task_ecu", ecus.build());
+  }
+  return o.build();
+}
+
+std::string stats_line(const ServiceStats& stats) {
+  return obs::JsonObject()
+      .boolean("ok", true)
+      .num("submitted", static_cast<std::int64_t>(stats.submitted))
+      .num("completed", static_cast<std::int64_t>(stats.completed))
+      .num("cancelled", static_cast<std::int64_t>(stats.cancelled))
+      .num("rejected", static_cast<std::int64_t>(stats.rejected))
+      .num("deadline_expired",
+           static_cast<std::int64_t>(stats.deadline_expired))
+      .num("queue_depth", static_cast<std::int64_t>(stats.queue_depth))
+      .num("workers", static_cast<std::int64_t>(stats.workers))
+      .num("cache_hits", static_cast<std::int64_t>(stats.cache.hits))
+      .num("cache_misses", static_cast<std::int64_t>(stats.cache.misses))
+      .num("cache_insertions",
+           static_cast<std::int64_t>(stats.cache.insertions))
+      .num("cache_evictions",
+           static_cast<std::int64_t>(stats.cache.evictions))
+      .num("p50_ms", stats.p50_ms)
+      .num("p95_ms", stats.p95_ms)
+      .num("p99_ms", stats.p99_ms)
+      .num("max_ms", stats.max_ms)
+      .build();
+}
+
+std::string shutdown_ack_line(bool drain) {
+  return obs::JsonObject()
+      .boolean("ok", true)
+      .boolean("draining", drain)
+      .build();
+}
+
+}  // namespace optalloc::svc

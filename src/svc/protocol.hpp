@@ -1,0 +1,57 @@
+#pragma once
+// Wire protocol of the allocation service: newline-delimited JSON, one
+// request object in, one response object out, over a Unix-domain or TCP
+// stream. Verbs:
+//
+//   {"verb":"submit","problem":"<problem text>","objective":"sum-trt",
+//    "deadline_ms":500,"conflicts":100000,"threads":1,"wait":true}
+//       -> {"ok":true,"id":"r1"}  (or, with "wait", the terminal snapshot)
+//   {"verb":"status","id":"r1"}    -> snapshot (state + answer when done)
+//   {"verb":"result","id":"r1"}    -> snapshot, blocking until terminal
+//   {"verb":"cancel","id":"r1"}    -> {"ok":true,"id":"r1"}
+//   {"verb":"stats"}               -> service + cache counters, latencies
+//   {"verb":"shutdown","drain":true} -> {"ok":true,...}; server exits
+//
+// Every response carries "ok"; failures look like {"ok":false,"error":m}.
+// The problem text is the alloc::io file format embedded as one JSON
+// string (newlines escaped); the objective uses alloc::parse_objective
+// spec syntax. Anytime answers surface as state="done" with
+// "proven_optimal":false plus the incumbent cost and proven lower bound.
+
+#include <optional>
+#include <string>
+
+#include "svc/scheduler.hpp"
+
+namespace optalloc::svc {
+
+struct Request {
+  enum class Verb { kSubmit, kStatus, kCancel, kResult, kStats, kShutdown };
+  Verb verb = Verb::kStats;
+  std::string id;            ///< status/cancel/result
+  std::string problem_text;  ///< submit: alloc::io problem format
+  std::string objective = "sum-trt";
+  double deadline_ms = 0.0;
+  std::int64_t conflicts = 0;
+  int threads = 1;
+  bool wait = false;         ///< submit: block until terminal
+  bool drain = true;         ///< shutdown: finish queued work first
+};
+
+/// Parse one request line. Returns nullopt and fills `error` on malformed
+/// JSON, an unknown verb, or missing required fields.
+std::optional<Request> parse_request(const std::string& line,
+                                     std::string* error);
+
+// --- Response lines (no trailing newline). -----------------------------
+
+std::string error_line(const std::string& message);
+std::string submit_ack_line(const std::string& id);
+/// Snapshot of a job: always ok/id/state; terminal states add the full
+/// answer (status, proven_optimal, cost, lower_bound, cached,
+/// deadline_expired, timings, and the task->ECU vector when present).
+std::string snapshot_line(const JobSnapshot& snapshot);
+std::string stats_line(const ServiceStats& stats);
+std::string shutdown_ack_line(bool drain);
+
+}  // namespace optalloc::svc

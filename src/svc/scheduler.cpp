@@ -1,0 +1,429 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "alloc/optimizer.hpp"
+#include "alloc/portfolio.hpp"
+#include "heur/annealing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace optalloc::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Below this much remaining deadline a solve is pointless: return the
+/// (empty) anytime answer instead of paying encoder startup for nothing.
+constexpr double kMinSolveSeconds = 0.005;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct SvcMetrics {
+  obs::Metric requests = obs::counter("svc.requests");
+  obs::Metric rejected = obs::counter("svc.rejected");
+  obs::Metric completed = obs::counter("svc.completed");
+  obs::Metric cancelled = obs::counter("svc.cancelled");
+  obs::Metric cache_hits = obs::counter("svc.cache.hits");
+  obs::Metric cache_misses = obs::counter("svc.cache.misses");
+  obs::Metric deadline_expired = obs::counter("svc.deadline_expired");
+  obs::Metric queue_depth = obs::gauge("svc.queue_depth");
+  obs::Metric queue_time = obs::timer("svc.time.queue");
+  obs::Metric solve_time = obs::timer("svc.time.solve");
+};
+
+SvcMetrics& metrics() {
+  static SvcMetrics m;
+  return m;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+struct Scheduler::Job {
+  std::string id;
+  JobRequest request;
+  Canonical canon;
+  Clock::time_point submitted;
+  std::atomic<bool> stop{false};
+  bool cancel_requested = false;  ///< guarded by Scheduler::mu_
+  JobState state = JobState::kQueued;
+  JobAnswer answer;
+};
+
+Scheduler::Scheduler(const SchedulerOptions& options)
+    : options_(options),
+      cache_(options.cache_entries, options.cache_shards) {
+  options_.workers = std::max(1, options_.workers);
+  options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  counters_.workers = options_.workers;
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(/*drain=*/false); }
+
+std::optional<std::string> Scheduler::submit(JobRequest request) {
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->canon = canonicalize(job->request.problem, job->request.objective);
+  job->submitted = Clock::now();
+
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      ++counters_.rejected;
+      obs::add(metrics().rejected);
+      return std::nullopt;
+    }
+    job->id = "r" + std::to_string(++next_id_);
+    jobs_.emplace(job->id, job);
+    depth = queue_.size();
+  }
+  obs::add(metrics().requests);
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("request_received")
+        .str("id", job->id)
+        .str("objective", job->request.objective.describe())
+        .num("deadline_ms", job->request.deadline_s * 1000.0)
+        .num("queue_depth", static_cast<std::int64_t>(depth));
+  }
+
+  if (auto hit = cache_.get(job->canon.key, job->canon.text)) {
+    obs::add(metrics().cache_hits);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent("cache_hit").str("id", job->id);
+    }
+    JobAnswer answer;
+    answer.cached = true;
+    answer.proven_optimal = true;
+    if (hit->infeasible) {
+      answer.status = "infeasible";
+    } else {
+      answer.status = "optimal";
+      answer.cost = hit->cost;
+      answer.lower_bound = hit->lower_bound;
+      if (hit->has_allocation) {
+        answer.has_allocation = true;
+        answer.allocation = restore_allocation(job->canon, hit->allocation);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.submitted;
+    }
+    finalize(job, JobState::kDone, std::move(answer));
+    return job->id;
+  }
+  obs::add(metrics().cache_misses);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= options_.queue_capacity) {
+      ++counters_.rejected;
+      jobs_.erase(job->id);
+      obs::add(metrics().rejected);
+      return std::nullopt;
+    }
+    ++counters_.submitted;
+    queue_.push_back(job);
+    obs::set(metrics().queue_depth,
+             static_cast<std::int64_t>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return job->id;
+}
+
+std::optional<JobSnapshot> Scheduler::status(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  JobSnapshot snap;
+  snap.id = it->second->id;
+  snap.state = it->second->state;
+  snap.answer = it->second->answer;
+  return snap;
+}
+
+bool Scheduler::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (job.state == JobState::kDone || job.state == JobState::kCancelled) {
+    return false;
+  }
+  job.cancel_requested = true;
+  job.stop.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<JobSnapshot> Scheduler::wait(const std::string& id,
+                                           double timeout_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const std::shared_ptr<Job> job = it->second;
+  const auto terminal = [&job] {
+    return job->state == JobState::kDone || job->state == JobState::kCancelled;
+  };
+  if (timeout_s <= 0.0) {
+    done_cv_.wait(lock, terminal);
+  } else if (!done_cv_.wait_until(lock, deadline, terminal)) {
+    return std::nullopt;
+  }
+  JobSnapshot snap;
+  snap.id = job->id;
+  snap.state = job->state;
+  snap.answer = job->answer;
+  return snap;
+}
+
+void Scheduler::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    accepting_ = false;
+    if (!drain) {
+      for (const auto& job : queue_) {
+        job->cancel_requested = true;
+        job->stop.store(true, std::memory_order_relaxed);
+      }
+      for (const auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) {
+          job->cancel_requested = true;
+          job->stop.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  joined_ = true;
+}
+
+ServiceStats Scheduler::stats() const {
+  ServiceStats out;
+  std::vector<double> lat;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = counters_;
+    out.queue_depth = queue_.size();
+    lat = latencies_ms_;
+  }
+  out.cache = cache_.stats();
+  std::sort(lat.begin(), lat.end());
+  out.p50_ms = percentile(lat, 50.0);
+  out.p95_ms = percentile(lat, 95.0);
+  out.p99_ms = percentile(lat, 99.0);
+  out.max_ms = lat.empty() ? 0.0 : lat.back();
+  return out;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+      if (queue_.empty()) {
+        if (!accepting_) return;
+        continue;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      job->state = JobState::kRunning;
+      obs::set(metrics().queue_depth,
+               static_cast<std::int64_t>(queue_.size()));
+    }
+    execute(job);
+  }
+}
+
+void Scheduler::execute(const std::shared_ptr<Job>& job) {
+  JobAnswer answer;
+  answer.queue_seconds = seconds_since(job->submitted);
+  obs::record(metrics().queue_time, answer.queue_seconds);
+
+  bool cancelled_early = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_early = job->cancel_requested;
+  }
+  if (cancelled_early) {
+    finalize(job, JobState::kCancelled, std::move(answer));
+    return;
+  }
+
+  const bool deadline_set = job->request.deadline_s > 0.0;
+  if (deadline_set &&
+      job->request.deadline_s - answer.queue_seconds <= kMinSolveSeconds) {
+    answer.deadline_expired = true;
+    if (obs::trace_enabled()) {
+      obs::TraceEvent("deadline_expired").str("id", job->id);
+    }
+    finalize(job, JobState::kDone, std::move(answer));
+    return;
+  }
+
+  // Warm start: a short SA pass guarantees an incumbent for the anytime
+  // answer (and bounds the exact search's first SOLVE).
+  heur::AnnealingResult sa;
+  if (options_.anneal_iterations > 0) {
+    heur::AnnealingOptions ao;
+    ao.iterations = options_.anneal_iterations;
+    sa = heur::anneal(job->canon.problem, job->canon.objective, ao);
+  }
+
+  alloc::OptimizeOptions opts;
+  opts.stop = &job->stop;
+  if (deadline_set) {
+    opts.time_limit_s = std::max(
+        kMinSolveSeconds, job->request.deadline_s - seconds_since(job->submitted));
+  }
+  if (job->request.conflict_budget > 0) {
+    opts.per_call.conflicts = job->request.conflict_budget;
+  }
+  if (sa.feasible) {
+    opts.initial_upper = sa.cost;
+    opts.warm_start = sa.allocation;
+  }
+
+  const auto solve_start = Clock::now();
+  alloc::OptimizeResult result;
+  if (job->request.threads > 1) {
+    alloc::PortfolioOptions popts;
+    popts.threads = job->request.threads;
+    popts.base_config = opts;
+    popts.time_limit_s = opts.time_limit_s;
+    popts.external_stop = &job->stop;
+    alloc::PortfolioResult pr = optimize_portfolio(
+        job->canon.problem, job->canon.objective, popts);
+    result = std::move(pr.best);
+    answer.sat_calls = 0;
+    for (const alloc::OptimizeStats& s : pr.per_config_stats) {
+      answer.sat_calls += s.sat_calls;
+    }
+  } else {
+    result = alloc::optimize(job->canon.problem, job->canon.objective, opts);
+    answer.sat_calls = result.stats.sat_calls;
+  }
+  answer.solve_seconds = seconds_since(solve_start);
+  obs::record(metrics().solve_time, answer.solve_seconds);
+
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled = job->cancel_requested;
+  }
+
+  switch (result.status) {
+    case alloc::OptimizeResult::Status::kOptimal: {
+      answer.status = "optimal";
+      answer.proven_optimal = true;
+      answer.cost = result.cost;
+      answer.lower_bound = result.cost;
+      CachedAnswer ca;
+      ca.cost = result.cost;
+      ca.lower_bound = result.cost;
+      if (result.has_allocation) {
+        answer.has_allocation = true;
+        answer.allocation = restore_allocation(job->canon, result.allocation);
+        ca.has_allocation = true;
+        ca.allocation = result.allocation;
+      }
+      cache_.put(job->canon.key, job->canon.text, std::move(ca));
+      break;
+    }
+    case alloc::OptimizeResult::Status::kInfeasible: {
+      answer.status = "infeasible";
+      answer.proven_optimal = true;
+      CachedAnswer ca;
+      ca.infeasible = true;
+      cache_.put(job->canon.key, job->canon.text, std::move(ca));
+      break;
+    }
+    case alloc::OptimizeResult::Status::kBudgetExhausted: {
+      answer.lower_bound = result.lower_bound;
+      if (result.has_allocation) {
+        answer.status = "feasible";
+        answer.cost = result.cost;
+        answer.has_allocation = true;
+        answer.allocation = restore_allocation(job->canon, result.allocation);
+      }
+      if (!cancelled && deadline_set &&
+          seconds_since(job->submitted) >= job->request.deadline_s - 0.01) {
+        answer.deadline_expired = true;
+        if (obs::trace_enabled()) {
+          obs::TraceEvent("deadline_expired").str("id", job->id);
+        }
+      }
+      break;
+    }
+  }
+
+  finalize(job, cancelled ? JobState::kCancelled : JobState::kDone,
+           std::move(answer));
+}
+
+void Scheduler::finalize(const std::shared_ptr<Job>& job, JobState state,
+                         JobAnswer answer) {
+  answer.total_seconds = seconds_since(job->submitted);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->answer = std::move(answer);
+    job->state = state;
+    if (state == JobState::kCancelled) {
+      ++counters_.cancelled;
+    } else {
+      ++counters_.completed;
+    }
+    if (job->answer.deadline_expired) ++counters_.deadline_expired;
+    latencies_ms_.push_back(job->answer.total_seconds * 1000.0);
+  }
+  done_cv_.notify_all();
+  obs::add(state == JobState::kCancelled ? metrics().cancelled
+                                         : metrics().completed);
+  if (job->answer.deadline_expired) obs::add(metrics().deadline_expired);
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("request_done")
+        .str("id", job->id)
+        .str("state", job_state_name(state))
+        .boolean("proven_optimal", job->answer.proven_optimal)
+        .num("seconds", job->answer.total_seconds);
+  }
+}
+
+}  // namespace optalloc::svc

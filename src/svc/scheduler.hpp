@@ -1,0 +1,159 @@
+#pragma once
+// The allocation service's execution core: a bounded job queue drained by
+// a worker pool, fronted by the canonical result cache.
+//
+// Request lifecycle:
+//   submit() canonicalizes the instance, probes the cache (a hit completes
+//   the job immediately, translated back into the requester's indexing)
+//   and otherwise enqueues it — or rejects it when the queue is full (the
+//   bound is the backpressure mechanism; callers surface "queue full").
+//   A worker picks the job up, runs a short simulated-annealing pass for a
+//   warm-start incumbent, then dispatches to alloc::optimize (or the
+//   cooperative portfolio for threads > 1) with the request's remaining
+//   wall-clock deadline and per-SOLVE conflict budget.
+//
+// Anytime contract: a request with a deadline ALWAYS gets an answer by
+// that deadline — the proven optimum if the search finished, otherwise
+// the best incumbent found (warm start included) plus the greatest proven
+// lower bound, with proven_optimal=false. Cancellation is cooperative
+// through the solver's stop flag; a cancelled solve frees its worker
+// within one propagation budget check.
+//
+// Observability: svc.* metrics (request counters, cache hits, queue-depth
+// gauge, queue/solve timers) and request_received / cache_hit /
+// deadline_expired / request_done trace events.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alloc/problem.hpp"
+#include "svc/cache.hpp"
+#include "svc/fingerprint.hpp"
+
+namespace optalloc::svc {
+
+struct SchedulerOptions {
+  int workers = 2;
+  std::size_t queue_capacity = 64;   ///< queued (not yet running) jobs
+  std::size_t cache_entries = 256;
+  int cache_shards = 8;
+  /// Simulated-annealing warm-start effort per request (0 = skip; the
+  /// warm start is what guarantees an incumbent for anytime answers).
+  int anneal_iterations = 2000;
+};
+
+struct JobRequest {
+  alloc::Problem problem;
+  alloc::Objective objective;
+  double deadline_s = 0.0;          ///< answer-by budget from submission; 0 = none
+  std::int64_t conflict_budget = 0; ///< per-SOLVE conflict cap (0 = unlimited)
+  int threads = 1;                  ///< >1 = cooperative portfolio
+};
+
+enum class JobState { kQueued, kRunning, kDone, kCancelled };
+const char* job_state_name(JobState s);
+
+/// The anytime answer. `proven_optimal` is true only for a finished
+/// search (status "optimal" — and "infeasible", which is also a proof).
+struct JobAnswer {
+  std::string status = "unknown";  ///< optimal|infeasible|feasible|unknown
+  bool proven_optimal = false;
+  bool deadline_expired = false;
+  bool cached = false;
+  bool has_allocation = false;
+  std::int64_t cost = -1;
+  std::int64_t lower_bound = 0;
+  rt::Allocation allocation;       ///< requester's original indexing
+  int sat_calls = 0;
+  double queue_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct JobSnapshot {
+  std::string id;
+  JobState state = JobState::kQueued;
+  JobAnswer answer;  ///< meaningful once state is kDone / kCancelled
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;         ///< bounced off the full queue
+  std::uint64_t deadline_expired = 0;
+  std::size_t queue_depth = 0;
+  int workers = 0;
+  CacheStats cache;
+  // Request latency percentiles (ms, submission -> terminal state).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerOptions& options = {});
+  ~Scheduler();  ///< shutdown(false)
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Returns the assigned request id, or nullopt when the queue is full
+  /// or the scheduler is shutting down.
+  std::optional<std::string> submit(JobRequest request);
+
+  std::optional<JobSnapshot> status(const std::string& id) const;
+
+  /// Request cooperative cancellation. Returns false for unknown or
+  /// already-terminal jobs.
+  bool cancel(const std::string& id);
+
+  /// Block until the job reaches a terminal state (kDone / kCancelled).
+  /// timeout_s = 0 waits indefinitely; returns nullopt on timeout or
+  /// unknown id.
+  std::optional<JobSnapshot> wait(const std::string& id,
+                                  double timeout_s = 0.0);
+
+  /// Stop accepting work. drain=true finishes every queued job first;
+  /// drain=false cancels queued jobs and stops running solves. Joins the
+  /// workers; idempotent.
+  void shutdown(bool drain);
+
+  ServiceStats stats() const;
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  void execute(const std::shared_ptr<Job>& job);
+  /// Terminalize under the scheduler mutex and wake waiters.
+  void finalize(const std::shared_ptr<Job>& job, JobState state,
+                JobAnswer answer);
+
+  SchedulerOptions options_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue / shutdown
+  std::condition_variable done_cv_;  ///< waiters: job completions
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::vector<std::thread> workers_;
+  std::uint64_t next_id_ = 0;
+  bool accepting_ = true;
+  bool joined_ = false;
+  ServiceStats counters_;            ///< the counter fields only
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace optalloc::svc

@@ -1,0 +1,219 @@
+#include "svc/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "alloc/io.hpp"
+#include "obs/trace.hpp"
+
+namespace optalloc::svc {
+
+namespace {
+
+constexpr int kPollMs = 200;  ///< stop-flag poll granularity
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+#endif
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : scheduler_(options.scheduler) {}
+
+Server::~Server() {
+  scheduler_.shutdown(/*drain=*/false);
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+bool Server::listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return false;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  ::unlink(path.c_str());  // stale socket from a crashed predecessor
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  unix_path_ = path;
+  return true;
+}
+
+bool Server::listen_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  listen_fd_ = fd;
+  return true;
+}
+
+void Server::run() {
+  while (!stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    connections_.emplace_back([this, client] { serve_connection(client); });
+  }
+  // Graceful drain: stop taking work, answer everything already accepted,
+  // then let the connection loops deliver those answers and wind down.
+  scheduler_.shutdown(drain_on_stop_.load(std::memory_order_relaxed));
+  drained_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {
+      // Idle tick: once the drain has finished, close out the session.
+      if (stop_requested() && drained_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF or error
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    bool closed = false;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      if (!send_all(fd, handle_line(line) + "\n")) {
+        closed = true;
+        break;
+      }
+    }
+    if (closed) break;
+  }
+  ::close(fd);
+}
+
+std::string Server::handle_line(const std::string& line) {
+  std::string error;
+  const auto req = parse_request(line, &error);
+  if (!req) return error_line(error);
+
+  switch (req->verb) {
+    case Request::Verb::kSubmit: {
+      JobRequest job;
+      try {
+        std::istringstream in(req->problem_text);
+        job.problem = alloc::parse_problem(in, "submitted problem");
+        job.objective = alloc::parse_objective(req->objective);
+      } catch (const std::exception& e) {
+        return error_line(e.what());
+      }
+      job.deadline_s = req->deadline_ms / 1000.0;
+      job.conflict_budget = req->conflicts;
+      job.threads = req->threads;
+      const auto id = scheduler_.submit(std::move(job));
+      if (!id) return error_line("queue full or shutting down");
+      if (!req->wait) return submit_ack_line(*id);
+      for (;;) {
+        if (const auto snap = scheduler_.wait(*id, 0.25)) {
+          return snapshot_line(*snap);
+        }
+      }
+    }
+    case Request::Verb::kStatus: {
+      const auto snap = scheduler_.status(req->id);
+      if (!snap) return error_line("unknown request id \"" + req->id + "\"");
+      return snapshot_line(*snap);
+    }
+    case Request::Verb::kResult: {
+      if (!scheduler_.status(req->id)) {
+        return error_line("unknown request id \"" + req->id + "\"");
+      }
+      for (;;) {
+        if (const auto snap = scheduler_.wait(req->id, 0.25)) {
+          return snapshot_line(*snap);
+        }
+      }
+    }
+    case Request::Verb::kCancel: {
+      if (!scheduler_.cancel(req->id)) {
+        return error_line("unknown or already finished request id \"" +
+                          req->id + "\"");
+      }
+      return submit_ack_line(req->id);
+    }
+    case Request::Verb::kStats:
+      return stats_line(scheduler_.stats());
+    case Request::Verb::kShutdown: {
+      drain_on_stop_.store(req->drain, std::memory_order_relaxed);
+      request_stop();
+      return shutdown_ack_line(req->drain);
+    }
+  }
+  return error_line("unhandled verb");
+}
+
+}  // namespace optalloc::svc

@@ -93,6 +93,27 @@ TEST(ProblemIo, DiagnosticsCarryLineNumbers) {
   }
 }
 
+TEST(ProblemIo, DiagnosticsNameTheSource) {
+  std::istringstream in("system 2\nmedium ring0 token_ring\n");
+  try {
+    parse_problem(in, "fleet/gateway.prob");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fleet/gateway.prob"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+  // Default source name when the caller has nothing better.
+  std::istringstream anon("nonsense\n");
+  try {
+    parse_problem(anon);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("problem file"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ProblemIo, RejectsMissingSystemLine) {
   EXPECT_THROW(parse("task a period=1 deadline=1 wcet=1\n"),
                std::runtime_error);

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the allocation service: start alloc_serve on a
+# Unix socket, submit the same problem twice through alloc_client (the
+# second submission must be served from the canonical-instance cache),
+# check the stats counters, shut the daemon down gracefully, and validate
+# the emitted trace with the schema checker.
+#
+# usage: svc_smoke.sh ALLOC_SERVE ALLOC_CLIENT SCHEMA_CHECK PROBLEM WORKDIR
+set -u
+
+SERVE="$1"
+CLIENT="$2"
+SCHEMA_CHECK="$3"
+PROBLEM="$4"
+WORKDIR="$5"
+
+fail() { echo "svc_smoke: FAIL: $*" >&2; exit 1; }
+
+mkdir -p "$WORKDIR" || fail "cannot create $WORKDIR"
+SOCK="$WORKDIR/svc_smoke.sock"
+TRACE="$WORKDIR/svc_smoke_trace.jsonl"
+LOG="$WORKDIR/svc_smoke_server.log"
+rm -f "$SOCK" "$TRACE" "$LOG"
+
+"$SERVE" --socket "$SOCK" --workers 2 --trace "$TRACE" >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null' EXIT
+
+# Wait for the listening socket to appear.
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$LOG" >&2; fail "server died during startup"; }
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "socket $SOCK never appeared"
+
+# First submission: solved fresh, must end proven optimal.
+FIRST=$("$CLIENT" --socket "$SOCK" submit "$PROBLEM" sum-trt --wait)
+RC=$?
+echo "first:  $FIRST"
+[ $RC -eq 0 ] || fail "first submit exited $RC"
+case "$FIRST" in
+  *'"ok":true'*'"state":"done"'*'"status":"optimal"'*) ;;
+  *) fail "first response not a proven optimum: $FIRST" ;;
+esac
+case "$FIRST" in
+  *'"cached":false'*) ;;
+  *) fail "first response unexpectedly cached: $FIRST" ;;
+esac
+
+# Second submission of the identical instance: canonical cache hit.
+SECOND=$("$CLIENT" --socket "$SOCK" submit "$PROBLEM" sum-trt --wait)
+RC=$?
+echo "second: $SECOND"
+[ $RC -eq 0 ] || fail "second submit exited $RC"
+case "$SECOND" in
+  *'"cached":true'*) ;;
+  *) fail "second response was not served from the cache: $SECOND" ;;
+esac
+
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats verb failed"
+echo "stats:  $STATS"
+case "$STATS" in
+  *'"cache_hits":1'*) ;;
+  *) fail "expected exactly one cache hit in $STATS" ;;
+esac
+
+# Graceful shutdown: daemon acknowledges, drains, exits 0, unlinks socket.
+"$CLIENT" --socket "$SOCK" shutdown >/dev/null || fail "shutdown verb failed"
+SERVER_RC=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    wait "$SERVER_PID"
+    SERVER_RC=$?
+    break
+  fi
+  sleep 0.1
+done
+trap - EXIT
+[ $SERVER_RC -eq 0 ] || { cat "$LOG" >&2; fail "server exited $SERVER_RC"; }
+[ ! -e "$SOCK" ] || fail "socket file not cleaned up"
+
+# The trace must validate against the event schema (service census rules).
+"$SCHEMA_CHECK" "$TRACE" || fail "trace schema validation failed"
+
+echo "svc_smoke: OK"

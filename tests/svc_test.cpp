@@ -1,0 +1,492 @@
+// Tests for the allocation service: canonical instance fingerprinting
+// (permutation invariance + allocation restoration), the sharded LRU
+// result cache, the scheduler's solve/cache/deadline/cancel semantics,
+// the NDJSON protocol, and the server's request handling end to end
+// (driven through handle_line, no sockets).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "alloc/cost.hpp"
+#include "alloc/io.hpp"
+#include "alloc/optimizer.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "rt/verify.hpp"
+#include "svc/cache.hpp"
+#include "svc/fingerprint.hpp"
+#include "svc/protocol.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/server.hpp"
+#include "workload/tindell.hpp"
+
+namespace optalloc::svc {
+namespace {
+
+// A small 2-ECU ring system that optimizes in milliseconds...
+constexpr const char* kSystem = R"(system 2
+memory 0 100
+medium ring0 token_ring ecus=0,1 slot_min=1 slot_max=16 byte_ticks=1
+task sensor period=100 deadline=40 memory=10 wcet=8,10
+task control period=100 deadline=80 wcet=25,30
+task actuator period=100 deadline=100 jitter=2 wcet=5,-
+message sensor -> control bytes=4 deadline=50
+message control -> actuator bytes=2 deadline=60 jitter=1
+separate control actuator
+)";
+
+// ...and the same system with every reorderable declaration reordered:
+// tasks reversed, the ring's ECU list flipped, messages swapped, the
+// memory line moved. Canonicalization must see through all of it.
+constexpr const char* kSystemPermuted = R"(system 2
+task actuator period=100 deadline=100 jitter=2 wcet=5,-
+task control period=100 deadline=80 wcet=25,30
+task sensor period=100 deadline=40 memory=10 wcet=8,10
+medium ring0 token_ring ecus=1,0 slot_min=1 slot_max=16 byte_ticks=1
+message control -> actuator bytes=2 deadline=60 jitter=1
+message sensor -> control bytes=4 deadline=50
+separate control actuator
+memory 0 100
+)";
+
+alloc::Problem parse(const std::string& text) {
+  std::istringstream in(text);
+  return alloc::parse_problem(in);
+}
+
+// --- Fingerprinting ----------------------------------------------------
+
+TEST(Fingerprint, PermutationInvariant) {
+  const Canonical a = canonicalize(parse(kSystem), alloc::Objective::sum_trt());
+  const Canonical b =
+      canonicalize(parse(kSystemPermuted), alloc::Objective::sum_trt());
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_FALSE(a.key.hex().empty());
+}
+
+TEST(Fingerprint, MediumIndexObjectiveIsRemapped) {
+  // Same two-ring system declared with the media swapped: a medium-indexed
+  // objective must land on the same canonical key when it names the same
+  // physical ring.
+  const char* kTwoRings = R"(system 3
+medium ringA token_ring ecus=0,1 slot_min=1 slot_max=16 byte_ticks=1
+medium ringB token_ring ecus=1,2 slot_min=1 slot_max=8 byte_ticks=1
+task a period=100 deadline=90 wcet=5,6,7
+task b period=100 deadline=80 wcet=8,9,10
+message a -> b bytes=4 deadline=40
+)";
+  const char* kTwoRingsSwapped = R"(system 3
+medium ringB token_ring ecus=2,1 slot_min=1 slot_max=8 byte_ticks=1
+medium ringA token_ring ecus=0,1 slot_min=1 slot_max=16 byte_ticks=1
+task a period=100 deadline=90 wcet=5,6,7
+task b period=100 deadline=80 wcet=8,9,10
+message a -> b bytes=4 deadline=40
+)";
+  const Canonical ring_b_first =
+      canonicalize(parse(kTwoRings), alloc::Objective::ring_trt(1));
+  const Canonical ring_b_second =
+      canonicalize(parse(kTwoRingsSwapped), alloc::Objective::ring_trt(0));
+  EXPECT_EQ(ring_b_first.key, ring_b_second.key);
+  // ...but a different ring is a different instance.
+  const Canonical ring_a =
+      canonicalize(parse(kTwoRings), alloc::Objective::ring_trt(0));
+  EXPECT_NE(ring_b_first.key, ring_a.key);
+}
+
+TEST(Fingerprint, DistinguishesInstancesAndObjectives) {
+  const alloc::Problem p = parse(kSystem);
+  const Canonical base = canonicalize(p, alloc::Objective::sum_trt());
+  EXPECT_NE(base.key,
+            canonicalize(p, alloc::Objective::feasibility()).key);
+
+  alloc::Problem tweaked = p;
+  tweaked.tasks.tasks[0].deadline += 1;
+  EXPECT_NE(base.key, canonicalize(tweaked, alloc::Objective::sum_trt()).key);
+}
+
+TEST(Fingerprint, RestoreAllocationRoundTrips) {
+  // Solve the *canonical* form of the permuted instance, translate the
+  // allocation back, and check it against the permuted instance itself.
+  const alloc::Problem original = parse(kSystemPermuted);
+  const alloc::Objective objective = alloc::Objective::sum_trt();
+  const Canonical canon = canonicalize(original, objective);
+
+  const alloc::OptimizeResult res =
+      alloc::optimize(canon.problem, canon.objective);
+  ASSERT_EQ(res.status, alloc::OptimizeResult::Status::kOptimal);
+  ASSERT_TRUE(res.has_allocation);
+
+  const rt::Allocation restored = restore_allocation(canon, res.allocation);
+  EXPECT_TRUE(rt::verify(original.tasks, original.arch, restored).feasible);
+  const auto cost = alloc::evaluate_allocation(original, objective, restored);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(*cost, res.cost);
+}
+
+// --- Result cache ------------------------------------------------------
+
+TEST(ResultCache, HitMissAndLruEviction) {
+  ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  CachedAnswer a;
+  a.cost = 1;
+  cache.put({1, 1}, "one", a);
+  a.cost = 2;
+  cache.put({2, 2}, "two", a);
+
+  const auto hit = cache.get({1, 1}, "one");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cost, 1);
+
+  // {2,2} is now the LRU tail; a third insert evicts it.
+  a.cost = 3;
+  cache.put({3, 3}, "three", a);
+  EXPECT_FALSE(cache.get({2, 2}, "two").has_value());
+  EXPECT_TRUE(cache.get({1, 1}, "one").has_value());
+  EXPECT_TRUE(cache.get({3, 3}, "three").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCache, CollisionDegradesToMiss) {
+  ResultCache cache(4, 1);
+  CachedAnswer a;
+  a.cost = 7;
+  cache.put({42, 1}, "text-a", a);
+  // Same 64-bit shard key, different second word / different text: miss.
+  EXPECT_FALSE(cache.get({42, 2}, "text-a").has_value());
+  EXPECT_FALSE(cache.get({42, 1}, "text-b").has_value());
+  EXPECT_TRUE(cache.get({42, 1}, "text-a").has_value());
+}
+
+// --- Scheduler ---------------------------------------------------------
+
+SchedulerOptions quick_options(int workers = 2) {
+  SchedulerOptions o;
+  o.workers = workers;
+  o.anneal_iterations = 500;
+  return o;
+}
+
+TEST(Scheduler, SolvesAndServesPermutedResubmitFromCache) {
+  Scheduler scheduler(quick_options());
+
+  JobRequest first;
+  first.problem = parse(kSystem);
+  first.objective = alloc::Objective::sum_trt();
+  const auto id1 = scheduler.submit(first);
+  ASSERT_TRUE(id1.has_value());
+  const auto snap1 = scheduler.wait(*id1, 60.0);
+  ASSERT_TRUE(snap1.has_value());
+  EXPECT_EQ(snap1->state, JobState::kDone);
+  EXPECT_EQ(snap1->answer.status, "optimal");
+  EXPECT_TRUE(snap1->answer.proven_optimal);
+  EXPECT_FALSE(snap1->answer.cached);
+  ASSERT_TRUE(snap1->answer.has_allocation);
+
+  // The permuted twin must be served from the cache, with the allocation
+  // translated into *its* indexing.
+  JobRequest second;
+  second.problem = parse(kSystemPermuted);
+  second.objective = alloc::Objective::sum_trt();
+  const auto id2 = scheduler.submit(second);
+  ASSERT_TRUE(id2.has_value());
+  const auto snap2 = scheduler.wait(*id2, 60.0);
+  ASSERT_TRUE(snap2.has_value());
+  EXPECT_EQ(snap2->state, JobState::kDone);
+  EXPECT_TRUE(snap2->answer.cached);
+  EXPECT_EQ(snap2->answer.cost, snap1->answer.cost);
+  ASSERT_TRUE(snap2->answer.has_allocation);
+  const alloc::Problem permuted = parse(kSystemPermuted);
+  EXPECT_TRUE(rt::verify(permuted.tasks, permuted.arch,
+                         snap2->answer.allocation)
+                  .feasible);
+  const auto cost = alloc::evaluate_allocation(
+      permuted, second.objective, snap2->answer.allocation);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(*cost, snap2->answer.cost);
+
+  const ServiceStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  scheduler.shutdown(/*drain=*/true);
+}
+
+TEST(Scheduler, DeadlineExpiryReturnsIncumbentWithLowerBound) {
+  SchedulerOptions options = quick_options(1);
+  options.anneal_iterations = 20000;  // make sure there IS an incumbent
+  Scheduler scheduler(options);
+
+  JobRequest request;
+  request.problem = workload::tindell_prefix(30);  // seconds-scale solve
+  request.objective = alloc::Objective::ring_trt(0);
+  request.deadline_s = 0.25;
+  const auto id = scheduler.submit(request);
+  ASSERT_TRUE(id.has_value());
+  const auto snap = scheduler.wait(*id, 60.0);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->state, JobState::kDone);
+  EXPECT_FALSE(snap->answer.proven_optimal);
+  EXPECT_TRUE(snap->answer.deadline_expired);
+  ASSERT_TRUE(snap->answer.has_allocation);  // the anytime incumbent
+  EXPECT_EQ(snap->answer.status, "feasible");
+  EXPECT_LE(snap->answer.lower_bound, snap->answer.cost);
+  // Feasible against the original instance, not just claimed.
+  EXPECT_TRUE(rt::verify(request.problem.tasks, request.problem.arch,
+                         snap->answer.allocation)
+                  .feasible);
+  EXPECT_EQ(scheduler.stats().deadline_expired, 1u);
+  scheduler.shutdown(true);
+}
+
+TEST(Scheduler, CancelMidSolveFreesTheWorker) {
+  Scheduler scheduler(quick_options(1));  // single worker: it must free up
+
+  JobRequest slow;
+  slow.problem = workload::tindell_prefix(30);
+  slow.objective = alloc::Objective::ring_trt(0);
+  const auto slow_id = scheduler.submit(slow);
+  ASSERT_TRUE(slow_id.has_value());
+  // Let it get picked up, then cancel mid-solve.
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = scheduler.status(*slow_id);
+    ASSERT_TRUE(s.has_value());
+    if (s->state != JobState::kQueued) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(scheduler.cancel(*slow_id));
+  const auto cancelled = scheduler.wait(*slow_id, 60.0);
+  ASSERT_TRUE(cancelled.has_value());
+  EXPECT_EQ(cancelled->state, JobState::kCancelled);
+  EXPECT_FALSE(scheduler.cancel(*slow_id));  // already terminal
+
+  // The (sole) worker must now pick up and finish new work.
+  JobRequest quick;
+  quick.problem = parse(kSystem);
+  quick.objective = alloc::Objective::sum_trt();
+  const auto quick_id = scheduler.submit(quick);
+  ASSERT_TRUE(quick_id.has_value());
+  const auto done = scheduler.wait(*quick_id, 60.0);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, JobState::kDone);
+  EXPECT_EQ(done->answer.status, "optimal");
+  scheduler.shutdown(true);
+}
+
+TEST(Scheduler, BoundedQueueRejectsOverflow) {
+  SchedulerOptions options = quick_options(1);
+  options.queue_capacity = 1;
+  Scheduler scheduler(options);
+
+  JobRequest busy;
+  busy.problem = workload::tindell_prefix(30);
+  busy.objective = alloc::Objective::ring_trt(0);
+  const auto running = scheduler.submit(busy);
+  ASSERT_TRUE(running.has_value());
+  for (int i = 0; i < 2000; ++i) {
+    if (scheduler.status(*running)->state == JobState::kRunning) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  JobRequest queued;
+  queued.problem = workload::tindell_prefix(29);
+  queued.objective = alloc::Objective::ring_trt(0);
+  const auto waiting = scheduler.submit(queued);
+  ASSERT_TRUE(waiting.has_value());
+
+  JobRequest bounced;
+  bounced.problem = workload::tindell_prefix(28);
+  bounced.objective = alloc::Objective::ring_trt(0);
+  EXPECT_FALSE(scheduler.submit(bounced).has_value());
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+
+  scheduler.cancel(*running);
+  scheduler.cancel(*waiting);
+  scheduler.shutdown(/*drain=*/false);
+}
+
+// --- Protocol ----------------------------------------------------------
+
+TEST(Protocol, ParsesRequestsAndRejectsGarbage) {
+  std::string error;
+  const auto submit = parse_request(
+      R"({"verb":"submit","problem":"system 1","objective":"feasibility",)"
+      R"("deadline_ms":250,"conflicts":5000,"threads":2,"wait":true})",
+      &error);
+  ASSERT_TRUE(submit.has_value()) << error;
+  EXPECT_EQ(submit->verb, Request::Verb::kSubmit);
+  EXPECT_EQ(submit->problem_text, "system 1");
+  EXPECT_EQ(submit->objective, "feasibility");
+  EXPECT_DOUBLE_EQ(submit->deadline_ms, 250.0);
+  EXPECT_EQ(submit->conflicts, 5000);
+  EXPECT_EQ(submit->threads, 2);
+  EXPECT_TRUE(submit->wait);
+
+  const auto cancel =
+      parse_request(R"({"verb":"cancel","id":"r7"})", &error);
+  ASSERT_TRUE(cancel.has_value());
+  EXPECT_EQ(cancel->verb, Request::Verb::kCancel);
+  EXPECT_EQ(cancel->id, "r7");
+
+  EXPECT_FALSE(parse_request("not json", &error).has_value());
+  EXPECT_FALSE(parse_request(R"({"no":"verb"})", &error).has_value());
+  EXPECT_FALSE(parse_request(R"({"verb":"frobnicate"})", &error).has_value());
+  EXPECT_FALSE(parse_request(R"({"verb":"status"})", &error).has_value());
+  EXPECT_FALSE(parse_request(R"({"verb":"submit"})", &error).has_value());
+}
+
+TEST(Protocol, ResponseLinesAreWellFormedJson) {
+  JobSnapshot snap;
+  snap.id = "r1";
+  snap.state = JobState::kDone;
+  snap.answer.status = "feasible";
+  snap.answer.deadline_expired = true;
+  snap.answer.cost = 42;
+  snap.answer.lower_bound = 17;
+  snap.answer.has_allocation = true;
+  snap.answer.allocation.task_ecu = {0, 1, 0};
+  const auto doc = obs::json_parse(snapshot_line(snap));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("state"), "done");
+  EXPECT_EQ(doc->get_number("cost"), 42.0);
+  EXPECT_EQ(doc->get_number("lower_bound"), 17.0);
+  const obs::JsonValue* proven = doc->get("proven_optimal");
+  ASSERT_NE(proven, nullptr);
+  EXPECT_FALSE(proven->b);
+  const obs::JsonValue* ecus = doc->get("task_ecu");
+  ASSERT_NE(ecus, nullptr);
+  EXPECT_EQ(ecus->array.size(), 3u);
+
+  EXPECT_TRUE(obs::json_parse(error_line(R"(bad "quoted" input)")).has_value());
+  EXPECT_TRUE(obs::json_parse(stats_line(ServiceStats{})).has_value());
+}
+
+// --- Server (protocol dispatch without sockets) ------------------------
+
+std::string submit_line(const std::string& problem, const std::string& obj,
+                        bool wait) {
+  obs::JsonObject o;
+  o.str("verb", "submit").str("problem", problem).str("objective", obj);
+  if (wait) o.boolean("wait", true);
+  return o.build();
+}
+
+TEST(Server, HandlesFullRequestLifecycle) {
+  ServerOptions options;
+  options.scheduler = quick_options(1);
+  Server server(options);
+
+  // Submit + wait: terminal snapshot straight away.
+  const auto first =
+      obs::json_parse(server.handle_line(submit_line(kSystem, "sum-trt",
+                                                     /*wait=*/true)));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->get_string("state"), "done");
+  EXPECT_EQ(first->get_string("status"), "optimal");
+
+  // Permuted twin: cache hit.
+  const auto second = obs::json_parse(
+      server.handle_line(submit_line(kSystemPermuted, "sum-trt", true)));
+  ASSERT_TRUE(second.has_value());
+  const obs::JsonValue* cached = second->get("cached");
+  ASSERT_NE(cached, nullptr);
+  EXPECT_TRUE(cached->b);
+  EXPECT_EQ(second->get_number("cost"), first->get_number("cost"));
+
+  // Async submit + status + result.
+  const auto ack = obs::json_parse(
+      server.handle_line(submit_line(kSystem, "feasibility", false)));
+  ASSERT_TRUE(ack.has_value());
+  const auto ack_id = ack->get_string("id");
+  ASSERT_TRUE(ack_id.has_value());
+  const auto result = obs::json_parse(server.handle_line(
+      obs::JsonObject().str("verb", "result").str("id", *ack_id).build()));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->get_string("state"), "done");
+
+  // Errors: malformed problem, unknown id, junk line.
+  const auto bad_problem = obs::json_parse(
+      server.handle_line(submit_line("system 1\nbogus line", "sum-trt", false)));
+  ASSERT_TRUE(bad_problem.has_value());
+  EXPECT_FALSE(bad_problem->get("ok")->b);
+  EXPECT_NE(bad_problem->get_string("error")->find("line 2"),
+            std::string::npos);
+  const auto unknown = obs::json_parse(server.handle_line(
+      R"({"verb":"status","id":"r999"})"));
+  EXPECT_FALSE(unknown->get("ok")->b);
+  EXPECT_FALSE(obs::json_parse(server.handle_line("][nonsense"))->get("ok")->b);
+
+  // Stats reflect the cache hit.
+  const auto stats = obs::json_parse(
+      server.handle_line(R"({"verb":"stats"})"));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(*stats->get_number("cache_hits"), 1.0);
+
+  // Shutdown verb acknowledges and flips the stop flag.
+  EXPECT_FALSE(server.stop_requested());
+  const auto bye = obs::json_parse(
+      server.handle_line(R"({"verb":"shutdown","drain":true})"));
+  ASSERT_TRUE(bye.has_value());
+  EXPECT_TRUE(bye->get("ok")->b);
+  EXPECT_TRUE(server.stop_requested());
+}
+
+// --- Trace events ------------------------------------------------------
+
+TEST(Trace, ServiceLifecycleEventsAreEmitted) {
+  std::ostringstream trace;
+  obs::trace_to_stream(&trace);
+
+  {
+    Scheduler scheduler(quick_options(1));
+    JobRequest request;
+    request.problem = parse(kSystem);
+    request.objective = alloc::Objective::sum_trt();
+    const auto id = scheduler.submit(request);
+    ASSERT_TRUE(id.has_value());
+    ASSERT_TRUE(scheduler.wait(*id, 60.0).has_value());
+    const auto rerun = scheduler.submit(request);  // identical: cache hit
+    ASSERT_TRUE(rerun.has_value());
+    ASSERT_TRUE(scheduler.wait(*rerun, 60.0).has_value());
+
+    JobRequest hopeless;
+    hopeless.problem = workload::tindell_prefix(30);
+    hopeless.objective = alloc::Objective::ring_trt(0);
+    hopeless.deadline_s = 0.15;
+    const auto late = scheduler.submit(hopeless);
+    ASSERT_TRUE(late.has_value());
+    const auto snap = scheduler.wait(*late, 60.0);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_TRUE(snap->answer.deadline_expired);
+    scheduler.shutdown(true);
+  }
+  obs::trace_to_stream(nullptr);
+
+  std::map<std::string, int> census;
+  std::istringstream lines(trace.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const auto doc = obs::json_parse(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    ++census[*doc->get_string("type")];
+  }
+  EXPECT_EQ(census["request_received"], 3);
+  EXPECT_EQ(census["request_done"], 3);
+  EXPECT_EQ(census["cache_hit"], 1);
+  EXPECT_GE(census["deadline_expired"], 1);
+}
+
+}  // namespace
+}  // namespace optalloc::svc

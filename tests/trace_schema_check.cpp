@@ -31,6 +31,11 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
       {"portfolio_cancel", {"worker"}},
       {"portfolio_win", {"winner", "status"}},
       {"anneal", {"feasible", "iterations", "accepted", "seconds"}},
+      // Allocation service (alloc_serve) request lifecycle.
+      {"request_received", {"id", "objective"}},
+      {"cache_hit", {"id"}},
+      {"deadline_expired", {"id"}},
+      {"request_done", {"id", "state", "proven_optimal", "seconds"}},
   };
   return kSchema;
 }
@@ -93,6 +98,33 @@ int main(int argc, char** argv) {
   }
   for (const auto& [type, count] : census) {
     std::printf("%-16s %d\n", type.c_str(), count);
+  }
+  // Service traces interleave many optimizer runs (and may contain none
+  // at all when every request was a cache hit), so the single-run census
+  // invariants below don't apply. Their own invariant: every request that
+  // was received either finished or is still in flight — never more
+  // completions than receipts — and a non-empty service trace must have
+  // completed something.
+  if (census["request_received"] > 0) {
+    if (census["request_done"] < 1) {
+      std::fprintf(stderr,
+                   "trace_schema_check: service trace without any "
+                   "\"request_done\"\n");
+      ok = false;
+    }
+    if (census["request_done"] > census["request_received"]) {
+      std::fprintf(stderr,
+                   "trace_schema_check: %d \"request_done\" for %d "
+                   "\"request_received\"\n",
+                   census["request_done"], census["request_received"]);
+      ok = false;
+    }
+    if (census["cache_hit"] > census["request_received"]) {
+      std::fprintf(stderr,
+                   "trace_schema_check: more \"cache_hit\" than requests\n");
+      ok = false;
+    }
+    return ok ? 0 : 1;
   }
   // An optimizer run must have produced solves and a verdict: exactly one
   // "optimum" per optimize() call — a portfolio race has one per worker

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
+#include "alloc/io.hpp"
 #include "heur/annealing.hpp"
 #include "heur/greedy.hpp"
 #include "net/paths.hpp"
@@ -230,6 +232,24 @@ TEST(Generator, SeedChangesInstance) {
     different |= pa.tasks.tasks[i].wcet != pb.tasks.tasks[i].wcet;
   }
   EXPECT_TRUE(different);
+}
+
+TEST(Generator, SameSeedIsByteIdentical) {
+  // The service's result cache keys on serialized instance content, so
+  // the generator must be bit-for-bit reproducible, not just "similar".
+  GenOptions options;
+  options.num_tasks = 24;
+  options.num_ecus = 6;
+  options.seed = 0xD57E12;
+  std::ostringstream first, second;
+  alloc::write_problem(first, generate(options));
+  alloc::write_problem(second, generate(options));
+  EXPECT_EQ(first.str(), second.str());
+
+  options.seed ^= 1;
+  std::ostringstream other;
+  alloc::write_problem(other, generate(options));
+  EXPECT_NE(first.str(), other.str());
 }
 
 TEST(Units, TickConversion) {

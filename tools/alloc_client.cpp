@@ -1,0 +1,176 @@
+// CLI client for the allocation daemon (see tools/alloc_serve.cpp).
+//
+//   alloc_client --socket PATH submit FILE [OBJECTIVE] [--deadline MS]
+//                [--conflicts N] [--threads N] [--wait]
+//   alloc_client --socket PATH status ID
+//   alloc_client --socket PATH result ID        # blocks until terminal
+//   alloc_client --socket PATH cancel ID
+//   alloc_client --socket PATH stats
+//   alloc_client --socket PATH shutdown [--no-drain]
+//
+// FILE may be "-" for stdin. The raw JSON response is printed on stdout.
+// Exit codes: 0 success; 1 protocol / connection error or "ok":false;
+// 2 usage; 4 terminal answer that is feasible but not proven optimal
+// (the anytime deadline answer).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "svc/client.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: alloc_client (--socket PATH | --tcp HOST PORT) VERB ...\n"
+      << "  submit FILE [OBJECTIVE] [--deadline MS] [--conflicts N]\n"
+      << "         [--threads N] [--wait]\n"
+      << "  status ID | result ID | cancel ID | stats\n"
+      << "  shutdown [--no-drain]\n";
+  return 2;
+}
+
+/// 0 ok; 1 error; 4 terminal-but-not-proven-optimal (anytime answer).
+int classify(const std::string& response) {
+  const auto doc = optalloc::obs::json_parse(response);
+  if (!doc || !doc->is_object()) return 1;
+  const optalloc::obs::JsonValue* ok = doc->get("ok");
+  if (ok == nullptr || ok->kind != optalloc::obs::JsonValue::Kind::kBool ||
+      !ok->b) {
+    return 1;
+  }
+  const auto state = doc->get_string("state");
+  if (state && *state == "done") {
+    const optalloc::obs::JsonValue* proven = doc->get("proven_optimal");
+    if (proven != nullptr &&
+        proven->kind == optalloc::obs::JsonValue::Kind::kBool && !proven->b) {
+      return 4;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int i = 1;
+  auto next = [&]() -> const char* { return i < argc ? argv[i++] : nullptr; };
+
+  std::string socket_path, tcp_host;
+  int tcp_port = -1;
+  const char* opt = next();
+  if (opt == nullptr) return usage();
+  if (std::string(opt) == "--socket") {
+    const char* v = next();
+    if (v == nullptr) return usage();
+    socket_path = v;
+  } else if (std::string(opt) == "--tcp") {
+    const char* host = next();
+    const char* port = next();
+    if (host == nullptr || port == nullptr) return usage();
+    tcp_host = host;
+    tcp_port = std::atoi(port);
+  } else {
+    return usage();
+  }
+
+  const char* verb_arg = next();
+  if (verb_arg == nullptr) return usage();
+  const std::string verb = verb_arg;
+
+  optalloc::obs::JsonObject request;
+  if (verb == "submit") {
+    const char* file = next();
+    if (file == nullptr) return usage();
+    std::string objective = "sum-trt";
+    double deadline_ms = 0.0;
+    long conflicts = 0;
+    int threads = 1;
+    bool wait = false;
+    while (const char* a = next()) {
+      const std::string s = a;
+      if (s == "--deadline") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        deadline_ms = std::atof(v);
+      } else if (s == "--conflicts") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        conflicts = std::atol(v);
+      } else if (s == "--threads") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        threads = std::atoi(v);
+      } else if (s == "--wait") {
+        wait = true;
+      } else if (!s.empty() && s[0] != '-') {
+        objective = s;
+      } else {
+        return usage();
+      }
+    }
+    std::string problem_text;
+    if (std::string(file) == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      problem_text = ss.str();
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "alloc_client: cannot read " << file << "\n";
+        return 1;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      problem_text = ss.str();
+    }
+    request.str("verb", "submit")
+        .str("problem", problem_text)
+        .str("objective", objective);
+    if (deadline_ms > 0) request.num("deadline_ms", deadline_ms);
+    if (conflicts > 0) {
+      request.num("conflicts", static_cast<std::int64_t>(conflicts));
+    }
+    if (threads > 1) request.num("threads", static_cast<std::int64_t>(threads));
+    if (wait) request.boolean("wait", true);
+  } else if (verb == "status" || verb == "result" || verb == "cancel") {
+    const char* id = next();
+    if (id == nullptr) return usage();
+    request.str("verb", verb).str("id", id);
+  } else if (verb == "stats") {
+    request.str("verb", "stats");
+  } else if (verb == "shutdown") {
+    bool drain = true;
+    if (const char* a = next()) {
+      if (std::string(a) == "--no-drain") {
+        drain = false;
+      } else {
+        return usage();
+      }
+    }
+    request.str("verb", "shutdown").boolean("drain", drain);
+  } else {
+    std::cerr << "alloc_client: unknown verb " << verb << "\n";
+    return usage();
+  }
+
+  const int fd = !socket_path.empty()
+                     ? optalloc::svc::connect_unix(socket_path)
+                     : optalloc::svc::connect_tcp(tcp_host, tcp_port);
+  if (fd < 0) {
+    std::cerr << "alloc_client: cannot connect\n";
+    return 1;
+  }
+  std::string buffer, response;
+  if (!optalloc::svc::send_line(fd, request.build()) ||
+      !optalloc::svc::recv_line(fd, buffer, response)) {
+    std::cerr << "alloc_client: connection lost\n";
+    return 1;
+  }
+  std::cout << response << "\n";
+  return classify(response);
+}

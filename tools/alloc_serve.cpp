@@ -1,0 +1,125 @@
+// Allocation daemon: serves the NDJSON allocation protocol (see
+// src/svc/protocol.hpp) over a Unix-domain or TCP socket, with a worker
+// pool, canonical result cache and anytime deadline answers.
+//
+//   alloc_serve --socket /tmp/alloc.sock [--workers 2] [--queue 64]
+//               [--cache 256] [--anneal 2000] [--trace FILE] [--stats]
+//   alloc_serve --tcp 7421 ...
+//
+// SIGTERM / SIGINT trigger a graceful drain: no new requests are
+// accepted, every queued job still gets its answer, then the process
+// exits 0. --stats prints the service counters on exit.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+optalloc::svc::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int usage() {
+  std::cerr
+      << "usage: alloc_serve (--socket PATH | --tcp PORT)\n"
+      << "                   [--workers N] [--queue N] [--cache N]\n"
+      << "                   [--anneal ITERS] [--trace FILE] [--stats]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int tcp_port = -1;
+  bool print_stats = false;
+  std::string trace_path;
+  optalloc::svc::ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      socket_path = v;
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      tcp_port = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.scheduler.workers = std::atoi(v);
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.scheduler.queue_capacity =
+          static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.scheduler.cache_entries = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--anneal") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.scheduler.anneal_iterations = std::atoi(v);
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      trace_path = v;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else {
+      std::cerr << "alloc_serve: unknown option " << arg << "\n";
+      return usage();
+    }
+  }
+  if (socket_path.empty() == (tcp_port < 0)) return usage();
+
+  if (!trace_path.empty() && !optalloc::obs::trace_open(trace_path)) {
+    std::cerr << "alloc_serve: cannot open trace file " << trace_path << "\n";
+    return 1;
+  }
+
+  optalloc::svc::Server server(options);
+  if (!socket_path.empty()) {
+    if (!server.listen_unix(socket_path)) {
+      std::cerr << "alloc_serve: cannot listen on " << socket_path << "\n";
+      return 1;
+    }
+    std::cout << "listening on unix socket " << socket_path << std::endl;
+  } else {
+    if (!server.listen_tcp(tcp_port)) {
+      std::cerr << "alloc_serve: cannot listen on tcp port " << tcp_port
+                << "\n";
+      return 1;
+    }
+    std::cout << "listening on tcp 127.0.0.1:" << server.tcp_port()
+              << std::endl;
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+
+  server.run();
+
+  if (print_stats) {
+    const auto stats = server.scheduler().stats();
+    std::cout << optalloc::svc::stats_line(stats) << "\n";
+    std::cout << optalloc::obs::render_metrics();
+  }
+  optalloc::obs::trace_close();
+  return 0;
+}
