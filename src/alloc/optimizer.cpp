@@ -50,6 +50,18 @@ const char* verdict_name(sat::LBool v) {
   return "?";
 }
 
+/// Distribution metrics for the phases a request's cost decomposes into
+/// (trace spans carry the same names' timings per request; these carry
+/// the aggregate shape across requests).
+obs::Metric encode_ms_hist() {
+  static const obs::Metric m = obs::histogram("opt.encode_ms");
+  return m;
+}
+obs::Metric solve_conflicts_hist() {
+  static const obs::Metric m = obs::histogram("opt.solve_conflicts");
+  return m;
+}
+
 /// Fold one finished optimize() run into the global metrics registry.
 void flush_optimize_metrics(const OptimizeResult& result) {
   static const obs::Metric runs = obs::counter("opt.runs");
@@ -236,6 +248,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
   auto certify_model = [&](AllocEncoder& enc, std::optional<std::int64_t> lo,
                            std::optional<std::int64_t> hi) {
     if (!options.certify) return;
+    obs::Span span("certify");
     Stopwatch sw;
     const check::ModelResult mr =
         check::check_model(enc.ctx(), enc.asserted_formulas(), enc.blaster(),
@@ -266,6 +279,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
   auto certify_proof = [&](const sat::ProofLog& log,
                            std::span<const std::size_t> targets) {
     if (!options.certify) return;
+    obs::Span span("certify");
     Stopwatch sw;
     const check::DratResult dr = check::check_proof(log, targets);
     result.stats.certify_seconds += sw.seconds();
@@ -287,6 +301,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
 
   auto certify_allocation = [&] {
     if (!options.certify || !result.has_allocation) return;
+    obs::Span span("certify");
     Stopwatch sw;
     bool ok = true;
     std::string err;
@@ -317,11 +332,15 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
   // and a "solve" trace event carrying the queried bounds.
   auto timed_solve = [&](AllocEncoder& enc, std::optional<std::int64_t> lo,
                          std::optional<std::int64_t> hi) -> sat::LBool {
+    obs::Span span("SOLVE");
     ++result.stats.sat_calls;
     const std::uint64_t conflicts_before = enc.solver().stats().conflicts;
     Stopwatch sw;
     const sat::LBool verdict = enc.solve(lo, hi, call_budget());
     const double secs = sw.seconds();
+    obs::observe(solve_conflicts_hist(),
+                 static_cast<double>(enc.solver().stats().conflicts -
+                                     conflicts_before));
     result.stats.solve_seconds += secs;
     if (verdict == sat::LBool::kTrue) {
       ++result.stats.sat_calls_sat;
@@ -391,9 +410,12 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       return result;
     };
     {
+      obs::Span span("encode");
       Stopwatch sw;
       const bool built = enc.build();
-      result.stats.encode_seconds += sw.seconds();
+      const double secs = sw.seconds();
+      result.stats.encode_seconds += secs;
+      obs::observe(encode_ms_hist(), secs * 1000.0);
       if (!built) return finish(OptimizeResult::Status::kInfeasible);
     }
     // Clause exchange joins here: the variable count right after build()
@@ -516,9 +538,15 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     AllocEncoder enc(problem, objective, options.encoder);
     if (options.tuning) apply_tuning(enc.solver(), *options.tuning);
     if (options.certify) enc.set_proof(&call_proof);
-    Stopwatch sw;
-    const bool built = enc.build();
-    result.stats.encode_seconds += sw.seconds();
+    bool built = false;
+    {
+      obs::Span span("encode");
+      Stopwatch sw;
+      built = enc.build();
+      const double secs = sw.seconds();
+      result.stats.encode_seconds += secs;
+      obs::observe(encode_ms_hist(), secs * 1000.0);
+    }
     cost_range_out = enc.cost_range();
     sat::LBool verdict = sat::LBool::kFalse;
     if (built && (!lo || !hi || enc.assert_cost_bounds(*lo, *hi))) {

@@ -176,7 +176,13 @@ PortfolioResult optimize_portfolio(const Problem& problem,
   } merged;
   merged.calls.assign(static_cast<std::size_t>(n), 0);
 
+  // Workers inherit the submitting thread's trace context (request id /
+  // span) so every event they emit — portfolio_start, solve, interval,
+  // solver share/import events — correlates back to the service request.
+  const obs::SpanContext parent_ctx = obs::current_context();
+
   auto runner = [&](int index) {
+    obs::ContextScope ctx_scope(parent_ctx);
     OptimizeOptions opts = configs[static_cast<std::size_t>(index)];
     opts.stop = &stop;
     if (options.time_limit_s > 0.0 &&

@@ -28,6 +28,8 @@ Sink& sink() {
 }
 
 std::atomic<int> g_next_tid{0};
+std::atomic<std::uint64_t> g_next_span{1};
+thread_local SpanContext t_context;
 
 }  // namespace
 
@@ -35,6 +37,72 @@ int thread_ordinal() {
   thread_local const int tid =
       g_next_tid.fetch_add(1, std::memory_order_relaxed);
   return tid;
+}
+
+SpanContext current_context() { return t_context; }
+
+std::uint64_t next_span_id() {
+  return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+ContextScope::ContextScope(const SpanContext& ctx) : prev_(t_context) {
+  t_context = ctx;
+}
+
+ContextScope::~ContextScope() { t_context = prev_; }
+
+Span::Span(std::string_view name) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  name_ = name;
+  prev_ = t_context;
+  SpanContext ctx;
+  ctx.req = prev_.req;
+  ctx.span = next_span_id();
+  ctx.parent = prev_.span;
+  t_context = ctx;
+  start_ns_ = monotonic_ns();
+  TraceEvent("span_begin", ctx)
+      .str("name", name_)
+      .num("parent", ctx.parent);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const SpanContext ctx = t_context;
+  TraceEvent("span_end", ctx)
+      .str("name", name_)
+      .num("parent", ctx.parent)
+      .num("seconds",
+           static_cast<double>(monotonic_ns() - start_ns_) * 1e-9);
+  t_context = prev_;
+}
+
+std::uint64_t span_begin_event(std::string_view name,
+                               const SpanContext& ctx) {
+  SpanContext child;
+  child.req = ctx.req;
+  child.span = next_span_id();
+  child.parent = ctx.span;
+  if (trace_enabled()) {
+    TraceEvent("span_begin", child)
+        .str("name", name)
+        .num("parent", child.parent);
+  }
+  return child.span;
+}
+
+void span_end_event(std::string_view name, const SpanContext& ctx,
+                    std::uint64_t span_id, double seconds) {
+  if (!trace_enabled()) return;
+  SpanContext child;
+  child.req = ctx.req;
+  child.span = span_id;
+  child.parent = ctx.span;
+  TraceEvent("span_end", child)
+      .str("name", name)
+      .num("parent", child.parent)
+      .num("seconds", seconds);
 }
 
 bool trace_open(const std::string& path) {
@@ -70,10 +138,15 @@ void trace_close() {
   s.out = nullptr;
 }
 
-TraceEvent::TraceEvent(std::string_view type) {
+TraceEvent::TraceEvent(std::string_view type)
+    : TraceEvent(type, t_context) {}
+
+TraceEvent::TraceEvent(std::string_view type, const SpanContext& ctx) {
   obj_.str("type", type);
   obj_.num("ts", static_cast<double>(monotonic_ns() - sink().epoch_ns.load(std::memory_order_relaxed)) * 1e-9);
   obj_.num("tid", static_cast<std::int64_t>(thread_ordinal()));
+  if (ctx.req != 0) obj_.num("req", static_cast<std::int64_t>(ctx.req));
+  if (ctx.span != 0) obj_.num("span", static_cast<std::int64_t>(ctx.span));
 }
 
 TraceEvent::~TraceEvent() {

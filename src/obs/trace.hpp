@@ -7,10 +7,19 @@
 // — plus event-specific fields. Lines are written atomically under a
 // mutex, so portfolio workers never interleave.
 //
+// Request correlation: a thread-local SpanContext carries the current
+// request id ("req") and span id ("span"); when set, every event emitted
+// by that thread gains those fields automatically, so a whole request can
+// be reassembled from one interleaved JSONL file. The service scheduler
+// installs the context when a job is claimed (ContextScope) and hands it
+// explicitly to portfolio worker threads; RAII Span delimits phases
+// (encode, SOLVE steps, cache lookup) with span_begin/span_end events.
+//
 // Cost model: every producer site is guarded by `if (obs::trace_enabled())`
 // — a single relaxed atomic load when tracing is off, which is the default.
 // Event construction (string building, clock reads) only happens inside
-// the guard.
+// the guard. Span/ContextScope are plain thread-local stores when tracing
+// is off.
 //
 // The event vocabulary is documented in README.md ("Observability").
 
@@ -48,12 +57,73 @@ void trace_close();
 /// emit). Also used by the thread-safe logger's line tags.
 int thread_ordinal();
 
+// --- Request correlation ------------------------------------------------
+
+/// Trace context carried by the calling thread: every event it emits
+/// gains "req"/"span" fields while one is installed. `req` identifies the
+/// service request end-to-end (0 = none); `span` is the innermost open
+/// span; `parent` its enclosing span (0 = root).
+struct SpanContext {
+  std::uint64_t req = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+};
+
+/// The calling thread's current context ({0,0,0} when none installed).
+SpanContext current_context();
+
+/// Process-unique span id (never 0). Also used for request-root spans.
+std::uint64_t next_span_id();
+
+/// RAII install of an explicit context on this thread (restores the
+/// previous one on destruction). Used to adopt a request's identity on a
+/// scheduler worker or a portfolio thread — the explicit hand-off that
+/// carries correlation across thread boundaries.
+class ContextScope {
+ public:
+  explicit ContextScope(const SpanContext& ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  SpanContext prev_;
+};
+
+/// RAII traced phase: emits "span_begin" on construction and "span_end"
+/// (with wall "seconds") on destruction, nesting under the thread's
+/// current context — events emitted inside the scope carry this span's
+/// id. No-op (and no id allocated) when tracing is off at construction.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  SpanContext prev_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Cross-thread span halves: begin on one thread (returns the span id
+/// under `ctx`), end on another with the measured duration. Used for the
+/// queue-wait span, which starts at submission and ends when a worker
+/// claims the job. No-ops when tracing is off (begin still returns an id).
+std::uint64_t span_begin_event(std::string_view name, const SpanContext& ctx);
+void span_end_event(std::string_view name, const SpanContext& ctx,
+                    std::uint64_t span_id, double seconds);
+
 /// One trace event. Builds the JSON object in a local buffer; the
 /// destructor writes the finished line. Standard fields are filled by the
-/// constructor.
+/// constructor; "req"/"span" are appended from the thread's SpanContext
+/// (or an explicit one) when non-zero.
 class TraceEvent {
  public:
   explicit TraceEvent(std::string_view type);
+  TraceEvent(std::string_view type, const SpanContext& ctx);
   ~TraceEvent();
   TraceEvent(const TraceEvent&) = delete;
   TraceEvent& operator=(const TraceEvent&) = delete;
@@ -78,6 +148,11 @@ class TraceEvent {
   }
   TraceEvent& boolean(std::string_view key, bool value) {
     obj_.boolean(key, value);
+    return *this;
+  }
+  /// Embed pre-rendered JSON (e.g. a metrics snapshot) verbatim.
+  TraceEvent& raw(std::string_view key, std::string_view json) {
+    obj_.raw(key, json);
     return *this;
   }
 

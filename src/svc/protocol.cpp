@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace optalloc::svc {
 
@@ -64,6 +65,10 @@ std::optional<Request> parse_request(const std::string& line,
   }
   if (*verb == "stats") {
     req.verb = Request::Verb::kStats;
+    return req;
+  }
+  if (*verb == "metrics") {
+    req.verb = Request::Verb::kMetrics;
     return req;
   }
   if (*verb == "shutdown") {
@@ -134,6 +139,13 @@ std::string stats_line(const ServiceStats& stats) {
       .num("p95_ms", stats.p95_ms)
       .num("p99_ms", stats.p99_ms)
       .num("max_ms", stats.max_ms)
+      .build();
+}
+
+std::string metrics_line() {
+  return obs::JsonObject()
+      .boolean("ok", true)
+      .raw("metrics", obs::metrics_full_json())
       .build();
 }
 

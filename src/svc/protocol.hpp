@@ -10,6 +10,9 @@
 //   {"verb":"result","id":"r1"}    -> snapshot, blocking until terminal
 //   {"verb":"cancel","id":"r1"}    -> {"ok":true,"id":"r1"}
 //   {"verb":"stats"}               -> service + cache counters, latencies
+//   {"verb":"metrics"}             -> full metrics registry snapshot
+//                                     (counters, gauges, timers, histogram
+//                                     quantiles + buckets) under "metrics"
 //   {"verb":"shutdown","drain":true} -> {"ok":true,...}; server exits
 //
 // Every response carries "ok"; failures look like {"ok":false,"error":m}.
@@ -26,7 +29,15 @@
 namespace optalloc::svc {
 
 struct Request {
-  enum class Verb { kSubmit, kStatus, kCancel, kResult, kStats, kShutdown };
+  enum class Verb {
+    kSubmit,
+    kStatus,
+    kCancel,
+    kResult,
+    kStats,
+    kMetrics,
+    kShutdown
+  };
   Verb verb = Verb::kStats;
   std::string id;            ///< status/cancel/result
   std::string problem_text;  ///< submit: alloc::io problem format
@@ -52,6 +63,9 @@ std::string submit_ack_line(const std::string& id);
 /// deadline_expired, timings, and the task->ECU vector when present).
 std::string snapshot_line(const JobSnapshot& snapshot);
 std::string stats_line(const ServiceStats& stats);
+/// Full registry snapshot (obs::metrics_full_json) under "metrics" —
+/// enough for a remote client to render Prometheus text format.
+std::string metrics_line();
 std::string shutdown_ack_line(bool drain);
 
 }  // namespace optalloc::svc

@@ -37,18 +37,17 @@ struct SvcMetrics {
   obs::Metric queue_depth = obs::gauge("svc.queue_depth");
   obs::Metric queue_time = obs::timer("svc.time.queue");
   obs::Metric solve_time = obs::timer("svc.time.solve");
+  // Distributions: ms-scale histograms scrapeable via the metrics verb.
+  // The same observations feed the per-Scheduler LocalHistogram behind
+  // stats(), so `metrics --prom` quantiles and `stats` percentiles agree.
+  obs::Metric queue_wait_ms = obs::histogram("svc.queue_wait_ms");
+  obs::Metric request_ms = obs::histogram("svc.request_ms");
+  obs::Metric cache_lookup_ms = obs::histogram("svc.cache_lookup_ms");
 };
 
 SvcMetrics& metrics() {
   static SvcMetrics m;
   return m;
-}
-
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
 }  // namespace
@@ -72,6 +71,10 @@ struct Scheduler::Job {
   bool cancel_requested = false;  ///< guarded by Scheduler::mu_
   JobState state = JobState::kQueued;
   JobAnswer answer;
+  /// Trace identity: installed on whichever thread touches the job, so
+  /// every event of this request carries the same "req" field.
+  obs::SpanContext ctx;
+  std::uint64_t queue_span = 0;  ///< open queue_wait span (cross-thread)
 };
 
 Scheduler::Scheduler(const SchedulerOptions& options)
@@ -106,6 +109,10 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
     jobs_.emplace(job->id, job);
     depth = queue_.size();
   }
+  // Process-unique request id; every event below (and on the worker that
+  // later claims the job) carries it as "req".
+  job->ctx.req = obs::next_span_id();
+  obs::ContextScope ctx_scope(job->ctx);
   obs::add(metrics().requests);
   if (obs::trace_enabled()) {
     obs::TraceEvent("request_received")
@@ -115,7 +122,15 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
         .num("queue_depth", static_cast<std::int64_t>(depth));
   }
 
-  if (auto hit = cache_.get(job->canon.key, job->canon.text)) {
+  std::optional<CachedAnswer> hit;
+  {
+    obs::Span span("cache_lookup");
+    const auto lookup_start = Clock::now();
+    hit = cache_.get(job->canon.key, job->canon.text);
+    obs::observe(metrics().cache_lookup_ms,
+                 seconds_since(lookup_start) * 1000.0);
+  }
+  if (hit) {
     obs::add(metrics().cache_hits);
     if (obs::trace_enabled()) {
       obs::TraceEvent("cache_hit").str("id", job->id);
@@ -156,6 +171,9 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
     obs::set(metrics().queue_depth,
              static_cast<std::int64_t>(queue_.size()));
   }
+  // Cross-thread span: begun here, ended by the worker that claims the
+  // job (execute() knows the measured wait).
+  job->queue_span = obs::span_begin_event("queue_wait", job->ctx);
   work_cv_.notify_one();
   return job->id;
 }
@@ -236,7 +254,7 @@ void Scheduler::shutdown(bool drain) {
 
 ServiceStats Scheduler::stats() const {
   ServiceStats out;
-  std::vector<double> lat;
+  obs::LocalHistogram lat;
   {
     std::lock_guard<std::mutex> lock(mu_);
     out = counters_;
@@ -244,11 +262,10 @@ ServiceStats Scheduler::stats() const {
     lat = latencies_ms_;
   }
   out.cache = cache_.stats();
-  std::sort(lat.begin(), lat.end());
-  out.p50_ms = percentile(lat, 50.0);
-  out.p95_ms = percentile(lat, 95.0);
-  out.p99_ms = percentile(lat, 99.0);
-  out.max_ms = lat.empty() ? 0.0 : lat.back();
+  out.p50_ms = lat.quantile(0.50);
+  out.p95_ms = lat.quantile(0.95);
+  out.p99_ms = lat.quantile(0.99);
+  out.max_ms = lat.max();
   return out;
 }
 
@@ -273,9 +290,15 @@ void Scheduler::worker_loop() {
 }
 
 void Scheduler::execute(const std::shared_ptr<Job>& job) {
+  // Adopt the request's trace identity for everything this worker does on
+  // its behalf (the explicit cross-thread hand-off).
+  obs::ContextScope ctx_scope(job->ctx);
   JobAnswer answer;
   answer.queue_seconds = seconds_since(job->submitted);
   obs::record(metrics().queue_time, answer.queue_seconds);
+  obs::observe(metrics().queue_wait_ms, answer.queue_seconds * 1000.0);
+  obs::span_end_event("queue_wait", job->ctx, job->queue_span,
+                      answer.queue_seconds);
 
   bool cancelled_early = false;
   {
@@ -401,6 +424,7 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
 void Scheduler::finalize(const std::shared_ptr<Job>& job, JobState state,
                          JobAnswer answer) {
   answer.total_seconds = seconds_since(job->submitted);
+  const double total_ms = answer.total_seconds * 1000.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job->answer = std::move(answer);
@@ -411,8 +435,9 @@ void Scheduler::finalize(const std::shared_ptr<Job>& job, JobState state,
       ++counters_.completed;
     }
     if (job->answer.deadline_expired) ++counters_.deadline_expired;
-    latencies_ms_.push_back(job->answer.total_seconds * 1000.0);
+    latencies_ms_.observe(total_ms);
   }
+  obs::observe(metrics().request_ms, total_ms);
   done_cv_.notify_all();
   obs::add(state == JobState::kCancelled ? metrics().cancelled
                                          : metrics().completed);

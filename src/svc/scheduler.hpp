@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "alloc/problem.hpp"
+#include "obs/metrics.hpp"
 #include "svc/cache.hpp"
 #include "svc/fingerprint.hpp"
 
@@ -153,7 +154,9 @@ class Scheduler {
   bool accepting_ = true;
   bool joined_ = false;
   ServiceStats counters_;            ///< the counter fields only
-  std::vector<double> latencies_ms_;
+  /// Bounded distribution of request latencies (ms): memory does not grow
+  /// with request count, percentiles are within one bucket width (6.25%).
+  obs::LocalHistogram latencies_ms_;
 };
 
 }  // namespace optalloc::svc

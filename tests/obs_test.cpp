@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -152,6 +155,152 @@ TEST(Metrics, GaugeAndTimerSemantics) {
   EXPECT_EQ(timer->get_number("count"), 2.0);
 }
 
+// --- Histograms ---------------------------------------------------------
+
+TEST(Metrics, HistogramBucketSchemeIsSoundAndTight) {
+  // In-range positive values land in a bucket that contains them and whose
+  // width is at most value / kHistSubBuckets — the documented 6.25%
+  // relative-error bound for every quantile.
+  const double values[] = {1e-9,     3.7e-6, 0.001,  0.0625, 1.0,
+                           1.5,      2.0,    123.456, 8191.0, 1e9};
+  int prev_idx = 0;
+  for (const double v : values) {
+    const int idx = obs::histogram_bucket_index(v);
+    ASSERT_GT(idx, 0) << v;
+    ASSERT_LT(idx, obs::kHistBuckets - 1) << v;
+    EXPECT_GE(idx, prev_idx) << v;  // index monotone in the value
+    prev_idx = idx;
+    const auto [lo, hi] = obs::histogram_bucket_bounds(idx);
+    EXPECT_LE(lo, v);
+    EXPECT_GT(hi, v);
+    EXPECT_LE(hi - lo, v / obs::kHistSubBuckets * (1 + 1e-12)) << v;
+  }
+  // Zero, negatives and too-small values underflow; huge ones overflow
+  // into the open-ended top bucket.
+  EXPECT_EQ(obs::histogram_bucket_index(0.0), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(-3.0), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(1e-12), 0);
+  EXPECT_EQ(obs::histogram_bucket_index(1e30), obs::kHistBuckets - 1);
+  EXPECT_TRUE(
+      std::isinf(obs::histogram_bucket_bounds(obs::kHistBuckets - 1).second));
+}
+
+TEST(Metrics, LocalHistogramQuantilesWithinErrorBound) {
+  obs::LocalHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 0.001);  // uniform (0, 1]
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.sum(), 500.5, 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);  // max is exact, not bucketed
+  for (const double q : {0.50, 0.90, 0.95, 0.99}) {
+    // The q-quantile of this sample is ≈ q itself; the estimate must stay
+    // within one bucket width (≤ q/16) plus the sample's 1e-3 grid.
+    EXPECT_NEAR(h.quantile(q), q, q / obs::kHistSubBuckets + 2e-3) << q;
+  }
+}
+
+TEST(Metrics, HistogramShardsMergeAcrossThreads) {
+  obs::reset_metrics();
+  const obs::Metric h = obs::histogram("test.hist");
+  constexpr int kThreads = 4;
+  constexpr int kObs = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([h] {
+      for (int i = 1; i <= kObs; ++i) {
+        obs::observe(h, static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  bool found = false;
+  for (const auto& m : obs::snapshot()) {
+    if (m.name != "test.hist") continue;
+    found = true;
+    EXPECT_EQ(m.kind, obs::MetricKind::kHistogram);
+    EXPECT_EQ(m.value, std::int64_t{kThreads} * kObs);  // merged count
+    EXPECT_NEAR(m.sum, kThreads * (kObs * (kObs + 1) / 2.0), 1e-6);
+    std::uint64_t bucket_total = 0;
+    for (const auto& b : m.buckets) {
+      EXPECT_GT(b.count, 0u);  // snapshot carries only non-empty buckets
+      bucket_total += b.count;
+    }
+    EXPECT_EQ(bucket_total, static_cast<std::uint64_t>(kThreads) * kObs);
+    const double p50 = obs::histogram_quantile(m.buckets, 0.50);
+    EXPECT_NEAR(p50, 500.0, 500.0 / obs::kHistSubBuckets + 1.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, HistogramGateSuppressesObservations) {
+  obs::reset_metrics();
+  const obs::Metric h = obs::histogram("test.gated");
+  ASSERT_TRUE(obs::histograms_enabled());
+  obs::set_histograms(false);
+  obs::observe(h, 1.0);  // dropped: the gate is the bench's "off" config
+  obs::set_histograms(true);
+  obs::observe(h, 2.0);
+  EXPECT_EQ(lookup(obs::snapshot(), "test.gated"), 1);
+}
+
+TEST(Metrics, FullJsonRoundTripsAndRendersPrometheus) {
+  obs::reset_metrics();
+  obs::add(obs::counter("test.rt.count"), 3);
+  obs::set(obs::gauge("test.rt.gauge"), -2);
+  obs::record(obs::timer("test.rt.timer"), 0.5);
+  const obs::Metric h = obs::histogram("test.rt.hist");
+  for (int i = 1; i <= 100; ++i) obs::observe(h, static_cast<double>(i));
+
+  // Wire round-trip: the typed JSON document decodes back into the exact
+  // snapshot (bucket quantization already happened at observe time).
+  const auto doc = obs::json_parse(obs::metrics_full_json());
+  ASSERT_TRUE(doc.has_value());
+  const auto decoded = obs::metrics_from_json(*doc);
+  const auto snap = obs::snapshot();
+  ASSERT_EQ(decoded.size(), snap.size());
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(decoded[i].name, snap[i].name);
+    EXPECT_EQ(decoded[i].kind, snap[i].kind);
+    EXPECT_EQ(decoded[i].value, snap[i].value);
+    ASSERT_EQ(decoded[i].buckets.size(), snap[i].buckets.size());
+    for (std::size_t b = 0; b < snap[i].buckets.size(); ++b) {
+      EXPECT_EQ(decoded[i].buckets[b].count, snap[i].buckets[b].count);
+      EXPECT_DOUBLE_EQ(decoded[i].buckets[b].hi, snap[i].buckets[b].hi);
+    }
+  }
+
+  // The decoded snapshot renders through the same Prometheus writer the
+  // server uses locally: names sanitized, cumulative buckets, quantiles.
+  const std::string prom = obs::prometheus_from_snapshot(decoded);
+  EXPECT_NE(prom.find("# TYPE test_rt_count counter"), std::string::npos);
+  EXPECT_NE(prom.find("test_rt_count 3"), std::string::npos);
+  EXPECT_NE(prom.find("test_rt_gauge -2"), std::string::npos);
+  EXPECT_NE(prom.find("test_rt_timer_count 1"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_rt_hist histogram"), std::string::npos);
+  EXPECT_NE(prom.find("test_rt_hist_bucket{le=\"+Inf\"} 100"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_rt_hist_count 100"), std::string::npos);
+  EXPECT_NE(prom.find("test_rt_hist_p95 "), std::string::npos);
+
+  // Cumulative bucket counts must be non-decreasing and end at the total.
+  std::uint64_t last_cum = 0;
+  std::size_t pos = 0;
+  while ((pos = prom.find("test_rt_hist_bucket{le=", pos)) !=
+         std::string::npos) {
+    const std::size_t space = prom.find("} ", pos);
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t cum = std::strtoull(
+        prom.c_str() + space + 2, nullptr, 10);
+    EXPECT_GE(cum, last_cum);
+    last_cum = cum;
+    pos = space;
+  }
+  EXPECT_EQ(last_cum, 100u);
+}
+
 // --- Trace sink + progress callback ------------------------------------
 
 struct TraceRun {
@@ -262,6 +411,95 @@ TEST(Trace, DisabledSinkEmitsNothing) {
   EXPECT_FALSE(obs::trace_enabled());
   { obs::TraceEvent ev("ignored"); }
   EXPECT_TRUE(sink.str().empty());
+}
+
+// --- Request correlation ------------------------------------------------
+
+TEST(Trace, SpansAndContextCorrelateEvents) {
+  std::ostringstream sink;
+  obs::trace_to_stream(&sink);
+
+  obs::SpanContext req_ctx;
+  req_ctx.req = obs::next_span_id();
+  std::uint64_t queue_span = 0;
+  {
+    obs::ContextScope scope(req_ctx);
+    {
+      obs::Span phase("phase");
+      obs::TraceEvent("inner").num("x", 1);
+    }
+    // Cross-thread halves: begin here, end on another thread — the pattern
+    // the scheduler uses for queue-wait spans.
+    queue_span = obs::span_begin_event("queue_wait", req_ctx);
+    std::thread worker([&] {
+      obs::span_end_event("queue_wait", req_ctx, queue_span, 0.25);
+    });
+    worker.join();
+  }
+  obs::TraceEvent("outside").num("x", 2);  // context restored: no req field
+  obs::trace_close();
+
+  std::map<std::string, std::vector<obs::JsonValue>> by_type;
+  std::istringstream lines(sink.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto parsed = obs::json_parse(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    by_type[*parsed->get_string("type")].push_back(std::move(*parsed));
+  }
+  ASSERT_EQ(by_type["span_begin"].size(), 2u);
+  ASSERT_EQ(by_type["span_end"].size(), 2u);
+  ASSERT_EQ(by_type["inner"].size(), 1u);
+  ASSERT_EQ(by_type["outside"].size(), 1u);
+
+  const double req = static_cast<double>(req_ctx.req);
+  const obs::JsonValue& begin = by_type["span_begin"][0];
+  EXPECT_EQ(begin.get_string("name"), "phase");
+  EXPECT_EQ(begin.get_number("req"), req);
+  EXPECT_EQ(begin.get_number("parent"), 0.0);  // request root
+  const auto phase_span = begin.get_number("span");
+  ASSERT_TRUE(phase_span.has_value());
+  EXPECT_GT(*phase_span, 0.0);
+
+  // The event emitted inside the Span inherits req AND the span id — this
+  // is what lets trace_report hang solver events off their phase.
+  const obs::JsonValue& inner = by_type["inner"][0];
+  EXPECT_EQ(inner.get_number("req"), req);
+  EXPECT_EQ(inner.get_number("span"), *phase_span);
+
+  const obs::JsonValue& end = by_type["span_end"][0];
+  EXPECT_EQ(end.get_string("name"), "phase");
+  EXPECT_EQ(end.get_number("span"), *phase_span);
+  const auto seconds = end.get_number("seconds");
+  ASSERT_TRUE(seconds.has_value());
+  EXPECT_GE(*seconds, 0.0);
+
+  // The queue_wait halves match by (req, span) even though span_end ran on
+  // a different thread, and carry the externally measured duration.
+  const obs::JsonValue& qbegin = by_type["span_begin"][1];
+  const obs::JsonValue& qend = by_type["span_end"][1];
+  EXPECT_EQ(qbegin.get_string("name"), "queue_wait");
+  EXPECT_EQ(qbegin.get_number("span"), static_cast<double>(queue_span));
+  EXPECT_EQ(qend.get_number("span"), static_cast<double>(queue_span));
+  EXPECT_EQ(qend.get_number("req"), req);
+  EXPECT_EQ(qend.get_number("seconds"), 0.25);
+  EXPECT_NE(qbegin.get_number("tid"), qend.get_number("tid"));
+
+  // Outside any context: no correlation fields at all.
+  EXPECT_EQ(by_type["outside"][0].get("req"), nullptr);
+  EXPECT_EQ(by_type["outside"][0].get("span"), nullptr);
+}
+
+TEST(Trace, SpanIsInertWhenTracingOff) {
+  ASSERT_FALSE(obs::trace_enabled());
+  const obs::SpanContext before = obs::current_context();
+  {
+    obs::Span span("dark");
+    // No sink: the span must not leak a context onto the thread...
+    EXPECT_EQ(obs::current_context().req, before.req);
+  }
+  // ...and the thread's context is untouched afterwards.
+  EXPECT_EQ(obs::current_context().span, before.span);
 }
 
 TEST(Metrics, OptimizerFlushesRegistry) {

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the allocation service: start alloc_serve on a
-# Unix socket, submit the same problem twice through alloc_client (the
-# second submission must be served from the canonical-instance cache),
-# check the stats counters, shut the daemon down gracefully, and validate
-# the emitted trace with the schema checker.
+# Unix socket with tracing and periodic metrics snapshots, submit the same
+# problem twice through alloc_client (the second submission must be served
+# from the canonical-instance cache), check the stats counters, scrape the
+# metrics verb in Prometheus text format, shut the daemon down gracefully,
+# validate the emitted trace with the schema checker, and reconstruct the
+# requests with trace_report (spans must balance; the trace must not be
+# truncated — its last event must be the shutdown's "service_stop").
 #
-# usage: svc_smoke.sh ALLOC_SERVE ALLOC_CLIENT SCHEMA_CHECK PROBLEM WORKDIR
+# usage: svc_smoke.sh ALLOC_SERVE ALLOC_CLIENT SCHEMA_CHECK TRACE_REPORT PROBLEM WORKDIR
 set -u
 
 SERVE="$1"
 CLIENT="$2"
 SCHEMA_CHECK="$3"
-PROBLEM="$4"
-WORKDIR="$5"
+TRACE_REPORT="$4"
+PROBLEM="$5"
+WORKDIR="$6"
 
 fail() { echo "svc_smoke: FAIL: $*" >&2; exit 1; }
 
@@ -22,7 +26,8 @@ TRACE="$WORKDIR/svc_smoke_trace.jsonl"
 LOG="$WORKDIR/svc_smoke_server.log"
 rm -f "$SOCK" "$TRACE" "$LOG"
 
-"$SERVE" --socket "$SOCK" --workers 2 --trace "$TRACE" >"$LOG" 2>&1 &
+"$SERVE" --socket "$SOCK" --workers 2 --trace "$TRACE" \
+         --metrics-interval 0.2 >"$LOG" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null' EXIT
 
@@ -65,6 +70,30 @@ case "$STATS" in
   *) fail "expected exactly one cache hit in $STATS" ;;
 esac
 
+# Metrics verb: the raw snapshot must be well-formed JSON with histogram
+# entries, and --prom must render scrapeable Prometheus text exposition.
+METRICS=$("$CLIENT" --socket "$SOCK" metrics) || fail "metrics verb failed"
+case "$METRICS" in
+  *'"ok":true'*'"svc.request_ms"'*'"kind":"histogram"'*) ;;
+  *) fail "metrics response lacks the request-latency histogram: $METRICS" ;;
+esac
+PROM=$("$CLIENT" --socket "$SOCK" metrics --prom) || fail "metrics --prom failed"
+case "$PROM" in
+  *'# TYPE svc_request_ms histogram'*) ;;
+  *) fail "prometheus output lacks the svc_request_ms histogram" ;;
+esac
+case "$PROM" in
+  *'svc_request_ms_bucket{le="+Inf"} 2'*) ;;
+  *) fail "prometheus request histogram does not count both requests" ;;
+esac
+case "$PROM" in
+  *'svc_request_ms_p95 '*) ;;
+  *) fail "prometheus output lacks histogram quantile gauges" ;;
+esac
+
+# Let at least one periodic metrics_snapshot trace event fire.
+sleep 0.4
+
 # Graceful shutdown: daemon acknowledges, drains, exits 0, unlinks socket.
 "$CLIENT" --socket "$SOCK" shutdown >/dev/null || fail "shutdown verb failed"
 SERVER_RC=1
@@ -80,7 +109,29 @@ trap - EXIT
 [ $SERVER_RC -eq 0 ] || { cat "$LOG" >&2; fail "server exited $SERVER_RC"; }
 [ ! -e "$SOCK" ] || fail "socket file not cleaned up"
 
-# The trace must validate against the event schema (service census rules).
+# The trace must validate against the event schema (service census rules,
+# span balance, request attribution of solver events).
 "$SCHEMA_CHECK" "$TRACE" || fail "trace schema validation failed"
+
+# trace_truncated guard: a graceful drain flushes and closes the sink, so
+# the file must end with the scheduler's final "service_stop" event — a
+# truncated tail (lost ofstream buffer) cannot contain it.
+tail -n 1 "$TRACE" | grep -q '"type":"service_stop"' \
+  || fail "trace truncated: last event is not service_stop"
+grep -q '"type":"metrics_snapshot"' "$TRACE" \
+  || fail "no periodic metrics_snapshot event in trace"
+
+# trace_report must reconstruct every completed request into a balanced
+# span tree with phase timings.
+REPORT=$("$TRACE_REPORT" --json "$TRACE") || fail "trace_report found unbalanced spans"
+echo "report: $REPORT"
+case "$REPORT" in
+  *'"balanced":true'*) ;;
+  *) fail "trace_report did not balance spans: $REPORT" ;;
+esac
+case "$REPORT" in
+  *'"reconstructed_fraction":1'*) ;;
+  *) fail "trace_report failed to reconstruct all requests: $REPORT" ;;
+esac
 
 echo "svc_smoke: OK"

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -16,6 +18,7 @@
 #include "alloc/io.hpp"
 #include "alloc/optimizer.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rt/verify.hpp"
 #include "svc/cache.hpp"
@@ -339,6 +342,10 @@ TEST(Protocol, ParsesRequestsAndRejectsGarbage) {
   EXPECT_EQ(cancel->verb, Request::Verb::kCancel);
   EXPECT_EQ(cancel->id, "r7");
 
+  const auto metrics = parse_request(R"({"verb":"metrics"})", &error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  EXPECT_EQ(metrics->verb, Request::Verb::kMetrics);
+
   EXPECT_FALSE(parse_request("not json", &error).has_value());
   EXPECT_FALSE(parse_request(R"({"no":"verb"})", &error).has_value());
   EXPECT_FALSE(parse_request(R"({"verb":"frobnicate"})", &error).has_value());
@@ -370,6 +377,13 @@ TEST(Protocol, ResponseLinesAreWellFormedJson) {
 
   EXPECT_TRUE(obs::json_parse(error_line(R"(bad "quoted" input)")).has_value());
   EXPECT_TRUE(obs::json_parse(stats_line(ServiceStats{})).has_value());
+
+  // The metrics verb's response wraps the full typed registry snapshot.
+  const auto metrics = obs::json_parse(metrics_line());
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_TRUE(metrics->get("ok")->b);
+  ASSERT_NE(metrics->get("metrics"), nullptr);
+  EXPECT_TRUE(metrics->get("metrics")->is_object());
 }
 
 // --- Server (protocol dispatch without sockets) ------------------------
@@ -442,6 +456,51 @@ TEST(Server, HandlesFullRequestLifecycle) {
   EXPECT_TRUE(server.stop_requested());
 }
 
+TEST(Server, MetricsVerbExposesRequestHistograms) {
+  obs::reset_metrics();
+  ServerOptions options;
+  options.scheduler = quick_options(1);
+  Server server(options);
+  ASSERT_TRUE(
+      obs::json_parse(server.handle_line(submit_line(kSystem, "sum-trt",
+                                                     /*wait=*/true)))
+          ->get("ok")
+          ->b);
+
+  const auto doc =
+      obs::json_parse(server.handle_line(R"({"verb":"metrics"})"));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->get("ok")->b);
+  const obs::JsonValue* metrics = doc->get("metrics");
+  ASSERT_NE(metrics, nullptr);
+
+  // The wire document decodes into snapshot form; the request-latency
+  // histogram must carry the completed request, with the p95 inside one
+  // of its (non-empty) buckets.
+  const auto decoded = obs::metrics_from_json(*metrics);
+  bool found = false;
+  for (const auto& m : decoded) {
+    if (m.name != "svc.request_ms") continue;
+    found = true;
+    EXPECT_EQ(m.kind, obs::MetricKind::kHistogram);
+    EXPECT_GE(m.value, 1);
+    ASSERT_FALSE(m.buckets.empty());
+    const double p95 = obs::histogram_quantile(m.buckets, 0.95);
+    bool inside = false;
+    for (const auto& b : m.buckets) {
+      if (p95 >= b.lo && p95 < b.hi) inside = true;
+    }
+    EXPECT_TRUE(inside);
+  }
+  EXPECT_TRUE(found);
+
+  // The decoded snapshot renders to Prometheus text like a local one.
+  const std::string prom = obs::prometheus_from_snapshot(decoded);
+  EXPECT_NE(prom.find("# TYPE svc_request_ms histogram"), std::string::npos);
+  EXPECT_NE(prom.find("svc_request_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+}
+
 // --- Trace events ------------------------------------------------------
 
 TEST(Trace, ServiceLifecycleEventsAreEmitted) {
@@ -474,18 +533,55 @@ TEST(Trace, ServiceLifecycleEventsAreEmitted) {
   obs::trace_to_stream(nullptr);
 
   std::map<std::string, int> census;
+  std::map<std::uint64_t, std::uint64_t> open_spans;  // span id -> req
+  int solver_events = 0, solver_events_without_req = 0;
+  std::set<std::uint64_t> reqs;
   std::istringstream lines(trace.str());
   std::string line;
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
     const auto doc = obs::json_parse(line);
     ASSERT_TRUE(doc.has_value()) << line;
-    ++census[*doc->get_string("type")];
+    const std::string type = *doc->get_string("type");
+    ++census[type];
+    const auto req = doc->get_number("req");
+    if (req) reqs.insert(static_cast<std::uint64_t>(*req));
+    if (type == "span_begin" || type == "span_end") {
+      ASSERT_TRUE(req.has_value()) << line;  // all service spans belong
+      const auto span = doc->get_number("span");
+      ASSERT_TRUE(span.has_value()) << line;
+      const auto id = static_cast<std::uint64_t>(*span);
+      if (type == "span_begin") {
+        EXPECT_EQ(open_spans.count(id), 0u) << "duplicate span " << line;
+        open_spans[id] = static_cast<std::uint64_t>(*req);
+      } else {
+        // Every span_end matches an open span_begin of the same request.
+        auto it = open_spans.find(id);
+        ASSERT_NE(it, open_spans.end()) << "unmatched span_end " << line;
+        EXPECT_EQ(it->second, static_cast<std::uint64_t>(*req));
+        EXPECT_GE(*doc->get_number("seconds"), 0.0);
+        open_spans.erase(it);
+      }
+    } else if (type == "solve" || type == "interval" || type == "optimum" ||
+               type == "solver_restart") {
+      ++solver_events;
+      if (!req) ++solver_events_without_req;
+    }
   }
   EXPECT_EQ(census["request_received"], 3);
   EXPECT_EQ(census["request_done"], 3);
   EXPECT_EQ(census["cache_hit"], 1);
   EXPECT_GE(census["deadline_expired"], 1);
+
+  // Request correlation: spans balance, every solver-side event inherits
+  // the request id from the worker's installed context, and the three
+  // submissions got three distinct request ids.
+  EXPECT_TRUE(open_spans.empty()) << open_spans.size() << " unclosed spans";
+  EXPECT_EQ(census["span_begin"], census["span_end"]);
+  EXPECT_GT(census["span_begin"], 0);
+  EXPECT_GT(solver_events, 0);
+  EXPECT_EQ(solver_events_without_req, 0);
+  EXPECT_EQ(reqs.size(), 3u);
 }
 
 }  // namespace

@@ -1,15 +1,21 @@
 // Standalone JSONL trace validator, used by the `smoke_allocate_trace`
-// ctest target (and handy manually: `trace_schema_check run.jsonl`).
-// Checks that every line is a JSON object carrying the standard fields
-// and that the per-type required fields are present; prints a per-type
-// event census on success.
+// and `svc_smoke` ctest targets (and handy manually:
+// `trace_schema_check run.jsonl`). Checks that every line is a JSON
+// object carrying the standard fields, that the per-type required fields
+// are present, that every span_end matches a span_begin with the same
+// req+span, and — in service traces — that every solver-side event
+// carries a "req" correlation field; prints a per-type event census on
+// success.
 //
 // Exit status: 0 = valid, 1 = schema violation, 2 = usage/IO error.
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -36,9 +42,35 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
       {"cache_hit", {"id"}},
       {"deadline_expired", {"id"}},
       {"request_done", {"id", "state", "proven_optimal", "seconds"}},
+      // Request correlation (see src/obs/trace.hpp).
+      {"span_begin", {"name", "span", "parent"}},
+      {"span_end", {"name", "span", "parent", "seconds"}},
+      {"metrics_snapshot", {"metrics"}},
+      {"service_stop", {"drain"}},
   };
   return kSchema;
 }
+
+/// Solver/optimizer-side event types: inside a service run every one of
+/// them is emitted on behalf of some request and must carry "req".
+bool solver_side(const std::string& type) {
+  static const std::set<std::string> kTypes = {
+      "solve",          "interval",       "optimum",       "solver_restart",
+      "solver_gc",      "bound_sync",     "portfolio_start",
+      "portfolio_finish", "portfolio_cancel", "portfolio_win"};
+  return kTypes.count(type) > 0;
+}
+
+/// Cross-line state threaded through the whole trace.
+struct TraceState {
+  std::map<std::string, int> census;
+  /// (req, span) pairs with an open span_begin (span ids are process-
+  /// unique, so a pair can only be opened once).
+  std::set<std::pair<std::uint64_t, std::uint64_t>> open_spans;
+  int span_errors = 0;
+  int solver_events_without_req = 0;
+  int first_unattributed_line = 0;
+};
 
 bool fail(int line, const std::string& why) {
   std::fprintf(stderr, "trace_schema_check: line %d: %s\n", line,
@@ -46,8 +78,7 @@ bool fail(int line, const std::string& why) {
   return false;
 }
 
-bool check_line(int line_no, const std::string& line,
-                std::map<std::string, int>& census) {
+bool check_line(int line_no, const std::string& line, TraceState& state) {
   const auto parsed = optalloc::obs::json_parse(line);
   if (!parsed) return fail(line_no, "not valid JSON");
   if (!parsed->is_object()) return fail(line_no, "not a JSON object");
@@ -67,7 +98,32 @@ bool check_line(int line_no, const std::string& line,
       }
     }
   }
-  ++census[*type];
+  ++state.census[*type];
+
+  const std::uint64_t req =
+      static_cast<std::uint64_t>(parsed->get_number("req").value_or(0.0));
+  if (*type == "span_begin" || *type == "span_end") {
+    const auto key = std::make_pair(
+        req,
+        static_cast<std::uint64_t>(parsed->get_number("span").value_or(0.0)));
+    if (*type == "span_begin") {
+      if (!state.open_spans.insert(key).second) {
+        ++state.span_errors;
+        return fail(line_no, "duplicate span_begin for span " +
+                                 std::to_string(key.second));
+      }
+    } else if (state.open_spans.erase(key) == 0) {
+      ++state.span_errors;
+      return fail(line_no,
+                  "span_end without a matching span_begin (req " +
+                      std::to_string(key.first) + ", span " +
+                      std::to_string(key.second) + ")");
+    }
+  }
+  if (req == 0 && solver_side(*type) &&
+      state.solver_events_without_req++ == 0) {
+    state.first_unattributed_line = line_no;
+  }
   return true;
 }
 
@@ -83,14 +139,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace_schema_check: cannot open %s\n", argv[1]);
     return 2;
   }
-  std::map<std::string, int> census;
+  TraceState state;
+  std::map<std::string, int>& census = state.census;
   std::string line;
   int line_no = 0;
   bool ok = true;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    ok = check_line(line_no, line, census) && ok;
+    ok = check_line(line_no, line, state) && ok;
   }
   if (line_no == 0) {
     std::fprintf(stderr, "trace_schema_check: %s is empty\n", argv[1]);
@@ -99,6 +156,7 @@ int main(int argc, char** argv) {
   for (const auto& [type, count] : census) {
     std::printf("%-16s %d\n", type.c_str(), count);
   }
+  if (state.span_errors > 0) ok = false;
   // Service traces interleave many optimizer runs (and may contain none
   // at all when every request was a cache hit), so the single-run census
   // invariants below don't apply. Their own invariant: every request that
@@ -122,6 +180,22 @@ int main(int argc, char** argv) {
     if (census["cache_hit"] > census["request_received"]) {
       std::fprintf(stderr,
                    "trace_schema_check: more \"cache_hit\" than requests\n");
+      ok = false;
+    }
+    // A drained service trace must have closed every span it opened, and
+    // every solver-side event must have been attributed to a request.
+    if (!state.open_spans.empty()) {
+      std::fprintf(stderr,
+                   "trace_schema_check: %zu span_begin without span_end\n",
+                   state.open_spans.size());
+      ok = false;
+    }
+    if (state.solver_events_without_req > 0) {
+      std::fprintf(stderr,
+                   "trace_schema_check: %d solver events without \"req\" in "
+                   "a service trace (first at line %d)\n",
+                   state.solver_events_without_req,
+                   state.first_unattributed_line);
       ok = false;
     }
     return ok ? 0 : 1;

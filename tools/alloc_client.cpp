@@ -6,9 +6,13 @@
 //   alloc_client --socket PATH result ID        # blocks until terminal
 //   alloc_client --socket PATH cancel ID
 //   alloc_client --socket PATH stats
+//   alloc_client --socket PATH metrics [--prom]
 //   alloc_client --socket PATH shutdown [--no-drain]
 //
-// FILE may be "-" for stdin. The raw JSON response is printed on stdout.
+// FILE may be "-" for stdin. The raw JSON response is printed on stdout;
+// "metrics --prom" instead renders the server's registry snapshot in
+// Prometheus text exposition format (histograms as cumulative buckets
+// plus p50/p95/p99 gauges).
 // Exit codes: 0 success; 1 protocol / connection error or "ok":false;
 // 2 usage; 4 terminal answer that is feasible but not proven optimal
 // (the anytime deadline answer).
@@ -20,6 +24,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "svc/client.hpp"
 
 namespace {
@@ -30,6 +35,7 @@ int usage() {
       << "  submit FILE [OBJECTIVE] [--deadline MS] [--conflicts N]\n"
       << "         [--threads N] [--wait]\n"
       << "  status ID | result ID | cancel ID | stats\n"
+      << "  metrics [--prom]\n"
       << "  shutdown [--no-drain]\n";
   return 2;
 }
@@ -81,6 +87,7 @@ int main(int argc, char** argv) {
   const char* verb_arg = next();
   if (verb_arg == nullptr) return usage();
   const std::string verb = verb_arg;
+  bool prom = false;
 
   optalloc::obs::JsonObject request;
   if (verb == "submit") {
@@ -143,6 +150,15 @@ int main(int argc, char** argv) {
     request.str("verb", verb).str("id", id);
   } else if (verb == "stats") {
     request.str("verb", "stats");
+  } else if (verb == "metrics") {
+    request.str("verb", "metrics");
+    if (const char* a = next()) {
+      if (std::string(a) == "--prom") {
+        prom = true;
+      } else {
+        return usage();
+      }
+    }
   } else if (verb == "shutdown") {
     bool drain = true;
     if (const char* a = next()) {
@@ -170,6 +186,18 @@ int main(int argc, char** argv) {
       !optalloc::svc::recv_line(fd, buffer, response)) {
     std::cerr << "alloc_client: connection lost\n";
     return 1;
+  }
+  if (prom) {
+    const auto doc = optalloc::obs::json_parse(response);
+    const optalloc::obs::JsonValue* m =
+        doc && doc->is_object() ? doc->get("metrics") : nullptr;
+    if (m == nullptr) {
+      std::cerr << "alloc_client: malformed metrics response\n";
+      return 1;
+    }
+    std::cout << optalloc::obs::prometheus_from_snapshot(
+        optalloc::obs::metrics_from_json(*m));
+    return 0;
   }
   std::cout << response << "\n";
   return classify(response);

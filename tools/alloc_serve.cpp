@@ -4,16 +4,23 @@
 //
 //   alloc_serve --socket /tmp/alloc.sock [--workers 2] [--queue 64]
 //               [--cache 256] [--anneal 2000] [--trace FILE] [--stats]
+//               [--metrics-interval S]
 //   alloc_serve --tcp 7421 ...
 //
 // SIGTERM / SIGINT trigger a graceful drain: no new requests are
-// accepted, every queued job still gets its answer, then the process
-// exits 0. --stats prints the service counters on exit.
+// accepted, every queued job still gets its answer, the trace sink is
+// flushed and closed, then the process exits 0. --stats prints the
+// service counters on exit. --metrics-interval S emits a
+// "metrics_snapshot" trace event (full registry, flat form) every S
+// seconds while tracing is on.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -31,7 +38,8 @@ int usage() {
   std::cerr
       << "usage: alloc_serve (--socket PATH | --tcp PORT)\n"
       << "                   [--workers N] [--queue N] [--cache N]\n"
-      << "                   [--anneal ITERS] [--trace FILE] [--stats]\n";
+      << "                   [--anneal ITERS] [--trace FILE] [--stats]\n"
+      << "                   [--metrics-interval S]\n";
   return 2;
 }
 
@@ -42,6 +50,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1;
   bool print_stats = false;
   std::string trace_path;
+  double metrics_interval_s = 0.0;
   optalloc::svc::ServerOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -78,6 +87,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       trace_path = v;
+    } else if (arg == "--metrics-interval") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      metrics_interval_s = std::atof(v);
     } else if (arg == "--stats") {
       print_stats = true;
     } else {
@@ -96,6 +109,7 @@ int main(int argc, char** argv) {
   if (!socket_path.empty()) {
     if (!server.listen_unix(socket_path)) {
       std::cerr << "alloc_serve: cannot listen on " << socket_path << "\n";
+      optalloc::obs::trace_close();
       return 1;
     }
     std::cout << "listening on unix socket " << socket_path << std::endl;
@@ -103,6 +117,7 @@ int main(int argc, char** argv) {
     if (!server.listen_tcp(tcp_port)) {
       std::cerr << "alloc_serve: cannot listen on tcp port " << tcp_port
                 << "\n";
+      optalloc::obs::trace_close();
       return 1;
     }
     std::cout << "listening on tcp 127.0.0.1:" << server.tcp_port()
@@ -113,13 +128,44 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGINT, handle_signal);
 
+  // Periodic registry snapshots into the trace, so a long run's JSONL is
+  // also a coarse time series of every counter/histogram.
+  std::thread snapshotter;
+  std::atomic<bool> snapshot_stop{false};
+  if (metrics_interval_s > 0.0) {
+    snapshotter = std::thread([&] {
+      const auto interval = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(metrics_interval_s));
+      auto wake = std::chrono::steady_clock::now() + interval;
+      while (!snapshot_stop.load(std::memory_order_relaxed)) {
+        if (std::chrono::steady_clock::now() < wake) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          continue;
+        }
+        wake += interval;
+        if (optalloc::obs::trace_enabled()) {
+          optalloc::obs::TraceEvent("metrics_snapshot")
+              .raw("metrics", optalloc::obs::metrics_json());
+        }
+      }
+    });
+  }
+
   server.run();
 
+  if (snapshotter.joinable()) {
+    snapshot_stop.store(true, std::memory_order_relaxed);
+    snapshotter.join();
+  }
   if (print_stats) {
     const auto stats = server.scheduler().stats();
     std::cout << optalloc::svc::stats_line(stats) << "\n";
     std::cout << optalloc::obs::render_metrics();
   }
+  // The sink is process-global and deliberately leaked; without this
+  // explicit flush+close the tail of the trace (the drain's last events)
+  // would be lost in the ofstream buffer.
   optalloc::obs::trace_close();
   return 0;
 }
