@@ -2,14 +2,29 @@
 // throughput on classic instances, native PB propagation, bit-blasting
 // cost per arithmetic operator, response-time fixed points, path-closure
 // construction, and end-to-end encoding of small allocation problems.
+//
+// After the google-benchmark run, a hardware-profile pass times the three
+// pipeline phases (encode / solve / certify) on a Tindell prefix with the
+// perf_event_open counter group (see src/obs/perfctr.hpp) and writes
+// BENCH_micro.json — per phase: wall seconds plus cycles, instructions,
+// cache references/misses and branch misses, rendered as JSON nulls on
+// hosts where the counters are unavailable (containers, non-Linux,
+// OPTALLOC_NO_PERFCTR=1).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
 
 #include "alloc/encoder.hpp"
 #include "encode/bitblast.hpp"
 #include "net/paths.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfctr.hpp"
 #include "pb/propagator.hpp"
 #include "rt/analysis.hpp"
+#include "rt/verify.hpp"
 #include "sat/solver.hpp"
 #include "util/rng.hpp"
 #include "workload/tindell.hpp"
@@ -159,6 +174,74 @@ void BM_VerifyTindell(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifyTindell);
 
+/// Per-phase hardware profile: encode (build the constraint system),
+/// solve (one SOLVE call), certify (independent RT re-validation of the
+/// model). Each phase row carries wall seconds + the counter deltas.
+void write_perf_profile() {
+  const alloc::Problem p = workload::tindell_prefix(12);
+  obs::JsonArray phases;
+
+  const auto phase_row = [&phases](const char* name, double seconds,
+                                   const obs::PerfCounts& d) {
+    phases.push(obs::JsonObject()
+                    .str("phase", name)
+                    .num("seconds", seconds)
+                    .raw("counters", obs::perf_json(d))
+                    .build());
+  };
+
+  alloc::AllocEncoder enc(p, alloc::Objective::sum_trt());
+  {
+    const auto t0 = obs::monotonic_ns();
+    const obs::PerfCounts c0 = obs::perf_read();
+    enc.build();
+    phase_row("encode", (obs::monotonic_ns() - t0) * 1e-9,
+              obs::perf_delta(obs::perf_read(), c0));
+  }
+  rt::Allocation model;
+  {
+    const auto t0 = obs::monotonic_ns();
+    const obs::PerfCounts c0 = obs::perf_read();
+    const sat::LBool res = enc.solve({}, {});
+    phase_row("solve", (obs::monotonic_ns() - t0) * 1e-9,
+              obs::perf_delta(obs::perf_read(), c0));
+    if (res != sat::LBool::kTrue) {
+      std::fprintf(stderr, "warning: profile instance not SAT\n");
+      return;
+    }
+    model = enc.decode();
+  }
+  {
+    const auto t0 = obs::monotonic_ns();
+    const obs::PerfCounts c0 = obs::perf_read();
+    const bool ok = rt::verify(p.tasks, p.arch, model).feasible;
+    phase_row("certify", (obs::monotonic_ns() - t0) * 1e-9,
+              obs::perf_delta(obs::perf_read(), c0));
+    if (!ok) std::fprintf(stderr, "warning: profile model not verified\n");
+  }
+
+  const char* path = "BENCH_micro.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  out << obs::JsonObject()
+             .str("bench", "micro")
+             .boolean("perf_available", obs::perf_available())
+             .raw("phases", phases.build())
+             .build()
+      << '\n';
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  write_perf_profile();
+  return 0;
+}

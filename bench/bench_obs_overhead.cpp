@@ -1,15 +1,21 @@
 // Observability overhead bench: the same optimization workload under the
-// four telemetry configurations —
-//   off        tracing off, histograms off (the hot-path baseline: every
-//              producer site pays one relaxed atomic load)
+// telemetry configurations —
+//   off        tracing off, histograms off, flight recorder off (the
+//              hot-path baseline: every producer site pays one relaxed
+//              atomic load)
+//   flight     flight recorder on, everything else off — the production
+//              default (the recorder is always-on); the gate below keys
+//              on this config
 //   hist       tracing off, histograms on (bucket index + two relaxed
 //              atomic adds per observation)
 //   trace      tracing on (to a file), histograms off
-//   trace+hist everything on
+//   all        everything on (trace + histograms + flight)
 // — and writes BENCH_obs_overhead.json with per-config wall times and
-// the overhead ratio of each config against "off". The acceptance gate:
+// the overhead ratio of each config against "off". Two acceptance gates:
 // tracing-off overhead must stay within noise (a few percent) of the
-// untelemetered baseline, because production services run that way.
+// untelemetered baseline, because production services run that way; and
+// the flight recorder (on, trace off) must cost <= 5% — it is the
+// always-on post-mortem path and may not tax the solver.
 //
 // Environment knobs:
 //   OPTALLOC_OBS_BENCH_REPEATS  optimize() runs per config (default 5)
@@ -21,6 +27,7 @@
 #include <vector>
 
 #include "alloc/optimizer.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -42,12 +49,14 @@ struct Config {
   const char* name;
   bool trace;
   bool histograms;
+  bool flight;
 };
 
 /// One timed pass: `reps` full optimize() runs over the same instance.
 double run_config(const alloc::Problem& problem, const Config& cfg,
                   int reps, const std::string& trace_path) {
   obs::set_histograms(cfg.histograms);
+  obs::set_flight(cfg.flight);
   if (cfg.trace) {
     if (!obs::trace_open(trace_path)) {
       std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
@@ -68,6 +77,7 @@ double run_config(const alloc::Problem& problem, const Config& cfg,
   const double secs = sw.seconds();
   if (cfg.trace) obs::trace_close();
   obs::set_histograms(true);
+  obs::set_flight(true);
   return secs;
 }
 
@@ -81,10 +91,11 @@ int main() {
   const int reps = repeats();
 
   const Config configs[] = {
-      {"off", false, false},
-      {"hist", false, true},
-      {"trace", true, false},
-      {"trace+hist", true, true},
+      {"off", false, false, false},
+      {"flight", false, false, true},
+      {"hist", false, true, false},
+      {"trace", true, false, false},
+      {"all", true, true, true},
   };
 
   std::printf("observability overhead: %d optimize() runs per config\n",
@@ -97,21 +108,28 @@ int main() {
 
   obs::JsonArray rows;
   double baseline = 0.0;
+  double flight_ratio = 1.0;
   for (const Config& cfg : configs) {
     const double secs =
         run_config(problem, cfg, reps, "BENCH_obs_overhead_trace.jsonl");
     if (baseline == 0.0) baseline = secs;
     const double ratio = baseline > 0.0 ? secs / baseline : 1.0;
+    if (std::string(cfg.name) == "flight") flight_ratio = ratio;
     std::printf("%-12s %10.3f %9.3fx\n", cfg.name, secs, ratio);
     rows.push(obs::JsonObject()
                   .str("config", cfg.name)
                   .boolean("trace", cfg.trace)
                   .boolean("histograms", cfg.histograms)
+                  .boolean("flight", cfg.flight)
                   .num("seconds", secs)
                   .num("seconds_per_run", secs / reps)
                   .num("overhead_ratio", ratio)
                   .build());
   }
+  // The flight recorder is always-on in production; its budget is 5%.
+  const bool flight_ok = flight_ratio <= 1.05;
+  std::printf("flight-recorder overhead: %.1f%% (budget 5%%) -> %s\n",
+              (flight_ratio - 1.0) * 100.0, flight_ok ? "OK" : "OVER");
 
   const std::string path = "BENCH_obs_overhead.json";
   std::ofstream out(path, std::ios::trunc);
@@ -124,6 +142,8 @@ int main() {
              .num("repeats", static_cast<std::int64_t>(reps))
              .num("tasks", static_cast<std::int64_t>(gen.num_tasks))
              .num("ecus", static_cast<std::int64_t>(gen.num_ecus))
+             .num("flight_overhead_ratio", flight_ratio)
+             .boolean("flight_overhead_ok", flight_ok)
              .raw("configs", rows.build())
              .build()
       << '\n';

@@ -7,6 +7,7 @@
 #include "alloc/cost.hpp"
 #include "check/drat.hpp"
 #include "check/model.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/sharing.hpp"
@@ -141,9 +142,20 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     return b;
   };
 
+  // CDCL conflicts consumed across all SOLVE calls so far (the per-call
+  // solver stats are only absorbed into result.stats at the end).
+  std::uint64_t conflicts_seen = 0;
+
   // Anytime progress: invoked after the initial solution and after every
-  // interval-narrowing SOLVE; mirrored as an "interval" trace event.
+  // interval-narrowing SOLVE; mirrored as an "interval" trace event and
+  // a flight-recorder note (so a post-mortem shows the proven interval).
   auto report_progress = [&](std::int64_t lower, std::int64_t upper) {
+    if (obs::flight_enabled()) {
+      obs::FlightNote("interval")
+          .num("lower", lower)
+          .num("upper", upper)
+          .num("sat_calls", result.stats.sat_calls);
+    }
     if (obs::trace_enabled()) {
       obs::TraceEvent e("interval");
       e.num("lower", lower).num("upper", upper);
@@ -158,6 +170,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
       p.has_incumbent = result.has_allocation;
       p.incumbent_cost = result.has_allocation ? result.cost : -1;
       p.sat_calls = result.stats.sat_calls;
+      p.conflicts = conflicts_seen;
       options.on_progress(p);
     }
   };
@@ -338,9 +351,11 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     Stopwatch sw;
     const sat::LBool verdict = enc.solve(lo, hi, call_budget());
     const double secs = sw.seconds();
+    const std::uint64_t call_conflicts =
+        enc.solver().stats().conflicts - conflicts_before;
+    conflicts_seen += call_conflicts;
     obs::observe(solve_conflicts_hist(),
-                 static_cast<double>(enc.solver().stats().conflicts -
-                                     conflicts_before));
+                 static_cast<double>(call_conflicts));
     result.stats.solve_seconds += secs;
     if (verdict == sat::LBool::kTrue) {
       ++result.stats.sat_calls_sat;
@@ -354,13 +369,24 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
         unsat_steps.push_back(log->last_step());
       }
     }
+    if (obs::flight_enabled()) {
+      // Numeric result code (flight records carry numbers only):
+      // 1 = SAT, 0 = UNSAT, -1 = budget exhausted.
+      obs::FlightNote("solve")
+          .num("call", result.stats.sat_calls)
+          .num("result", verdict == sat::LBool::kTrue    ? 1
+                         : verdict == sat::LBool::kFalse ? 0
+                                                         : -1)
+          .num("conflicts", call_conflicts)
+          .num("seconds", secs);
+    }
     if (obs::trace_enabled()) {
       obs::TraceEvent e("solve");
       e.num("call", result.stats.sat_calls);
       if (lo) e.num("lo", *lo);
       if (hi) e.num("hi", *hi);
       e.str("result", verdict_name(verdict))
-          .num("conflicts", enc.solver().stats().conflicts - conflicts_before)
+          .num("conflicts", call_conflicts)
           .num("seconds", secs);
     }
     return verdict;

@@ -48,6 +48,7 @@ struct Progress {
   std::int64_t incumbent_cost = -1;  ///< best feasible cost; -1 before one
   bool has_incumbent = false;
   int sat_calls = 0;               ///< SOLVE calls issued so far
+  std::uint64_t conflicts = 0;     ///< CDCL conflicts spent so far
 };
 
 /// Per-worker CDCL diversification knobs, applied to every solver the

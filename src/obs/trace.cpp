@@ -62,6 +62,7 @@ Span::Span(std::string_view name) {
   ctx.parent = prev_.span;
   t_context = ctx;
   start_ns_ = monotonic_ns();
+  perf_start_ = perf_read();
   TraceEvent("span_begin", ctx)
       .str("name", name_)
       .num("parent", ctx.parent);
@@ -70,6 +71,18 @@ Span::Span(std::string_view name) {
 Span::~Span() {
   if (!active_) return;
   const SpanContext ctx = t_context;
+  if (perf_start_.available) {
+    const PerfCounts d = perf_delta(perf_read(), perf_start_);
+    // Absent siblings emit -1 (trace events have no null); consumers
+    // treat negative counters as unavailable.
+    TraceEvent("perf_counters", ctx)
+        .str("name", name_)
+        .num("cycles", d.cycles)
+        .num("instructions", d.instructions)
+        .num("cache_references", d.cache_references)
+        .num("cache_misses", d.cache_misses)
+        .num("branch_misses", d.branch_misses);
+  }
   TraceEvent("span_end", ctx)
       .str("name", name_)
       .num("parent", ctx.parent)
@@ -124,6 +137,12 @@ void trace_to_stream(std::ostream* os) {
   s.out = os;
   s.epoch_ns.store(monotonic_ns(), std::memory_order_relaxed);
   detail::g_trace_on.store(os != nullptr, std::memory_order_relaxed);
+}
+
+void trace_flush() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.out != nullptr) s.out->flush();
 }
 
 void trace_close() {

@@ -30,6 +30,7 @@
 #include <string_view>
 
 #include "obs/json.hpp"
+#include "obs/perfctr.hpp"
 
 namespace optalloc::obs {
 
@@ -49,6 +50,11 @@ bool trace_open(const std::string& path);
 /// Route events to an external stream (tests). The stream must outlive
 /// tracing; pass nullptr to detach and disable.
 void trace_to_stream(std::ostream* os);
+
+/// Flush the sink without closing it. Used on post-mortem paths (flight
+/// dumps, deadline expiries) so the tail of the trace is on disk even if
+/// the process dies before the orderly trace_close(). Safe when closed.
+void trace_flush();
 
 /// Flush, close the sink and disable tracing. Safe to call when closed.
 void trace_close();
@@ -93,7 +99,10 @@ class ContextScope {
 /// RAII traced phase: emits "span_begin" on construction and "span_end"
 /// (with wall "seconds") on destruction, nesting under the thread's
 /// current context — events emitted inside the scope carry this span's
-/// id. No-op (and no id allocated) when tracing is off at construction.
+/// id. When hardware perf counters are available (see obs/perfctr.hpp)
+/// the destructor additionally emits a "perf_counters" event with the
+/// phase's cycle/instruction/cache-miss deltas. No-op (and no id
+/// allocated) when tracing is off at construction.
 class Span {
  public:
   explicit Span(std::string_view name);
@@ -106,6 +115,7 @@ class Span {
   SpanContext prev_;
   std::uint64_t start_ns_ = 0;
   bool active_ = false;
+  PerfCounts perf_start_;  ///< thread counters at entry (when available)
 };
 
 /// Cross-thread span halves: begin on one thread (returns the span id

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sat/proof.hpp"
@@ -675,6 +676,13 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
       } else {
         analyze(confl, learnt_clause, backtrack_level, lbd);
       }
+      lbd_window_sum_ += lbd;
+      ++lbd_window_count_;
+      if (sample_interval > 0 &&
+          stats_.conflicts % static_cast<std::uint64_t>(sample_interval) ==
+              0) {
+        emit_search_sample(/*final_sample=*/false);
+      }
       if (arena_.deref(confl).theory()) arena_.free_clause(confl);
       cancel_until(backtrack_level);
 
@@ -762,11 +770,79 @@ LBool Solver::search(std::int64_t conflicts_before_restart) {
   }
 }
 
+void Solver::emit_search_sample(bool final_sample) {
+  const std::uint64_t now = obs::monotonic_ns();
+  const double dt = now > sample_last_ns_
+                        ? static_cast<double>(now - sample_last_ns_) * 1e-9
+                        : 0.0;
+  const std::uint64_t dprops = stats_.propagations - sample_last_props_;
+  const std::uint64_t dconf = stats_.conflicts - sample_last_conflicts_;
+  const double props_per_sec =
+      dt > 0.0 ? static_cast<double>(dprops) / dt : 0.0;
+  const double conflicts_per_sec =
+      dt > 0.0 ? static_cast<double>(dconf) / dt : 0.0;
+  const double lbd_mean =
+      lbd_window_count_ > 0
+          ? static_cast<double>(lbd_window_sum_) /
+                static_cast<double>(lbd_window_count_)
+          : 0.0;
+  const std::int64_t trail = static_cast<std::int64_t>(trail_.size());
+  const std::int64_t learnts = num_learnts();
+
+  if (obs::flight_enabled()) {
+    obs::FlightNote("search_sample")
+        .num("conflicts", stats_.conflicts)
+        .num("restarts", stats_.restarts)
+        .num("trail", trail)
+        .num("learnts", learnts)
+        .num("props_per_sec", props_per_sec)
+        .num("conflicts_per_sec", conflicts_per_sec)
+        .num("lbd_mean", lbd_mean);
+  }
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("search_sample")
+        .num("conflicts", stats_.conflicts)
+        .num("propagations", stats_.propagations)
+        .num("decisions", stats_.decisions)
+        .num("restarts", stats_.restarts)
+        .num("trail", trail)
+        .num("learnts", learnts)
+        .num("props_per_sec", props_per_sec)
+        .num("conflicts_per_sec", conflicts_per_sec)
+        .num("lbd_mean", lbd_mean)
+        .boolean("final", final_sample);
+  }
+  // Live gauges behind the service's `metrics` verb: last-writer-wins
+  // across concurrent solvers, which is the intended "what is the search
+  // doing right now" semantics.
+  static const obs::Metric g_samples = obs::counter("sat.search_samples");
+  static const obs::Metric g_trail = obs::gauge("sat.live.trail_depth");
+  static const obs::Metric g_learnts = obs::gauge("sat.live.learnt_db");
+  static const obs::Metric g_pps = obs::gauge("sat.live.props_per_sec");
+  static const obs::Metric g_lbd = obs::gauge("sat.live.lbd_mean_x1000");
+  obs::add(g_samples);
+  obs::set(g_trail, trail);
+  obs::set(g_learnts, learnts);
+  obs::set(g_pps, static_cast<std::int64_t>(props_per_sec));
+  obs::set(g_lbd, static_cast<std::int64_t>(lbd_mean * 1000.0));
+
+  sample_last_ns_ = now;
+  sample_last_props_ = stats_.propagations;
+  sample_last_conflicts_ = stats_.conflicts;
+  lbd_window_sum_ = 0;
+  lbd_window_count_ = 0;
+}
+
 LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
   model_.clear();
   conflict_core_.clear();
   if (!ok_) return LBool::kFalse;
   const SolverStats stats_before = stats_;
+  sample_last_ns_ = obs::monotonic_ns();
+  sample_last_props_ = stats_.propagations;
+  sample_last_conflicts_ = stats_.conflicts;
+  lbd_window_sum_ = 0;
+  lbd_window_count_ = 0;
 
   assumptions_.assign(assumptions.begin(), assumptions.end());
   conflict_budget_ =
@@ -796,6 +872,12 @@ LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
     if (status == LBool::kUndef && budget_exhausted()) break;
   }
 
+  // Final trajectory sample (pre-backtrack, so the trail depth is the
+  // search's, not the reset state's): an interrupted solve always leaves
+  // its last search_sample in the flight ring for the post-mortem.
+  if (sample_interval > 0 && stats_.conflicts > sample_last_conflicts_) {
+    emit_search_sample(/*final_sample=*/true);
+  }
   if (status == LBool::kTrue) {
     model_ = assigns_;
   }

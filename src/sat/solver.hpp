@@ -240,6 +240,15 @@ class Solver {
   /// Run the invariant auditor every N conflicts during search (0 = off);
   /// throws std::logic_error on the first violation. Debug/test facility.
   std::int64_t audit_period = 0;
+  /// Conflicts between "search_sample" trajectory events (0 = off). Each
+  /// sample carries propagation/conflict rates, trail depth, learnt-DB
+  /// size and the window's mean learnt LBD; samples go to the flight
+  /// recorder always, to the trace sink when tracing is on, and to the
+  /// sat.live.* gauges. A final sample is emitted when a solve() call
+  /// ends with conflicts outstanding since the last one — so an
+  /// interrupted (deadline-missed) search always leaves its last sample
+  /// in the flight ring.
+  std::int64_t sample_interval = 2048;
   /// Test-only fault injection: corrupt the Nth learnt clause (1-based) by
   /// dropping its last literal, in both the clause DB and the proof log.
   /// A sound checker must then reject the proof. 0 = off.
@@ -288,6 +297,7 @@ class Solver {
 
   std::uint32_t compute_lbd(std::span<const Lit> lits);
   bool budget_exhausted() const;
+  void emit_search_sample(bool final_sample);
 
   // Clause exchange.
   void maybe_export(std::span<const Lit> lits, std::uint32_t lbd);
@@ -361,6 +371,13 @@ class Solver {
   std::int64_t conflict_budget_ = -1;
   double deadline_ = 0.0;  // steady-clock seconds; 0 = none
   const std::atomic<bool>* stop_ = nullptr;
+
+  // Search-trajectory sampling window (see sample_interval).
+  std::uint64_t sample_last_ns_ = 0;
+  std::uint64_t sample_last_props_ = 0;
+  std::uint64_t sample_last_conflicts_ = 0;
+  std::uint64_t lbd_window_sum_ = 0;
+  std::uint64_t lbd_window_count_ = 0;
 };
 
 }  // namespace optalloc::sat

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -18,24 +19,27 @@ bool get_bool(const obs::JsonValue& v, std::string_view key, bool dflt) {
 }  // namespace
 
 std::optional<Request> parse_request(const std::string& line,
-                                     std::string* error) {
+                                     std::string* error,
+                                     std::string* code) {
+  const auto fail = [&](const std::string& m, const char* c) {
+    if (error != nullptr) *error = m;
+    if (code != nullptr) *code = c;
+    return std::nullopt;
+  };
   const auto doc = obs::json_parse(line);
   if (!doc || !doc->is_object()) {
-    if (error != nullptr) *error = "malformed JSON request";
-    return std::nullopt;
+    return fail("malformed JSON request", "bad_json");
   }
   const auto verb = doc->get_string("verb");
   if (!verb) {
-    if (error != nullptr) *error = "missing \"verb\"";
-    return std::nullopt;
+    return fail("missing \"verb\"", "bad_request");
   }
   Request req;
   if (*verb == "submit") {
     req.verb = Request::Verb::kSubmit;
     const auto problem = doc->get_string("problem");
     if (!problem || problem->empty()) {
-      if (error != nullptr) *error = "submit requires a \"problem\" string";
-      return std::nullopt;
+      return fail("submit requires a \"problem\" string", "bad_request");
     }
     req.problem_text = *problem;
     if (const auto obj = doc->get_string("objective")) req.objective = *obj;
@@ -51,16 +55,22 @@ std::optional<Request> parse_request(const std::string& line,
     req.wait = get_bool(*doc, "wait", false);
     return req;
   }
-  if (*verb == "status" || *verb == "cancel" || *verb == "result") {
+  if (*verb == "status" || *verb == "cancel" || *verb == "result" ||
+      *verb == "inspect") {
     req.verb = *verb == "status"   ? Request::Verb::kStatus
                : *verb == "cancel" ? Request::Verb::kCancel
-                                   : Request::Verb::kResult;
+               : *verb == "result" ? Request::Verb::kResult
+                                   : Request::Verb::kInspect;
     const auto id = doc->get_string("id");
     if (!id || id->empty()) {
-      if (error != nullptr) *error = *verb + " requires an \"id\"";
-      return std::nullopt;
+      return fail(*verb + " requires an \"id\"", "bad_request");
     }
     req.id = *id;
+    return req;
+  }
+  if (*verb == "dump") {
+    req.verb = Request::Verb::kDump;
+    if (const auto id = doc->get_string("id")) req.id = *id;
     return req;
   }
   if (*verb == "stats") {
@@ -76,12 +86,15 @@ std::optional<Request> parse_request(const std::string& line,
     req.drain = get_bool(*doc, "drain", true);
     return req;
   }
-  if (error != nullptr) *error = "unknown verb \"" + *verb + "\"";
-  return std::nullopt;
+  return fail("unknown verb \"" + *verb + "\"", "unknown_verb");
 }
 
-std::string error_line(const std::string& message) {
-  return obs::JsonObject().boolean("ok", false).str("error", message).build();
+std::string error_line(const std::string& message, const std::string& code) {
+  return obs::JsonObject()
+      .boolean("ok", false)
+      .str("error", message)
+      .str("code", code)
+      .build();
 }
 
 std::string submit_ack_line(const std::string& id) {
@@ -146,6 +159,40 @@ std::string metrics_line() {
   return obs::JsonObject()
       .boolean("ok", true)
       .raw("metrics", obs::metrics_full_json())
+      .build();
+}
+
+std::string inspect_line(const JobInspect& inspect) {
+  obs::JsonObject o;
+  o.boolean("ok", true)
+      .str("id", inspect.id)
+      .str("state", job_state_name(inspect.state))
+      .str("phase", job_phase_name(inspect.phase))
+      .num("elapsed_ms", inspect.elapsed_s * 1000.0)
+      .num("deadline_ms", inspect.deadline_s * 1000.0)
+      .num("lower", inspect.lower)
+      .num("upper", inspect.upper)
+      .num("sat_calls", inspect.sat_calls)
+      .num("conflicts", inspect.conflicts)
+      .num("req", static_cast<std::int64_t>(inspect.req));
+  if (inspect.state == JobState::kDone ||
+      inspect.state == JobState::kCancelled) {
+    o.str("status", inspect.answer.status)
+        .boolean("proven_optimal", inspect.answer.proven_optimal)
+        .boolean("deadline_expired", inspect.answer.deadline_expired)
+        .num("cost", inspect.answer.cost)
+        .num("lower_bound", inspect.answer.lower_bound);
+  }
+  return o.build();
+}
+
+std::string dump_line(std::uint64_t req) {
+  std::size_t count = 0;
+  const std::string events = obs::flight_dump_events(req, &count);
+  return obs::JsonObject()
+      .boolean("ok", true)
+      .num("count", static_cast<std::int64_t>(count))
+      .raw("events", events)
       .build();
 }
 

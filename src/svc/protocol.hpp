@@ -13,9 +13,22 @@
 //   {"verb":"metrics"}             -> full metrics registry snapshot
 //                                     (counters, gauges, timers, histogram
 //                                     quantiles + buckets) under "metrics"
+//   {"verb":"inspect","id":"r1"}   -> live mid-solve introspection: the
+//                                     current phase (queued/warm_start/
+//                                     solving/finished), elapsed time and
+//                                     the proven cost interval + SOLVE
+//                                     call/conflict counts so far
+//   {"verb":"dump"}                -> flight-recorder contents as an
+//                                     "events" array (add "id" to filter
+//                                     to one request's records)
 //   {"verb":"shutdown","drain":true} -> {"ok":true,...}; server exits
 //
-// Every response carries "ok"; failures look like {"ok":false,"error":m}.
+// Every response carries "ok"; failures look like
+// {"ok":false,"error":m,"code":c} where `code` is a stable machine-
+// readable discriminator ("bad_json", "bad_request", "unknown_verb",
+// "unknown_id", "bad_problem", "queue_full") — clients branch on it
+// without parsing prose. Unknown verbs in particular are answered (with
+// code "unknown_verb"), never silently dropped.
 // The problem text is the alloc::io file format embedded as one JSON
 // string (newlines escaped); the objective uses alloc::parse_objective
 // spec syntax. Anytime answers surface as state="done" with
@@ -36,10 +49,12 @@ struct Request {
     kResult,
     kStats,
     kMetrics,
+    kInspect,
+    kDump,
     kShutdown
   };
   Verb verb = Verb::kStats;
-  std::string id;            ///< status/cancel/result
+  std::string id;            ///< status/cancel/result/inspect; dump (opt.)
   std::string problem_text;  ///< submit: alloc::io problem format
   std::string objective = "sum-trt";
   double deadline_ms = 0.0;
@@ -49,14 +64,17 @@ struct Request {
   bool drain = true;         ///< shutdown: finish queued work first
 };
 
-/// Parse one request line. Returns nullopt and fills `error` on malformed
-/// JSON, an unknown verb, or missing required fields.
+/// Parse one request line. Returns nullopt and fills `error` (and, when
+/// given, the machine-readable `code`) on malformed JSON, an unknown
+/// verb, or missing required fields.
 std::optional<Request> parse_request(const std::string& line,
-                                     std::string* error);
+                                     std::string* error,
+                                     std::string* code = nullptr);
 
 // --- Response lines (no trailing newline). -----------------------------
 
-std::string error_line(const std::string& message);
+std::string error_line(const std::string& message,
+                       const std::string& code = "error");
 std::string submit_ack_line(const std::string& id);
 /// Snapshot of a job: always ok/id/state; terminal states add the full
 /// answer (status, proven_optimal, cost, lower_bound, cached,
@@ -66,6 +84,13 @@ std::string stats_line(const ServiceStats& stats);
 /// Full registry snapshot (obs::metrics_full_json) under "metrics" —
 /// enough for a remote client to render Prometheus text format.
 std::string metrics_line();
+/// Live per-request introspection (inspect verb): phase, elapsed wall
+/// time, proven cost interval, SOLVE calls and conflicts so far; terminal
+/// jobs additionally carry the answer's status fields.
+std::string inspect_line(const JobInspect& inspect);
+/// Flight-recorder dump (dump verb): {"ok":true,"count":N,"events":[..]},
+/// filtered to one request's records when `req` != 0.
+std::string dump_line(std::uint64_t req);
 std::string shutdown_ack_line(bool drain);
 
 }  // namespace optalloc::svc

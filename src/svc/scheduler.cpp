@@ -9,6 +9,7 @@
 #include "alloc/optimizer.hpp"
 #include "alloc/portfolio.hpp"
 #include "heur/annealing.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -62,6 +63,16 @@ const char* job_state_name(JobState s) {
   return "?";
 }
 
+const char* job_phase_name(JobPhase p) {
+  switch (p) {
+    case JobPhase::kQueued: return "queued";
+    case JobPhase::kWarmStart: return "warm_start";
+    case JobPhase::kSolving: return "solving";
+    case JobPhase::kFinished: return "finished";
+  }
+  return "?";
+}
+
 struct Scheduler::Job {
   std::string id;
   JobRequest request;
@@ -75,7 +86,37 @@ struct Scheduler::Job {
   /// every event of this request carries the same "req" field.
   obs::SpanContext ctx;
   std::uint64_t queue_span = 0;  ///< open queue_wait span (cross-thread)
+  // Live-introspection fields (the inspect verb): updated with relaxed
+  // stores from the worker's progress callback, read lock-free by any
+  // connection thread. Staleness is bounded by one SOLVE call.
+  std::atomic<int> phase{static_cast<int>(JobPhase::kQueued)};
+  std::atomic<std::int64_t> live_lower{0};
+  std::atomic<std::int64_t> live_upper{-1};   ///< -1 = no incumbent yet
+  std::atomic<std::int64_t> live_sat_calls{0};
+  std::atomic<std::int64_t> live_conflicts{0};
 };
+
+namespace {
+
+/// Post-mortem: embed the request's flight-recorder tail into the trace
+/// as one "flight_dump" event and push it to disk. Called on the paths
+/// where the in-flight story is about to be lost — deadline expiry,
+/// cancellation, a worker panic. The flush matters: these are exactly the
+/// moments a process may be killed before the orderly trace_close().
+void flight_postmortem(const std::string& id, std::uint64_t req,
+                       const char* reason) {
+  if (!obs::trace_enabled()) return;
+  std::size_t n = 0;
+  const std::string events = obs::flight_dump_events(req, &n);
+  obs::TraceEvent("flight_dump")
+      .str("id", id)
+      .str("reason", reason)
+      .num("count", static_cast<std::int64_t>(n))
+      .raw("events", events);
+  obs::trace_flush();
+}
+
+}  // namespace
 
 Scheduler::Scheduler(const SchedulerOptions& options)
     : options_(options),
@@ -189,6 +230,40 @@ std::optional<JobSnapshot> Scheduler::status(const std::string& id) const {
   return snap;
 }
 
+std::optional<JobInspect> Scheduler::inspect(const std::string& id) const {
+  std::shared_ptr<Job> job;
+  JobInspect out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    job = it->second;
+    out.state = job->state;
+    out.answer = job->answer;
+  }
+  out.id = job->id;
+  out.phase = static_cast<JobPhase>(job->phase.load(std::memory_order_relaxed));
+  const bool terminal =
+      out.state == JobState::kDone || out.state == JobState::kCancelled;
+  out.elapsed_s =
+      terminal ? out.answer.total_seconds : seconds_since(job->submitted);
+  out.deadline_s = job->request.deadline_s;
+  out.lower = job->live_lower.load(std::memory_order_relaxed);
+  out.upper = job->live_upper.load(std::memory_order_relaxed);
+  out.sat_calls = job->live_sat_calls.load(std::memory_order_relaxed);
+  out.conflicts = job->live_conflicts.load(std::memory_order_relaxed);
+  out.req = job->ctx.req;
+  return out;
+}
+
+std::optional<std::uint64_t> Scheduler::request_trace_id(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second->ctx.req;
+}
+
 bool Scheduler::cancel(const std::string& id) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = jobs_.find(id);
@@ -285,7 +360,32 @@ void Scheduler::worker_loop() {
       obs::set(metrics().queue_depth,
                static_cast<std::int64_t>(queue_.size()));
     }
-    execute(job);
+    // Panic guard: an exception escaping a solve (OOM in the encoder, a
+    // bug) must not take the worker thread — and with it 1/N of the
+    // service's capacity — down. The job is terminalized as an error and
+    // its flight tail preserved for the post-mortem.
+    try {
+      execute(job);
+    } catch (const std::exception& e) {
+      const obs::ContextScope ctx_scope(job->ctx);
+      if (obs::trace_enabled()) {
+        obs::TraceEvent("worker_panic")
+            .str("id", job->id)
+            .str("error", e.what());
+      }
+      flight_postmortem(job->id, job->ctx.req, "worker_panic");
+      bool terminal = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        terminal = job->state == JobState::kDone ||
+                   job->state == JobState::kCancelled;
+      }
+      if (!terminal) {
+        JobAnswer answer;
+        answer.status = "error";
+        finalize(job, JobState::kCancelled, std::move(answer));
+      }
+    }
   }
 }
 
@@ -317,12 +417,15 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
     if (obs::trace_enabled()) {
       obs::TraceEvent("deadline_expired").str("id", job->id);
     }
+    flight_postmortem(job->id, job->ctx.req, "deadline_expired");
     finalize(job, JobState::kDone, std::move(answer));
     return;
   }
 
   // Warm start: a short SA pass guarantees an incumbent for the anytime
   // answer (and bounds the exact search's first SOLVE).
+  job->phase.store(static_cast<int>(JobPhase::kWarmStart),
+                   std::memory_order_relaxed);
   heur::AnnealingResult sa;
   if (options_.anneal_iterations > 0) {
     heur::AnnealingOptions ao;
@@ -332,6 +435,20 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
 
   alloc::OptimizeOptions opts;
   opts.stop = &job->stop;
+  // Feed the inspect verb: every optimizer progress report lands in the
+  // job's relaxed atomics (portfolio workers share them; last writer
+  // wins, which is fine — the interval only tightens).
+  {
+    Job* j = job.get();
+    opts.on_progress = [j](const alloc::Progress& p) {
+      j->live_lower.store(p.lower, std::memory_order_relaxed);
+      j->live_upper.store(p.has_incumbent ? p.upper : -1,
+                          std::memory_order_relaxed);
+      j->live_sat_calls.store(p.sat_calls, std::memory_order_relaxed);
+      j->live_conflicts.store(static_cast<std::int64_t>(p.conflicts),
+                              std::memory_order_relaxed);
+    };
+  }
   if (deadline_set) {
     opts.time_limit_s = std::max(
         kMinSolveSeconds, job->request.deadline_s - seconds_since(job->submitted));
@@ -344,6 +461,8 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
     opts.warm_start = sa.allocation;
   }
 
+  job->phase.store(static_cast<int>(JobPhase::kSolving),
+                   std::memory_order_relaxed);
   const auto solve_start = Clock::now();
   alloc::OptimizeResult result;
   if (job->request.threads > 1) {
@@ -412,11 +531,15 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
         if (obs::trace_enabled()) {
           obs::TraceEvent("deadline_expired").str("id", job->id);
         }
+        flight_postmortem(job->id, job->ctx.req, "deadline_expired");
       }
       break;
     }
   }
 
+  if (cancelled) {
+    flight_postmortem(job->id, job->ctx.req, "cancelled");
+  }
   finalize(job, cancelled ? JobState::kCancelled : JobState::kDone,
            std::move(answer));
 }
@@ -425,6 +548,8 @@ void Scheduler::finalize(const std::shared_ptr<Job>& job, JobState state,
                          JobAnswer answer) {
   answer.total_seconds = seconds_since(job->submitted);
   const double total_ms = answer.total_seconds * 1000.0;
+  job->phase.store(static_cast<int>(JobPhase::kFinished),
+                   std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     job->answer = std::move(answer);

@@ -62,6 +62,13 @@ struct JobRequest {
 enum class JobState { kQueued, kRunning, kDone, kCancelled };
 const char* job_state_name(JobState s);
 
+/// Where inside its lifecycle a running job currently is: waiting in the
+/// queue, in the simulated-annealing warm start, inside the BIN_SEARCH
+/// loop, or terminal. Updated with relaxed atomics by the worker; readers
+/// (the inspect verb) see a recent-but-not-instantaneous view.
+enum class JobPhase { kQueued, kWarmStart, kSolving, kFinished };
+const char* job_phase_name(JobPhase p);
+
 /// The anytime answer. `proven_optimal` is true only for a finished
 /// search (status "optimal" — and "infeasible", which is also a proof).
 struct JobAnswer {
@@ -83,6 +90,25 @@ struct JobSnapshot {
   std::string id;
   JobState state = JobState::kQueued;
   JobAnswer answer;  ///< meaningful once state is kDone / kCancelled
+};
+
+/// Live mid-solve view of one request (the `inspect` verb): lifecycle
+/// phase, elapsed wall time, and the optimizer's proven cost interval +
+/// effort counters as of its most recent progress report. All live fields
+/// are best-effort relaxed-atomic reads — they lag the solver by at most
+/// one SOLVE call. `upper` is -1 until an incumbent exists.
+struct JobInspect {
+  std::string id;
+  JobState state = JobState::kQueued;
+  JobPhase phase = JobPhase::kQueued;
+  double elapsed_s = 0.0;          ///< since submission (wall clock)
+  double deadline_s = 0.0;         ///< answer-by budget (0 = none)
+  std::int64_t lower = 0;          ///< greatest proven lower bound so far
+  std::int64_t upper = -1;         ///< incumbent cost (-1 = none yet)
+  std::int64_t sat_calls = 0;      ///< SOLVE calls issued so far
+  std::int64_t conflicts = 0;      ///< CDCL conflicts spent so far
+  std::uint64_t req = 0;           ///< trace/flight request id
+  JobAnswer answer;                ///< meaningful once state is terminal
 };
 
 struct ServiceStats {
@@ -113,6 +139,15 @@ class Scheduler {
   std::optional<std::string> submit(JobRequest request);
 
   std::optional<JobSnapshot> status(const std::string& id) const;
+
+  /// Live introspection of a job (running or terminal); nullopt for
+  /// unknown ids. Never blocks on the solver — the live interval fields
+  /// come from relaxed atomics the worker updates per progress report.
+  std::optional<JobInspect> inspect(const std::string& id) const;
+
+  /// The trace/flight request id ("req" field) assigned to a job, used to
+  /// filter flight-recorder dumps to one request. Nullopt for unknown ids.
+  std::optional<std::uint64_t> request_trace_id(const std::string& id) const;
 
   /// Request cooperative cancellation. Returns false for unknown or
   /// already-terminal jobs.

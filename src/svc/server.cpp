@@ -165,8 +165,9 @@ void Server::serve_connection(int fd) {
 
 std::string Server::handle_line(const std::string& line) {
   std::string error;
-  const auto req = parse_request(line, &error);
-  if (!req) return error_line(error);
+  std::string code;
+  const auto req = parse_request(line, &error, &code);
+  if (!req) return error_line(error, code);
 
   switch (req->verb) {
     case Request::Verb::kSubmit: {
@@ -176,13 +177,13 @@ std::string Server::handle_line(const std::string& line) {
         job.problem = alloc::parse_problem(in, "submitted problem");
         job.objective = alloc::parse_objective(req->objective);
       } catch (const std::exception& e) {
-        return error_line(e.what());
+        return error_line(e.what(), "bad_problem");
       }
       job.deadline_s = req->deadline_ms / 1000.0;
       job.conflict_budget = req->conflicts;
       job.threads = req->threads;
       const auto id = scheduler_.submit(std::move(job));
-      if (!id) return error_line("queue full or shutting down");
+      if (!id) return error_line("queue full or shutting down", "queue_full");
       if (!req->wait) return submit_ack_line(*id);
       for (;;) {
         if (const auto snap = scheduler_.wait(*id, 0.25)) {
@@ -192,12 +193,16 @@ std::string Server::handle_line(const std::string& line) {
     }
     case Request::Verb::kStatus: {
       const auto snap = scheduler_.status(req->id);
-      if (!snap) return error_line("unknown request id \"" + req->id + "\"");
+      if (!snap) {
+        return error_line("unknown request id \"" + req->id + "\"",
+                          "unknown_id");
+      }
       return snapshot_line(*snap);
     }
     case Request::Verb::kResult: {
       if (!scheduler_.status(req->id)) {
-        return error_line("unknown request id \"" + req->id + "\"");
+        return error_line("unknown request id \"" + req->id + "\"",
+                          "unknown_id");
       }
       for (;;) {
         if (const auto snap = scheduler_.wait(req->id, 0.25)) {
@@ -208,9 +213,30 @@ std::string Server::handle_line(const std::string& line) {
     case Request::Verb::kCancel: {
       if (!scheduler_.cancel(req->id)) {
         return error_line("unknown or already finished request id \"" +
-                          req->id + "\"");
+                              req->id + "\"",
+                          "unknown_id");
       }
       return submit_ack_line(req->id);
+    }
+    case Request::Verb::kInspect: {
+      const auto ins = scheduler_.inspect(req->id);
+      if (!ins) {
+        return error_line("unknown request id \"" + req->id + "\"",
+                          "unknown_id");
+      }
+      return inspect_line(*ins);
+    }
+    case Request::Verb::kDump: {
+      std::uint64_t flight_req = 0;  // 0 = every ring, unfiltered
+      if (!req->id.empty()) {
+        const auto r = scheduler_.request_trace_id(req->id);
+        if (!r) {
+          return error_line("unknown request id \"" + req->id + "\"",
+                            "unknown_id");
+        }
+        flight_req = *r;
+      }
+      return dump_line(flight_req);
     }
     case Request::Verb::kStats:
       return stats_line(scheduler_.stats());
@@ -222,7 +248,7 @@ std::string Server::handle_line(const std::string& line) {
       return shutdown_ack_line(req->drain);
     }
   }
-  return error_line("unhandled verb");
+  return error_line("unhandled verb", "unknown_verb");
 }
 
 }  // namespace optalloc::svc

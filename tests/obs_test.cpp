@@ -1,11 +1,14 @@
 // Observability layer: JSON round-trips, metrics registry merge semantics
-// under concurrent writers, JSONL trace schema, and the anytime progress
-// callback's interval monotonicity on a real optimization run.
+// under concurrent writers, JSONL trace schema, the anytime progress
+// callback's interval monotonicity on a real optimization run, the flight
+// recorder's ring/overwrite/dump semantics (including the dump-while-
+// writing race the seqlock exists for), and the perf-counter stubs.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <sstream>
@@ -14,8 +17,10 @@
 #include <vector>
 
 #include "alloc/optimizer.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfctr.hpp"
 #include "obs/trace.hpp"
 #include "workload/tindell.hpp"
 
@@ -500,6 +505,236 @@ TEST(Trace, SpanIsInertWhenTracingOff) {
   }
   // ...and the thread's context is untouched afterwards.
   EXPECT_EQ(obs::current_context().span, before.span);
+}
+
+// --- Flight recorder ----------------------------------------------------
+
+/// Parse a flight_dump_events() array and keep only events of `type` —
+/// other tests (and the optimizer) leave their own records in the rings.
+std::vector<obs::JsonValue> dumped_events(const std::string& type,
+                                          std::uint64_t req = 0) {
+  std::size_t count = 0;
+  const auto parsed = obs::json_parse(obs::flight_dump_events(req, &count));
+  EXPECT_TRUE(parsed.has_value());
+  std::vector<obs::JsonValue> out;
+  if (!parsed) return out;
+  EXPECT_EQ(parsed->array.size(), count);
+  for (const auto& ev : parsed->array) {
+    EXPECT_TRUE(ev.is_object());
+    EXPECT_TRUE(ev.get_string("type").has_value());
+    const auto ts = ev.get_number("ts");
+    EXPECT_TRUE(ts.has_value());
+    if (ts) {
+      EXPECT_GE(*ts, 0.0);
+    }
+    EXPECT_TRUE(ev.get_number("tid").has_value());
+    if (ev.get_string("type") == type) out.push_back(ev);
+  }
+  return out;
+}
+
+TEST(Flight, RingOverwritesOldestOnWraparound) {
+  obs::flight_reset();
+  constexpr int kExtra = 17;
+  const int total = static_cast<int>(obs::kFlightCapacity) + kExtra;
+  for (int i = 0; i < total; ++i) {
+    obs::FlightNote("wrap_probe").num("i", i);
+  }
+  const auto events = dumped_events("wrap_probe");
+  // Exactly the ring capacity survives; the oldest kExtra were overwritten
+  // and the survivors are the *last* kFlightCapacity notes, oldest first.
+  ASSERT_EQ(events.size(), obs::kFlightCapacity);
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    EXPECT_EQ(events[k].get_number("i"),
+              static_cast<double>(kExtra + static_cast<int>(k)));
+  }
+}
+
+TEST(Flight, RequestFilterSelectsOnlyThatRequest) {
+  obs::flight_reset();
+  obs::SpanContext ctx;
+  ctx.req = obs::next_span_id();
+  {
+    obs::ContextScope scope(ctx);
+    obs::FlightNote("attributed").num("x", 1);
+  }
+  obs::FlightNote("unattributed").num("x", 2);
+
+  const auto mine = dumped_events("attributed", ctx.req);
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_EQ(mine[0].get_number("req"), static_cast<double>(ctx.req));
+  EXPECT_EQ(mine[0].get_number("x"), 1.0);
+  // The filtered dump holds nothing but that request's records...
+  EXPECT_TRUE(dumped_events("unattributed", ctx.req).empty());
+  // ...while the unfiltered dump still has both, without a "req" field on
+  // the context-free record.
+  const auto loose = dumped_events("unattributed");
+  ASSERT_EQ(loose.size(), 1u);
+  EXPECT_EQ(loose[0].get("req"), nullptr);
+}
+
+TEST(Flight, GateSuppressesRecordingButKeepsTail) {
+  obs::flight_reset();
+  ASSERT_TRUE(obs::flight_enabled());
+  { obs::FlightNote("kept").num("x", 1); }
+  obs::set_flight(false);
+  { obs::FlightNote("dropped").num("x", 2); }
+  obs::set_flight(true);
+  // Disabling drops new records but the already-recorded tail survives.
+  EXPECT_EQ(dumped_events("kept").size(), 1u);
+  EXPECT_TRUE(dumped_events("dropped").empty());
+}
+
+TEST(Flight, FieldOverflowDropsExtras) {
+  obs::flight_reset();
+  static_assert(obs::kFlightFields == 8);
+  {
+    obs::FlightNote n("overflow");
+    n.num("f0", 0).num("f1", 1).num("f2", 2).num("f3", 3).num("f4", 4);
+    n.num("f5", 5).num("f6", 6).num("f7", 7).num("f8", 8).num("f9", 9);
+  }
+  const auto events = dumped_events("overflow");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].get_number("f0"), 0.0);
+  EXPECT_EQ(events[0].get_number("f7"), 7.0);
+  EXPECT_EQ(events[0].get("f8"), nullptr);
+  EXPECT_EQ(events[0].get("f9"), nullptr);
+}
+
+TEST(Flight, SignalSafeFdDumpMatchesAllocatingDump) {
+  obs::flight_reset();
+  // Values chosen to exercise the handler's hand-rolled double formatting:
+  // sign, pure integer, fraction with trailing-zero trimming, sub-integer.
+  obs::FlightNote("fmt_probe")
+      .num("neg", -2.5)
+      .num("whole", 3.0)
+      .num("frac", 0.125)
+      .num("big", 1e12);
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  const std::size_t written = obs::flight_dump_fd(fileno(tmp));
+  ASSERT_GT(written, 0u);
+  std::rewind(tmp);
+  std::string contents(written, '\0');
+  ASSERT_EQ(std::fread(contents.data(), 1, written, tmp), written);
+  std::fclose(tmp);
+
+  // Every line of the signal-safe JSONL must parse; our record must carry
+  // the exact values (all are exactly representable at 1e-6 precision).
+  std::istringstream lines(contents);
+  std::string line;
+  int fmt_probes = 0;
+  int total = 0;
+  while (std::getline(lines, line)) {
+    const auto parsed = obs::json_parse(line);
+    ASSERT_TRUE(parsed.has_value()) << "unparseable fd-dump line: " << line;
+    ++total;
+    if (parsed->get_string("type") != "fmt_probe") continue;
+    ++fmt_probes;
+    EXPECT_EQ(parsed->get_number("neg"), -2.5);
+    EXPECT_EQ(parsed->get_number("whole"), 3.0);
+    EXPECT_EQ(parsed->get_number("frac"), 0.125);
+    EXPECT_EQ(parsed->get_number("big"), 1e12);
+  }
+  EXPECT_EQ(fmt_probes, 1);
+
+  // The allocating JSONL form sees the same record set.
+  int jsonl_lines = 0;
+  std::istringstream jsonl(obs::flight_dump_jsonl());
+  while (std::getline(jsonl, line)) {
+    EXPECT_TRUE(obs::json_parse(line).has_value()) << line;
+    ++jsonl_lines;
+  }
+  EXPECT_EQ(jsonl_lines, total);
+}
+
+TEST(Flight, DumpWhileWritingNeverYieldsTornRecords) {
+  obs::flight_reset();
+  // A writer hammers its ring while this thread dumps concurrently: the
+  // per-slot seqlock must make every dumped record either complete or
+  // absent — a record pairing "i" with the wrong "twice_i" would be torn.
+  // (This is the race the tsan ctest variant is after.)
+  std::atomic<bool> stop{false};
+  std::thread writer([&stop] {
+    std::int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::FlightNote("race_probe").num("i", i).num("twice_i", 2 * i);
+      ++i;
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    for (const auto& ev : dumped_events("race_probe")) {
+      const auto i = ev.get_number("i");
+      const auto twice = ev.get_number("twice_i");
+      ASSERT_TRUE(i.has_value());
+      ASSERT_TRUE(twice.has_value());
+      EXPECT_EQ(*twice, 2 * *i);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// --- Perf counters ------------------------------------------------------
+
+TEST(PerfCtr, UnavailableCountersRenderWellFormedNulls) {
+  const obs::PerfCounts none;  // available == false, all counters -1
+  const auto doc = obs::json_parse(obs::perf_json(none));
+  ASSERT_TRUE(doc.has_value());
+  for (const char* key : {"cycles", "instructions", "cache_references",
+                          "cache_misses", "branch_misses"}) {
+    const obs::JsonValue* v = doc->get(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_EQ(v->kind, obs::JsonValue::Kind::kNull) << key;
+  }
+}
+
+TEST(PerfCtr, DeltaPropagatesAbsentSiblings) {
+  obs::PerfCounts a;
+  a.available = true;
+  a.cycles = 100;
+  a.cache_misses = 7;  // instructions etc. stay -1 (absent)
+  obs::PerfCounts b;
+  b.available = true;
+  b.cycles = 40;
+  b.cache_misses = 9;  // counter went "backwards" (group reopened)
+  const obs::PerfCounts d = obs::perf_delta(a, b);
+  EXPECT_TRUE(d.available);
+  EXPECT_EQ(d.cycles, 60);
+  EXPECT_EQ(d.instructions, -1);   // absent on both sides stays absent
+  EXPECT_EQ(d.cache_misses, 0);    // never negative
+  EXPECT_FALSE(obs::perf_delta(a, obs::PerfCounts{}).available);
+}
+
+TEST(PerfCtr, ReadsAreSafeWhetherHardwareExistsOrNot) {
+  // Must hold both on perf-capable hosts and in containers that mask the
+  // syscall: reads never fail, JSON always parses.
+  const obs::PerfCounts c = obs::perf_read();
+  EXPECT_EQ(c.available, obs::perf_available());
+  if (!c.available) {
+    EXPECT_EQ(c.cycles, -1);
+  }
+  EXPECT_TRUE(obs::json_parse(obs::perf_json(c)).has_value());
+  { obs::PerfSpan span("probe"); }  // destructor must be a no-op sans trace
+}
+
+TEST(PerfCtr, KillSwitchDisablesFreshThreads) {
+  // OPTALLOC_NO_PERFCTR is honored at each thread's lazy group open; a
+  // thread started under the kill switch must report unavailable even on
+  // perf-capable hosts.
+  ASSERT_EQ(setenv("OPTALLOC_NO_PERFCTR", "1", /*overwrite=*/1), 0);
+  bool available = true;
+  obs::PerfCounts counts;
+  std::thread probe([&] {
+    available = obs::perf_available();
+    counts = obs::perf_read();
+  });
+  probe.join();
+  unsetenv("OPTALLOC_NO_PERFCTR");
+  EXPECT_FALSE(available);
+  EXPECT_FALSE(counts.available);
+  EXPECT_EQ(counts.cycles, -1);
 }
 
 TEST(Metrics, OptimizerFlushesRegistry) {

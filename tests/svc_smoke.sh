@@ -3,12 +3,17 @@
 # Unix socket with tracing and periodic metrics snapshots, submit the same
 # problem twice through alloc_client (the second submission must be served
 # from the canonical-instance cache), check the stats counters, scrape the
-# metrics verb in Prometheus text format, shut the daemon down gracefully,
+# metrics verb in Prometheus text format, inspect a finished request and
+# replay its flight-recorder records through the dump verb, probe the
+# structured error answers (unknown verb / unknown id -> exit 3 with a
+# machine-readable "code"), force a deadline miss on a slow instance and
+# check its post-mortem flight dump, shut the daemon down gracefully,
 # validate the emitted trace with the schema checker, and reconstruct the
 # requests with trace_report (spans must balance; the trace must not be
-# truncated — its last event must be the shutdown's "service_stop").
+# truncated — its last event must be the shutdown's "service_stop"; the
+# deadline miss must have left a flight_dump with the final search_sample).
 #
-# usage: svc_smoke.sh ALLOC_SERVE ALLOC_CLIENT SCHEMA_CHECK TRACE_REPORT PROBLEM WORKDIR
+# usage: svc_smoke.sh ALLOC_SERVE ALLOC_CLIENT SCHEMA_CHECK TRACE_REPORT PROBLEM WORKDIR EXPORT_WORKLOAD
 set -u
 
 SERVE="$1"
@@ -17,6 +22,7 @@ SCHEMA_CHECK="$3"
 TRACE_REPORT="$4"
 PROBLEM="$5"
 WORKDIR="$6"
+EXPORT="$7"
 
 fail() { echo "svc_smoke: FAIL: $*" >&2; exit 1; }
 
@@ -91,6 +97,70 @@ case "$PROM" in
   *) fail "prometheus output lacks histogram quantile gauges" ;;
 esac
 
+# --- Live introspection + flight-recorder replay ------------------------
+
+FIRST_ID=$(printf '%s\n' "$FIRST" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$FIRST_ID" ] || fail "cannot extract request id from $FIRST"
+
+# inspect: the finished job reports its terminal phase plus the answer.
+INSPECT=$("$CLIENT" --socket "$SOCK" inspect "$FIRST_ID") \
+  || fail "inspect verb failed"
+echo "inspect: $INSPECT"
+case "$INSPECT" in
+  *'"ok":true'*'"phase":"finished"'*'"status":"optimal"'*) ;;
+  *) fail "inspect response malformed: $INSPECT" ;;
+esac
+
+# dump ID: the flight recorder replays that request's solve records even
+# though nothing crashed.
+DUMP=$("$CLIENT" --socket "$SOCK" dump "$FIRST_ID") || fail "dump verb failed"
+case "$DUMP" in
+  *'"ok":true'*'"events":['*'"type":"solve"'*) ;;
+  *) fail "flight dump lacks the request's solve records: $DUMP" ;;
+esac
+
+# --- Structured protocol errors -----------------------------------------
+
+# Unknown verb: {"ok":false,...,"code":"unknown_verb"}, client exit 3.
+RAW=$("$CLIENT" --socket "$SOCK" raw '{"verb":"frobnicate"}')
+RC=$?
+[ $RC -eq 3 ] || fail "unknown verb exited $RC (want 3): $RAW"
+case "$RAW" in
+  *'"code":"unknown_verb"'*) ;;
+  *) fail "unknown-verb reply lacks the machine-readable code: $RAW" ;;
+esac
+
+# Unknown request id on dump: same contract, code "unknown_id".
+BADID=$("$CLIENT" --socket "$SOCK" dump nosuchid)
+RC=$?
+[ $RC -eq 3 ] || fail "dump of unknown id exited $RC (want 3): $BADID"
+case "$BADID" in
+  *'"code":"unknown_id"'*) ;;
+  *) fail "unknown-id reply lacks the machine-readable code: $BADID" ;;
+esac
+
+# --- Forced deadline miss: anytime answer + post-mortem flight dump -----
+
+"$EXPORT" tindell:30 >"$WORKDIR/slow.prob" || fail "export_workload failed"
+MISS=$("$CLIENT" --socket "$SOCK" submit "$WORKDIR/slow.prob" trt:0 \
+       --deadline 1500 --wait)
+RC=$?
+echo "miss:   $MISS"
+# Exit 4 = terminal answer that is feasible but not proven optimal.
+[ $RC -eq 4 ] || fail "deadline-missed submit exited $RC (want 4): $MISS"
+case "$MISS" in
+  *'"deadline_expired":true'*) ;;
+  *) fail "deadline-missed answer not flagged: $MISS" ;;
+esac
+MISS_ID=$(printf '%s\n' "$MISS" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$MISS_ID" ] || fail "cannot extract request id from $MISS"
+MISS_DUMP=$("$CLIENT" --socket "$SOCK" dump "$MISS_ID") \
+  || fail "dump after deadline miss failed"
+case "$MISS_DUMP" in
+  *'"type":"search_sample"'*) ;;
+  *) fail "post-mortem dump lacks the final search_sample: $MISS_DUMP" ;;
+esac
+
 # Let at least one periodic metrics_snapshot trace event fire.
 sleep 0.4
 
@@ -121,6 +191,11 @@ tail -n 1 "$TRACE" | grep -q '"type":"service_stop"' \
 grep -q '"type":"metrics_snapshot"' "$TRACE" \
   || fail "no periodic metrics_snapshot event in trace"
 
+# The deadline miss must have emitted a flight-recorder post-mortem into
+# the trace, embedding the request's ring contents.
+grep -q '"type":"flight_dump"' "$TRACE" \
+  || fail "no flight_dump post-mortem event in trace"
+
 # trace_report must reconstruct every completed request into a balanced
 # span tree with phase timings.
 REPORT=$("$TRACE_REPORT" --json "$TRACE") || fail "trace_report found unbalanced spans"
@@ -132,6 +207,13 @@ esac
 case "$REPORT" in
   *'"reconstructed_fraction":1'*) ;;
   *) fail "trace_report failed to reconstruct all requests: $REPORT" ;;
+esac
+
+# The deadline-miss flight dump must be surfaced with the request's final
+# search-trajectory sample — the "why was it still searching" post-mortem.
+case "$REPORT" in
+  *'"flight_dumps":['*'"reason":"deadline_expired"'*'"has_search_sample":true'*) ;;
+  *) fail "trace_report did not surface the deadline-miss flight dump: $REPORT" ;;
 esac
 
 echo "svc_smoke: OK"

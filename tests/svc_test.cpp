@@ -17,6 +17,7 @@
 #include "alloc/cost.hpp"
 #include "alloc/io.hpp"
 #include "alloc/optimizer.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -386,6 +387,49 @@ TEST(Protocol, ResponseLinesAreWellFormedJson) {
   EXPECT_TRUE(metrics->get("metrics")->is_object());
 }
 
+TEST(Protocol, ErrorCodesClassifyParseFailures) {
+  // Every rejection carries a machine-readable code alongside the human
+  // message: bad_json (unparseable line), bad_request (well-formed but
+  // incomplete), unknown_verb (verb outside the vocabulary).
+  std::string error, code;
+  EXPECT_FALSE(parse_request("not json", &error, &code).has_value());
+  EXPECT_EQ(code, "bad_json");
+  EXPECT_FALSE(parse_request(R"({"no":"verb"})", &error, &code).has_value());
+  EXPECT_EQ(code, "bad_request");
+  EXPECT_FALSE(
+      parse_request(R"({"verb":"frobnicate"})", &error, &code).has_value());
+  EXPECT_EQ(code, "unknown_verb");
+  EXPECT_FALSE(
+      parse_request(R"({"verb":"status"})", &error, &code).has_value());
+  EXPECT_EQ(code, "bad_request");  // id-verbs without an id
+  EXPECT_FALSE(
+      parse_request(R"({"verb":"inspect"})", &error, &code).has_value());
+  EXPECT_EQ(code, "bad_request");
+  EXPECT_FALSE(
+      parse_request(R"({"verb":"submit"})", &error, &code).has_value());
+  EXPECT_EQ(code, "bad_request");
+
+  // inspect with an id parses; dump's id is optional (absent = all rings).
+  const auto inspect =
+      parse_request(R"({"verb":"inspect","id":"r1"})", &error, &code);
+  ASSERT_TRUE(inspect.has_value()) << error;
+  EXPECT_EQ(inspect->verb, Request::Verb::kInspect);
+  EXPECT_EQ(inspect->id, "r1");
+  const auto dump = parse_request(R"({"verb":"dump"})", &error, &code);
+  ASSERT_TRUE(dump.has_value()) << error;
+  EXPECT_EQ(dump->verb, Request::Verb::kDump);
+  EXPECT_TRUE(dump->id.empty());
+
+  // The error reply line carries the code; callers that don't pick one
+  // get the generic "error".
+  const auto reply = obs::json_parse(error_line("nope", "unknown_id"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->get("ok")->b);
+  EXPECT_EQ(reply->get_string("error"), "nope");
+  EXPECT_EQ(reply->get_string("code"), "unknown_id");
+  EXPECT_EQ(obs::json_parse(error_line("x"))->get_string("code"), "error");
+}
+
 // --- Server (protocol dispatch without sockets) ------------------------
 
 std::string submit_line(const std::string& problem, const std::string& obj,
@@ -454,6 +498,123 @@ TEST(Server, HandlesFullRequestLifecycle) {
   ASSERT_TRUE(bye.has_value());
   EXPECT_TRUE(bye->get("ok")->b);
   EXPECT_TRUE(server.stop_requested());
+}
+
+TEST(Server, UnknownVerbRepliesWithStructuredCode) {
+  ServerOptions options;
+  options.scheduler = quick_options(1);
+  Server server(options);
+  const auto bad =
+      obs::json_parse(server.handle_line(R"({"verb":"frobnicate"})"));
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->get("ok")->b);
+  EXPECT_EQ(bad->get_string("code"), "unknown_verb");
+  EXPECT_TRUE(bad->get_string("error").has_value());
+
+  const auto junk = obs::json_parse(server.handle_line("][nonsense"));
+  EXPECT_EQ(junk->get_string("code"), "bad_json");
+  const auto incomplete =
+      obs::json_parse(server.handle_line(R"({"verb":"status"})"));
+  EXPECT_EQ(incomplete->get_string("code"), "bad_request");
+}
+
+TEST(Server, InspectAndDumpVerbs) {
+  obs::flight_reset();
+  ServerOptions options;
+  options.scheduler = quick_options(1);
+  Server server(options);
+
+  // Both verbs reject ids the scheduler has never seen.
+  const auto missing = obs::json_parse(
+      server.handle_line(R"({"verb":"inspect","id":"r999"})"));
+  EXPECT_FALSE(missing->get("ok")->b);
+  EXPECT_EQ(missing->get_string("code"), "unknown_id");
+  const auto no_dump =
+      obs::json_parse(server.handle_line(R"({"verb":"dump","id":"r999"})"));
+  EXPECT_FALSE(no_dump->get("ok")->b);
+  EXPECT_EQ(no_dump->get_string("code"), "unknown_id");
+
+  const auto done = obs::json_parse(
+      server.handle_line(submit_line(kSystem, "sum-trt", /*wait=*/true)));
+  ASSERT_TRUE(done.has_value());
+  const auto id = done->get_string("id");
+  ASSERT_TRUE(id.has_value());
+
+  // inspect on a finished job: terminal phase, the proven interval has
+  // collapsed, and the answer's status fields ride along.
+  const auto insp = obs::json_parse(server.handle_line(
+      obs::JsonObject().str("verb", "inspect").str("id", *id).build()));
+  ASSERT_TRUE(insp.has_value());
+  EXPECT_TRUE(insp->get("ok")->b);
+  EXPECT_EQ(insp->get_string("id"), *id);
+  EXPECT_EQ(insp->get_string("state"), "done");
+  EXPECT_EQ(insp->get_string("phase"), "finished");
+  EXPECT_GE(*insp->get_number("elapsed_ms"), 0.0);
+  EXPECT_EQ(insp->get_string("status"), "optimal");
+  EXPECT_TRUE(insp->get("proven_optimal")->b);
+  EXPECT_EQ(insp->get_number("upper"), insp->get_number("cost"));
+  const auto req_field = insp->get_number("req");
+  ASSERT_TRUE(req_field.has_value());
+  EXPECT_GT(*req_field, 0.0);
+
+  // dump filtered to that request: the flight ring replays the solve's
+  // records (interval / solve notes at minimum), count matching.
+  const auto dump = obs::json_parse(server.handle_line(
+      obs::JsonObject().str("verb", "dump").str("id", *id).build()));
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_TRUE(dump->get("ok")->b);
+  const obs::JsonValue* events = dump->get("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(dump->get_number("count"),
+            static_cast<double>(events->array.size()));
+  ASSERT_FALSE(events->array.empty());
+  bool saw_solve = false;
+  for (const auto& ev : events->array) {
+    ASSERT_TRUE(ev.is_object());
+    EXPECT_EQ(ev.get_number("req"), *req_field);  // filter honored
+    if (ev.get_string("type") == "solve") saw_solve = true;
+  }
+  EXPECT_TRUE(saw_solve);
+
+  // Unfiltered dump (no id): a superset of the filtered one.
+  const auto all = obs::json_parse(server.handle_line(R"({"verb":"dump"})"));
+  ASSERT_TRUE(all.has_value());
+  EXPECT_TRUE(all->get("ok")->b);
+  EXPECT_GE(*all->get_number("count"), *dump->get_number("count"));
+}
+
+TEST(Scheduler, InspectTracksLifecyclePhases) {
+  Scheduler scheduler(quick_options(1));
+  JobRequest request;
+  request.problem = workload::tindell_prefix(30);  // long enough to observe
+  request.objective = alloc::Objective::ring_trt(0);
+  const auto id = scheduler.submit(request);
+  ASSERT_TRUE(id.has_value());
+
+  // Before the worker finishes, inspect must answer lock-free with a
+  // non-terminal phase and a widening-at-worst interval.
+  std::set<std::string> phases;
+  for (int i = 0; i < 4000; ++i) {
+    const auto ins = scheduler.inspect(*id);
+    ASSERT_TRUE(ins.has_value());
+    phases.insert(job_phase_name(ins->phase));
+    if (ins->phase == JobPhase::kSolving && ins->sat_calls > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(phases.count("solving") > 0 || phases.count("finished") > 0)
+      << "never saw the job leave the queue";
+
+  EXPECT_TRUE(scheduler.cancel(*id));
+  const auto final_snap = scheduler.wait(*id, 60.0);
+  ASSERT_TRUE(final_snap.has_value());
+  const auto ins = scheduler.inspect(*id);
+  ASSERT_TRUE(ins.has_value());
+  EXPECT_EQ(ins->phase, JobPhase::kFinished);
+  EXPECT_EQ(ins->state, JobState::kCancelled);
+  EXPECT_FALSE(scheduler.inspect("bogus").has_value());
+  EXPECT_FALSE(scheduler.request_trace_id("bogus").has_value());
+  EXPECT_EQ(scheduler.request_trace_id(*id).value_or(0), ins->req);
+  scheduler.shutdown(true);
 }
 
 TEST(Server, MetricsVerbExposesRequestHistograms) {

@@ -3,9 +3,10 @@
 // `trace_schema_check run.jsonl`). Checks that every line is a JSON
 // object carrying the standard fields, that the per-type required fields
 // are present, that every span_end matches a span_begin with the same
-// req+span, and — in service traces — that every solver-side event
-// carries a "req" correlation field; prints a per-type event census on
-// success.
+// req+span, that every "flight_dump" post-mortem embeds schema-valid
+// events with a matching "count", and — in service traces — that every
+// solver-side event carries a "req" correlation field; prints a per-type
+// event census on success.
 //
 // Exit status: 0 = valid, 1 = schema violation, 2 = usage/IO error.
 
@@ -31,6 +32,18 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
       {"interval", {"lower", "upper", "sat_calls"}},
       {"optimum", {"status", "lower", "sat_calls", "seconds"}},
       {"solver_restart", {"restarts", "conflicts", "learnts"}},
+      // Search-trajectory samples (sat::Solver::sample_interval).
+      {"search_sample",
+       {"conflicts", "restarts", "trail", "learnts", "props_per_sec",
+        "conflicts_per_sec", "lbd_mean", "final"}},
+      // Per-span hardware counters (obs/perfctr.hpp); absent siblings are
+      // -1, never missing.
+      {"perf_counters",
+       {"name", "cycles", "instructions", "cache_references",
+        "cache_misses", "branch_misses"}},
+      // Flight-recorder post-mortems (deadline expiry, cancellation,
+      // worker panic): carry the embedded ring contents.
+      {"flight_dump", {"id", "reason", "count", "events"}},
       {"solver_gc", {"gc_runs", "arena_before", "arena_after"}},
       {"portfolio_start", {"worker", "strategy", "backend"}},
       {"portfolio_finish", {"worker", "status"}},
@@ -57,8 +70,37 @@ bool solver_side(const std::string& type) {
   static const std::set<std::string> kTypes = {
       "solve",          "interval",       "optimum",       "solver_restart",
       "solver_gc",      "bound_sync",     "portfolio_start",
-      "portfolio_finish", "portfolio_cancel", "portfolio_win"};
+      "portfolio_finish", "portfolio_cancel", "portfolio_win",
+      "search_sample",  "perf_counters"};
   return kTypes.count(type) > 0;
+}
+
+/// One event embedded in a flight_dump's "events" array. Flight records
+/// share the trace vocabulary but are numeric-only, so `search_sample`
+/// lacks the "final" boolean; everything else matches the schema map.
+bool check_embedded_event(int line_no, std::size_t idx, const JsonValue& ev) {
+  const auto fail_at = [line_no, idx](const std::string& why) {
+    std::fprintf(stderr,
+                 "trace_schema_check: line %d: flight_dump event %zu: %s\n",
+                 line_no, idx, why.c_str());
+    return false;
+  };
+  if (!ev.is_object()) return fail_at("not a JSON object");
+  const auto type = ev.get_string("type");
+  if (!type) return fail_at("missing \"type\"");
+  const auto ts = ev.get_number("ts");
+  if (!ts || *ts < 0.0) return fail_at("missing/negative \"ts\"");
+  if (!ev.get_number("tid")) return fail_at("missing \"tid\"");
+  const auto& schema = required_fields();
+  const auto it = schema.find(*type);
+  if (it == schema.end()) return true;
+  for (const char* field : it->second) {
+    if (*type == "search_sample" && std::string(field) == "final") continue;
+    if (!ev.get(field)) {
+      return fail_at("event \"" + *type + "\" missing \"" + field + "\"");
+    }
+  }
+  return true;
 }
 
 /// Cross-line state threaded through the whole trace.
@@ -99,6 +141,28 @@ bool check_line(int line_no, const std::string& line, TraceState& state) {
     }
   }
   ++state.census[*type];
+
+  if (*type == "flight_dump") {
+    // The embedded ring contents must themselves be schema-valid events
+    // (they are what a post-mortem consumer reads), and "count" must match.
+    // They are validated but not folded into the census/span state: a
+    // flight dump replays history the outer trace already accounts for.
+    const JsonValue* events = parsed->get("events");
+    if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+      return fail(line_no, "flight_dump \"events\" is not an array");
+    }
+    const auto count = parsed->get_number("count");
+    if (!count || *count != static_cast<double>(events->array.size())) {
+      return fail(line_no, "flight_dump \"count\" (" +
+                               std::to_string(static_cast<long long>(
+                                   count.value_or(-1.0))) +
+                               ") != events length (" +
+                               std::to_string(events->array.size()) + ")");
+    }
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+      if (!check_embedded_event(line_no, i, events->array[i])) return false;
+    }
+  }
 
   const std::uint64_t req =
       static_cast<std::uint64_t>(parsed->get_number("req").value_or(0.0));

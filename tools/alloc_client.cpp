@@ -5,17 +5,23 @@
 //   alloc_client --socket PATH status ID
 //   alloc_client --socket PATH result ID        # blocks until terminal
 //   alloc_client --socket PATH cancel ID
+//   alloc_client --socket PATH inspect ID       # live mid-solve view
+//   alloc_client --socket PATH dump [ID]        # flight-recorder events
 //   alloc_client --socket PATH stats
 //   alloc_client --socket PATH metrics [--prom]
 //   alloc_client --socket PATH shutdown [--no-drain]
+//   alloc_client --socket PATH raw LINE         # send LINE verbatim
 //
 // FILE may be "-" for stdin. The raw JSON response is printed on stdout;
 // "metrics --prom" instead renders the server's registry snapshot in
 // Prometheus text exposition format (histograms as cumulative buckets
-// plus p50/p95/p99 gauges).
-// Exit codes: 0 success; 1 protocol / connection error or "ok":false;
-// 2 usage; 4 terminal answer that is feasible but not proven optimal
-// (the anytime deadline answer).
+// plus p50/p95/p99 gauges). "raw" sends an arbitrary protocol line
+// (useful for probing the server's structured error answers).
+// Exit codes: 0 success; 1 protocol / connection error (malformed or no
+// response); 2 usage; 3 server-reported error — an {"ok":false,...}
+// answer with its machine-readable "code" (unknown verb, unknown id,
+// bad problem, queue full); 4 terminal answer that is feasible but not
+// proven optimal (the anytime deadline answer).
 
 #include <cstdlib>
 #include <fstream>
@@ -34,21 +40,24 @@ int usage() {
       << "usage: alloc_client (--socket PATH | --tcp HOST PORT) VERB ...\n"
       << "  submit FILE [OBJECTIVE] [--deadline MS] [--conflicts N]\n"
       << "         [--threads N] [--wait]\n"
-      << "  status ID | result ID | cancel ID | stats\n"
+      << "  status ID | result ID | cancel ID | inspect ID | stats\n"
+      << "  dump [ID]\n"
       << "  metrics [--prom]\n"
-      << "  shutdown [--no-drain]\n";
+      << "  shutdown [--no-drain]\n"
+      << "  raw LINE\n";
   return 2;
 }
 
-/// 0 ok; 1 error; 4 terminal-but-not-proven-optimal (anytime answer).
+/// 0 ok; 1 malformed response; 3 server-reported error ("ok":false);
+/// 4 terminal-but-not-proven-optimal (anytime answer).
 int classify(const std::string& response) {
   const auto doc = optalloc::obs::json_parse(response);
   if (!doc || !doc->is_object()) return 1;
   const optalloc::obs::JsonValue* ok = doc->get("ok");
-  if (ok == nullptr || ok->kind != optalloc::obs::JsonValue::Kind::kBool ||
-      !ok->b) {
+  if (ok == nullptr || ok->kind != optalloc::obs::JsonValue::Kind::kBool) {
     return 1;
   }
+  if (!ok->b) return 3;
   const auto state = doc->get_string("state");
   if (state && *state == "done") {
     const optalloc::obs::JsonValue* proven = doc->get("proven_optimal");
@@ -88,6 +97,7 @@ int main(int argc, char** argv) {
   if (verb_arg == nullptr) return usage();
   const std::string verb = verb_arg;
   bool prom = false;
+  std::string raw_line;  ///< non-empty: sent verbatim instead of `request`
 
   optalloc::obs::JsonObject request;
   if (verb == "submit") {
@@ -144,10 +154,18 @@ int main(int argc, char** argv) {
     }
     if (threads > 1) request.num("threads", static_cast<std::int64_t>(threads));
     if (wait) request.boolean("wait", true);
-  } else if (verb == "status" || verb == "result" || verb == "cancel") {
+  } else if (verb == "status" || verb == "result" || verb == "cancel" ||
+             verb == "inspect") {
     const char* id = next();
     if (id == nullptr) return usage();
     request.str("verb", verb).str("id", id);
+  } else if (verb == "dump") {
+    request.str("verb", "dump");
+    if (const char* id = next()) request.str("id", id);
+  } else if (verb == "raw") {
+    const char* line = next();
+    if (line == nullptr) return usage();
+    raw_line = line;
   } else if (verb == "stats") {
     request.str("verb", "stats");
   } else if (verb == "metrics") {
@@ -182,7 +200,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string buffer, response;
-  if (!optalloc::svc::send_line(fd, request.build()) ||
+  const std::string line = raw_line.empty() ? request.build() : raw_line;
+  if (!optalloc::svc::send_line(fd, line) ||
       !optalloc::svc::recv_line(fd, buffer, response)) {
     std::cerr << "alloc_client: connection lost\n";
     return 1;

@@ -4,7 +4,7 @@
 //
 //   alloc_serve --socket /tmp/alloc.sock [--workers 2] [--queue 64]
 //               [--cache 256] [--anneal 2000] [--trace FILE] [--stats]
-//               [--metrics-interval S]
+//               [--metrics-interval S] [--flight-dump FILE]
 //   alloc_serve --tcp 7421 ...
 //
 // SIGTERM / SIGINT trigger a graceful drain: no new requests are
@@ -13,6 +13,14 @@
 // service counters on exit. --metrics-interval S emits a
 // "metrics_snapshot" trace event (full registry, flat form) every S
 // seconds while tracing is on.
+//
+// Post-mortem: a fatal signal (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT)
+// dumps the flight-recorder rings — the last telemetry records of every
+// thread — as JSONL before the process dies: to stderr by default, or to
+// --flight-dump FILE (opened at startup so the handler never allocates).
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -22,6 +30,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "svc/server.hpp"
@@ -39,7 +48,7 @@ int usage() {
       << "usage: alloc_serve (--socket PATH | --tcp PORT)\n"
       << "                   [--workers N] [--queue N] [--cache N]\n"
       << "                   [--anneal ITERS] [--trace FILE] [--stats]\n"
-      << "                   [--metrics-interval S]\n";
+      << "                   [--metrics-interval S] [--flight-dump FILE]\n";
   return 2;
 }
 
@@ -50,6 +59,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1;
   bool print_stats = false;
   std::string trace_path;
+  std::string flight_dump_path;
   double metrics_interval_s = 0.0;
   optalloc::svc::ServerOptions options;
 
@@ -91,6 +101,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       metrics_interval_s = std::atof(v);
+    } else if (arg == "--flight-dump") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      flight_dump_path = v;
     } else if (arg == "--stats") {
       print_stats = true;
     } else {
@@ -105,10 +119,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Crash-path telemetry: open the dump destination NOW (the fatal-signal
+  // handler may not open files or allocate) and keep the fd for the
+  // process lifetime. Default is stderr.
+  int flight_fd = STDERR_FILENO;
+  if (!flight_dump_path.empty()) {
+    flight_fd = ::open(flight_dump_path.c_str(),
+                       O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (flight_fd < 0) {
+      std::cerr << "alloc_serve: cannot open flight dump file "
+                << flight_dump_path << "\n";
+      optalloc::obs::trace_close();
+      return 1;
+    }
+  }
+  optalloc::obs::flight_install_crash_handler(flight_fd);
+
   optalloc::svc::Server server(options);
   if (!socket_path.empty()) {
     if (!server.listen_unix(socket_path)) {
       std::cerr << "alloc_serve: cannot listen on " << socket_path << "\n";
+      optalloc::obs::flight_install_crash_handler(-1);
       optalloc::obs::trace_close();
       return 1;
     }
@@ -117,6 +148,7 @@ int main(int argc, char** argv) {
     if (!server.listen_tcp(tcp_port)) {
       std::cerr << "alloc_serve: cannot listen on tcp port " << tcp_port
                 << "\n";
+      optalloc::obs::flight_install_crash_handler(-1);
       optalloc::obs::trace_close();
       return 1;
     }
@@ -166,6 +198,8 @@ int main(int argc, char** argv) {
   // The sink is process-global and deliberately leaked; without this
   // explicit flush+close the tail of the trace (the drain's last events)
   // would be lost in the ofstream buffer.
+  optalloc::obs::flight_install_crash_handler(-1);
+  if (flight_fd != STDERR_FILENO) ::close(flight_fd);
   optalloc::obs::trace_close();
   return 0;
 }

@@ -2,15 +2,22 @@
 // requests from their "req" correlation fields and reports where each
 // one's wall time went.
 //
-//   trace_report [--json] [--top N] [FILE]
+//   trace_report [--json] [--search] [--top N] [FILE]
 //
-// FILE defaults to stdin. Three views:
+// FILE defaults to stdin. Views:
 //   * per-request phase breakdown — queue -> encode -> solve -> certify
 //     (milliseconds, from the span_end events of each request);
 //   * critical path of the slowest requests — the chain of heaviest
 //     nested spans from the request root down;
 //   * per-worker utilization — span-covered seconds per tid over the
-//     trace's wall span.
+//     trace's wall span;
+//   * --search: per-request search trajectory — one row per
+//     "search_sample" event (conflicts, props/sec, conflict rate, trail
+//     depth, learnt-DB size, running LBD mean) so a stall or a learnt-DB
+//     explosion is visible as a shape, not a single aggregate.
+// Flight-recorder post-mortems ("flight_dump" events — see
+// src/obs/flight.hpp) are summarized too: per dump, the embedded event
+// count and whether the request's own final "search_sample" made it in.
 // --json emits the same as one JSON object (plus span-balance counters),
 // so benches and CI can gate on "parses, and every span_end matches a
 // span_begin". Exit code: 0 when every line parses and spans balance,
@@ -45,6 +52,30 @@ struct SpanRec {
   bool ended = false;
 };
 
+/// One "search_sample" row of a request's trajectory.
+struct SampleRec {
+  double ts = 0.0;
+  double conflicts = 0.0;
+  double restarts = 0.0;
+  double trail = 0.0;
+  double learnts = 0.0;
+  double props_per_sec = 0.0;
+  double conflicts_per_sec = 0.0;
+  double lbd_mean = 0.0;
+  bool final_sample = false;
+};
+
+/// One "flight_dump" post-mortem event: a request's flight-recorder tail
+/// embedded into the trace on deadline expiry / cancellation / panic.
+struct FlightDumpRec {
+  std::uint64_t req = 0;
+  std::string id;
+  std::string reason;
+  std::int64_t count = 0;        ///< the event's own "count" field
+  std::int64_t embedded = 0;     ///< elements actually in "events"
+  bool has_search_sample = false;
+};
+
 struct RequestRec {
   std::uint64_t req = 0;
   std::string id;              ///< scheduler id ("r1"), from request_received
@@ -53,6 +84,7 @@ struct RequestRec {
   double total_s = 0.0;        ///< request_done "seconds"
   std::map<std::string, double> phase_s;  ///< span name -> summed seconds
   std::map<std::uint64_t, SpanRec> spans;
+  std::vector<SampleRec> samples;  ///< search trajectory, trace order
   int begun = 0;
   int ended = 0;
   int unmatched_end = 0;
@@ -96,7 +128,7 @@ std::vector<const SpanRec*> critical_path(const RequestRec& r) {
 }
 
 int usage() {
-  std::cerr << "usage: trace_report [--json] [--top N] [FILE]\n";
+  std::cerr << "usage: trace_report [--json] [--search] [--top N] [FILE]\n";
   return 2;
 }
 
@@ -104,12 +136,15 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool json_out = false;
+  bool search_view = false;
   int top = 5;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json_out = true;
+    } else if (arg == "--search") {
+      search_view = true;
     } else if (arg == "--top") {
       if (i + 1 >= argc) return usage();
       top = std::atoi(argv[++i]);
@@ -133,6 +168,7 @@ int main(int argc, char** argv) {
 
   std::map<std::uint64_t, RequestRec> requests;
   std::map<int, WorkerRec> workers;
+  std::vector<FlightDumpRec> flight_dumps;
   std::uint64_t events = 0, bad_lines = 0;
   double min_ts = 0.0, max_ts = 0.0;
   bool any_ts = false;
@@ -156,10 +192,43 @@ int main(int argc, char** argv) {
     }
     const std::uint64_t req =
         static_cast<std::uint64_t>(doc->get_number("req").value_or(0.0));
+    if (type == "flight_dump") {
+      FlightDumpRec fd;
+      fd.req = req;
+      fd.id = doc->get_string("id").value_or("");
+      fd.reason = doc->get_string("reason").value_or("");
+      fd.count =
+          static_cast<std::int64_t>(doc->get_number("count").value_or(0.0));
+      if (const JsonValue* ev = doc->get("events");
+          ev != nullptr && ev->kind == JsonValue::Kind::kArray) {
+        fd.embedded = static_cast<std::int64_t>(ev->array.size());
+        for (const JsonValue& e : ev->array) {
+          if (e.get_string("type").value_or("") == "search_sample") {
+            fd.has_search_sample = true;
+          }
+        }
+      }
+      flight_dumps.push_back(std::move(fd));
+      continue;
+    }
     if (req == 0) continue;  // events outside any request
     RequestRec& r = requests[req];
     r.req = req;
-    if (type == "request_received") {
+    if (type == "search_sample") {
+      SampleRec s;
+      s.ts = doc->get_number("ts").value_or(0.0);
+      s.conflicts = doc->get_number("conflicts").value_or(0.0);
+      s.restarts = doc->get_number("restarts").value_or(0.0);
+      s.trail = doc->get_number("trail").value_or(0.0);
+      s.learnts = doc->get_number("learnts").value_or(0.0);
+      s.props_per_sec = doc->get_number("props_per_sec").value_or(0.0);
+      s.conflicts_per_sec = doc->get_number("conflicts_per_sec").value_or(0.0);
+      s.lbd_mean = doc->get_number("lbd_mean").value_or(0.0);
+      if (const JsonValue* f = doc->get("final")) {
+        s.final_sample = f->kind == JsonValue::Kind::kBool && f->b;
+      }
+      r.samples.push_back(s);
+    } else if (type == "request_received") {
       r.id = doc->get_string("id").value_or("");
     } else if (type == "request_done") {
       r.done = true;
@@ -256,10 +325,28 @@ int main(int argc, char** argv) {
           .num("solve_ms", phase(r, "solve") * 1000.0)
           .num("certify_ms", phase(r, "certify") * 1000.0)
           .num("cache_lookup_ms", phase(r, "cache_lookup") * 1000.0)
-          .num("total_ms", r.total_s * 1000.0);
+          .num("total_ms", r.total_s * 1000.0)
+          .num("search_samples", static_cast<std::int64_t>(r.samples.size()));
+      if (!r.samples.empty()) {
+        const SampleRec& last = r.samples.back();
+        o.num("last_sample_conflicts", last.conflicts)
+            .boolean("last_sample_final", last.final_sample);
+      }
       reqs.push(o.build());
     }
     out.raw("requests_detail", reqs.build());
+    JsonArray fds;
+    for (const FlightDumpRec& fd : flight_dumps) {
+      fds.push(JsonObject()
+                   .str("id", fd.id)
+                   .str("reason", fd.reason)
+                   .num("req", static_cast<std::int64_t>(fd.req))
+                   .num("count", fd.count)
+                   .num("embedded", fd.embedded)
+                   .boolean("has_search_sample", fd.has_search_sample)
+                   .build());
+    }
+    out.raw("flight_dumps", fds.build());
     JsonArray crit;
     for (const RequestRec* r : slowest) {
       JsonArray chain;
@@ -331,6 +418,31 @@ int main(int argc, char** argv) {
     std::printf("  %-5d %8d %12.3f %5.1f%%\n", tid, w.spans, w.busy_s,
                 wall_s > 0.0 ? std::min(100.0, 100.0 * w.busy_s / wall_s)
                              : 0.0);
+  }
+
+  if (!flight_dumps.empty()) {
+    std::printf("\nflight-recorder post-mortems:\n");
+    for (const FlightDumpRec& fd : flight_dumps) {
+      std::printf("  %-8s reason=%s events=%lld%s\n", fd.id.c_str(),
+                  fd.reason.c_str(), static_cast<long long>(fd.embedded),
+                  fd.has_search_sample ? " (incl. search_sample)" : "");
+    }
+  }
+
+  if (search_view) {
+    std::printf("\nsearch trajectories (one row per search_sample):\n");
+    for (const auto& [req, r] : requests) {
+      if (r.samples.empty()) continue;
+      std::printf("  %s:\n",
+                  r.id.empty() ? std::to_string(req).c_str() : r.id.c_str());
+      std::printf("    %9s %10s %9s %11s %8s %8s %6s\n", "ts(s)", "conflicts",
+                  "restarts", "props/s", "trail", "learnts", "lbd");
+      for (const SampleRec& s : r.samples) {
+        std::printf("    %9.3f %10.0f %9.0f %11.0f %8.0f %8.0f %6.2f%s\n",
+                    s.ts, s.conflicts, s.restarts, s.props_per_sec, s.trail,
+                    s.learnts, s.lbd_mean, s.final_sample ? " [final]" : "");
+      }
+    }
   }
   return balanced && bad_lines == 0 ? 0 : 1;
 }
