@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -15,6 +14,7 @@
 #include "obs/trace.hpp"
 #include "par/pool.hpp"
 #include "par/sharing.hpp"
+#include "util/mutex.hpp"
 #include "util/stopwatch.hpp"
 
 namespace optalloc::alloc {
@@ -96,10 +96,22 @@ PortfolioResult optimize_portfolio(const Problem& problem,
 
   PortfolioResult result;
   result.threads = n;
-  result.per_config.assign(static_cast<std::size_t>(n),
-                           OptimizeResult::Status::kBudgetExhausted);
-  result.per_config_stats.assign(static_cast<std::size_t>(n), OptimizeStats{});
-  std::mutex mutex;  // guards result.best / result.winner
+
+  // Winner arbitration: the race's verdict, written by whichever worker
+  // finishes; folded into `result` once every worker has joined.
+  struct Arbiter {
+    util::Mutex mu;
+    OptimizeResult best OPTALLOC_GUARDED_BY(mu);
+    int winner OPTALLOC_GUARDED_BY(mu) = -1;
+    std::vector<OptimizeResult::Status> per_config OPTALLOC_GUARDED_BY(mu);
+    std::vector<OptimizeStats> per_config_stats OPTALLOC_GUARDED_BY(mu);
+  } arb;
+  {
+    util::MutexLock lock(arb.mu);
+    arb.per_config.assign(static_cast<std::size_t>(n),
+                          OptimizeResult::Status::kBudgetExhausted);
+    arb.per_config_stats.assign(static_cast<std::size_t>(n), OptimizeStats{});
+  }
 
   // --- Shared cooperative state (see src/par). -------------------------
   // One clause pool per group of identically-encoding incremental workers;
@@ -156,25 +168,31 @@ PortfolioResult optimize_portfolio(const Problem& problem,
   // dropping the shared upper bound, so a sibling that observes the bound
   // always finds an allocation at least that good.
   struct Incumbent {
-    std::mutex mu;
-    bool has = false;
-    std::int64_t cost = 0;
-    rt::Allocation allocation;
+    util::Mutex mu;
+    bool has OPTALLOC_GUARDED_BY(mu) = false;
+    std::int64_t cost OPTALLOC_GUARDED_BY(mu) = 0;
+    rt::Allocation allocation OPTALLOC_GUARDED_BY(mu);
   } incumbent;
 
   // Serialized merged progress stream: one lock across all workers (no
   // overlapping callbacks) and a monotone merged interval — the greatest
   // lower bound and least upper bound reported by anyone so far.
   struct Merged {
-    std::mutex mu;
-    std::int64_t lower = std::numeric_limits<std::int64_t>::min();
-    std::int64_t upper = std::numeric_limits<std::int64_t>::max();
-    bool any = false;
-    bool has_incumbent = false;
-    std::int64_t incumbent_cost = -1;
-    std::vector<int> calls;  // per-worker latest sat_calls
+    util::Mutex mu;
+    std::int64_t lower OPTALLOC_GUARDED_BY(mu) =
+        std::numeric_limits<std::int64_t>::min();
+    std::int64_t upper OPTALLOC_GUARDED_BY(mu) =
+        std::numeric_limits<std::int64_t>::max();
+    bool any OPTALLOC_GUARDED_BY(mu) = false;
+    bool has_incumbent OPTALLOC_GUARDED_BY(mu) = false;
+    std::int64_t incumbent_cost OPTALLOC_GUARDED_BY(mu) = -1;
+    // Per-worker latest sat_calls.
+    std::vector<int> calls OPTALLOC_GUARDED_BY(mu);
   } merged;
-  merged.calls.assign(static_cast<std::size_t>(n), 0);
+  {
+    util::MutexLock lock(merged.mu);
+    merged.calls.assign(static_cast<std::size_t>(n), 0);
+  }
 
   // Workers inherit the submitting thread's trace context (request id /
   // span) so every event they emit — portfolio_start, solve, interval,
@@ -195,7 +213,7 @@ PortfolioResult optimize_portfolio(const Problem& problem,
     if (options.share_bounds) {
       opts.publish_incumbent = [&](std::int64_t cost,
                                    const rt::Allocation& alloc) {
-        std::lock_guard<std::mutex> lock(incumbent.mu);
+        util::MutexLock lock(incumbent.mu);
         if (!incumbent.has || cost < incumbent.cost) {
           incumbent.has = true;
           incumbent.cost = cost;
@@ -204,14 +222,14 @@ PortfolioResult optimize_portfolio(const Problem& problem,
       };
       opts.fetch_incumbent =
           [&]() -> std::optional<std::pair<std::int64_t, rt::Allocation>> {
-        std::lock_guard<std::mutex> lock(incumbent.mu);
+        util::MutexLock lock(incumbent.mu);
         if (!incumbent.has) return std::nullopt;
         return std::make_pair(incumbent.cost, incumbent.allocation);
       };
     }
     if (options.on_progress) {
       opts.on_progress = [&, index](const Progress& p) {
-        std::lock_guard<std::mutex> lock(merged.mu);
+        util::MutexLock lock(merged.mu);
         merged.any = true;
         merged.lower = std::max(merged.lower, p.lower);
         merged.upper = std::min(merged.upper, p.upper);
@@ -255,32 +273,32 @@ PortfolioResult optimize_portfolio(const Problem& problem,
       e.num("clauses_imported",
             static_cast<std::int64_t>(local.stats.clauses_imported));
     }
-    std::lock_guard<std::mutex> lock(mutex);
-    result.per_config[static_cast<std::size_t>(index)] = local.status;
-    result.per_config_stats[static_cast<std::size_t>(index)] = local.stats;
+    util::MutexLock lock(arb.mu);
+    arb.per_config[static_cast<std::size_t>(index)] = local.status;
+    arb.per_config_stats[static_cast<std::size_t>(index)] = local.stats;
     auto definitive = [](const OptimizeResult& r) {
       return r.status == OptimizeResult::Status::kOptimal ||
              r.status == OptimizeResult::Status::kInfeasible;
     };
     bool take = false;
-    if (result.winner < 0) {
+    if (arb.winner < 0) {
       take = true;  // first result of any kind
-    } else if (definitive(local) && !definitive(result.best)) {
+    } else if (definitive(local) && !definitive(arb.best)) {
       take = true;  // definitive beats anytime
-    } else if (definitive(local) && definitive(result.best) &&
-               local.certified && !result.best.certified) {
+    } else if (definitive(local) && definitive(arb.best) &&
+               local.certified && !arb.best.certified) {
       take = true;  // certified beats uncertified
-    } else if (!definitive(local) && !definitive(result.best) &&
+    } else if (!definitive(local) && !definitive(arb.best) &&
                local.has_allocation &&
-               (!result.best.has_allocation ||
-                local.cost < result.best.cost)) {
+               (!arb.best.has_allocation ||
+                local.cost < arb.best.cost)) {
       take = true;  // better anytime incumbent
     }
     if (take) {
-      result.best = std::move(local);
-      result.winner = index;
+      arb.best = std::move(local);
+      arb.winner = index;
     }
-    if (definitive(result.best)) {
+    if (definitive(arb.best)) {
       stop.store(true, std::memory_order_relaxed);
     }
   };
@@ -309,6 +327,14 @@ PortfolioResult optimize_portfolio(const Problem& problem,
   if (watcher.joinable()) {
     watcher_done.store(true, std::memory_order_relaxed);
     watcher.join();
+  }
+  {
+    // Workers have joined; fold the arbiter's verdict into the result.
+    util::MutexLock lock(arb.mu);
+    result.best = std::move(arb.best);
+    result.winner = arb.winner;
+    result.per_config = std::move(arb.per_config);
+    result.per_config_stats = std::move(arb.per_config_stats);
   }
 
   for (const OptimizeStats& s : result.per_config_stats) {

@@ -7,10 +7,10 @@
 #include <cstdio>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "util/mutex.hpp"
 
 namespace optalloc::obs {
 namespace {
@@ -43,23 +43,27 @@ struct Shard {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::string> names;
-  std::vector<MetricKind> kinds;
-  std::map<std::string, std::uint32_t, std::less<>> by_name;
-  std::vector<Shard*> live;
+  util::Mutex mutex;
+  std::vector<std::string> names OPTALLOC_GUARDED_BY(mutex);
+  std::vector<MetricKind> kinds OPTALLOC_GUARDED_BY(mutex);
+  std::map<std::string, std::uint32_t, std::less<>> by_name
+      OPTALLOC_GUARDED_BY(mutex);
+  std::vector<Shard*> live OPTALLOC_GUARDED_BY(mutex);
   // Totals folded in from exited threads.
-  std::int64_t retired_value[kMaxMetrics] = {};
-  std::uint64_t retired_ns[kMaxMetrics] = {};
-  // Gauges are process-wide levels, not per-thread accumulations.
+  std::int64_t retired_value[kMaxMetrics] OPTALLOC_GUARDED_BY(mutex) = {};
+  std::uint64_t retired_ns[kMaxMetrics] OPTALLOC_GUARDED_BY(mutex) = {};
+  // Gauges are process-wide levels, not per-thread accumulations
+  // (atomic, hence deliberately not GUARDED_BY).
   std::atomic<std::int64_t> gauges[kMaxMetrics] = {};
   // Histogram slots: metric id -> slot + 1 (0 = not a histogram). Read
-  // lock-free on the observe() hot path.
+  // lock-free on the observe() hot path (atomic; registration under the
+  // mutex, reads anywhere).
   std::atomic<int> hist_slot[kMaxMetrics] = {};
-  int num_hist_slots = 0;
+  int num_hist_slots OPTALLOC_GUARDED_BY(mutex) = 0;
   // Retired histogram buckets/sums folded in from exited threads.
-  std::vector<std::uint64_t> retired_hist[kMaxHistograms];
-  double retired_hist_sum[kMaxHistograms] = {};
+  std::vector<std::uint64_t> retired_hist[kMaxHistograms]
+      OPTALLOC_GUARDED_BY(mutex);
+  double retired_hist_sum[kMaxHistograms] OPTALLOC_GUARDED_BY(mutex) = {};
 };
 
 Registry& registry() {
@@ -75,13 +79,13 @@ struct ShardOwner {
 
   ShardOwner() {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    util::MutexLock lock(r.mutex);
     r.live.push_back(shard);
   }
 
   ~ShardOwner() {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    util::MutexLock lock(r.mutex);
     for (std::size_t i = 0; i < kMaxMetrics; ++i) {
       r.retired_value[i] += shard->value[i].load(std::memory_order_relaxed);
       r.retired_ns[i] += shard->ns[i].load(std::memory_order_relaxed);
@@ -111,7 +115,7 @@ Shard& local_shard() {
 
 Metric register_metric(std::string_view name, MetricKind kind) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   const auto it = r.by_name.find(name);
   if (it != r.by_name.end()) {
     if (r.kinds[it->second] != kind) {
@@ -279,7 +283,7 @@ ScopedTimer::~ScopedTimer() {
 
 std::vector<MetricValue> snapshot() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   const std::size_t n = r.names.size();
   std::vector<MetricValue> out(n);
   std::uint64_t merged[kHistBuckets];
@@ -337,7 +341,7 @@ std::vector<MetricValue> snapshot() {
 
 void reset_metrics() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   for (std::size_t i = 0; i < kMaxMetrics; ++i) {
     r.retired_value[i] = 0;
     r.retired_ns[i] = 0;

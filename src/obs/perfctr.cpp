@@ -35,6 +35,9 @@ struct Group {
   bool open = false;
 
   Group() {
+    // Read-only env probe; nothing in the process calls setenv, so the
+    // getenv data race the check guards against cannot occur here.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (std::getenv("OPTALLOC_NO_PERFCTR") != nullptr) return;
     for (int i = 0; i < kCounters; ++i) {
       perf_event_attr attr{};

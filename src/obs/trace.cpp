@@ -2,10 +2,10 @@
 
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace optalloc::obs {
 
@@ -16,9 +16,11 @@ std::atomic<bool> g_trace_on{false};
 namespace {
 
 struct Sink {
-  std::mutex mutex;
-  std::unique_ptr<std::ofstream> file;  // owned when tracing to a path
-  std::ostream* out = nullptr;          // active destination (file or external)
+  util::Mutex mutex;
+  // Owned when tracing to a path.
+  std::unique_ptr<std::ofstream> file OPTALLOC_GUARDED_BY(mutex);
+  // Active destination (file or external stream).
+  std::ostream* out OPTALLOC_GUARDED_BY(mutex) = nullptr;
   std::atomic<std::uint64_t> epoch_ns{0};  // trace-open time ("ts" base)
 };
 
@@ -120,7 +122,7 @@ void span_end_event(std::string_view name, const SpanContext& ctx,
 
 bool trace_open(const std::string& path) {
   Sink& s = sink();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
   if (!*file) return false;
   s.file = std::move(file);
@@ -132,7 +134,7 @@ bool trace_open(const std::string& path) {
 
 void trace_to_stream(std::ostream* os) {
   Sink& s = sink();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   s.file.reset();
   s.out = os;
   s.epoch_ns.store(monotonic_ns(), std::memory_order_relaxed);
@@ -141,7 +143,7 @@ void trace_to_stream(std::ostream* os) {
 
 void trace_flush() {
   Sink& s = sink();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   if (s.out != nullptr) s.out->flush();
 }
 
@@ -151,7 +153,7 @@ void trace_close() {
   // skip event construction; late events that already passed the guard
   // serialize on the mutex and find out == nullptr.
   detail::g_trace_on.store(false, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   if (s.out != nullptr) s.out->flush();
   s.file.reset();
   s.out = nullptr;
@@ -170,7 +172,7 @@ TraceEvent::TraceEvent(std::string_view type, const SpanContext& ctx) {
 
 TraceEvent::~TraceEvent() {
   Sink& s = sink();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  util::MutexLock lock(s.mutex);
   if (s.out == nullptr) return;
   *s.out << obj_.build() << '\n';
 }

@@ -19,7 +19,7 @@ void ClausePool::publish(int worker, std::span<const sat::Lit> lits,
                          std::uint32_t lbd) {
   assert(worker >= 0 && worker < num_workers());
   Shard& shard = *shards_[static_cast<std::size_t>(worker)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   SharedClause& slot = shard.ring[shard.head % capacity_];
   slot.lits.assign(lits.begin(), lits.end());
   slot.lbd = lbd;
@@ -36,7 +36,7 @@ std::size_t ClausePool::drain(int worker, Cursor& cursor,
     if (static_cast<int>(s) == worker) continue;
     if (taken >= max_clauses) break;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     std::uint64_t from = cursor.next[s];
     const std::uint64_t oldest =
         shard.head > capacity_ ? shard.head - capacity_ : 0;

@@ -21,11 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "sat/solver.hpp"
+#include "util/mutex.hpp"
 
 namespace optalloc::par {
 
@@ -77,9 +77,10 @@ class ClausePool {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<SharedClause> ring;  ///< slot i holds sequence head-ring+i... % cap
-    std::uint64_t head = 0;          ///< total clauses ever published
+    mutable util::Mutex mu;
+    /// slot i holds sequence head-ring+i... % cap
+    std::vector<SharedClause> ring OPTALLOC_GUARDED_BY(mu);
+    std::uint64_t head OPTALLOC_GUARDED_BY(mu) = 0;  ///< clauses published
   };
 
   std::size_t capacity_;

@@ -8,7 +8,6 @@ namespace optalloc::pb {
 
 using sat::Lit;
 using sat::Solver;
-using sat::Var;
 
 namespace {
 

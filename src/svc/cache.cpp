@@ -15,7 +15,7 @@ ResultCache::ResultCache(std::size_t capacity, int shards) {
 std::optional<CachedAnswer> ResultCache::get(const Fingerprint& key,
                                              std::string_view canonical_text) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   const auto it = s.index.find(key.a);
   if (it == s.index.end() || it->second->key != key ||
       it->second->text != canonical_text) {
@@ -30,7 +30,7 @@ std::optional<CachedAnswer> ResultCache::get(const Fingerprint& key,
 void ResultCache::put(const Fingerprint& key, std::string canonical_text,
                       CachedAnswer answer) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::MutexLock lock(s.mu);
   if (const auto it = s.index.find(key.a); it != s.index.end()) {
     // Refresh (or replace a colliding entry — last writer wins).
     it->second->key = key;
@@ -52,7 +52,7 @@ void ResultCache::put(const Fingerprint& key, std::string canonical_text,
 CacheStats ResultCache::stats() const {
   CacheStats total;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(s.mu);
     total.hits += s.stats.hits;
     total.misses += s.stats.misses;
     total.insertions += s.stats.insertions;
@@ -64,7 +64,7 @@ CacheStats ResultCache::stats() const {
 std::size_t ResultCache::size() const {
   std::size_t n = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(s.mu);
     n += s.lru.size();
   }
   return n;

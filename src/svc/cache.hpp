@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -22,6 +21,7 @@
 
 #include "rt/model.hpp"
 #include "svc/fingerprint.hpp"
+#include "util/mutex.hpp"
 
 namespace optalloc::svc {
 
@@ -69,10 +69,11 @@ class ResultCache {
     CachedAnswer answer;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
-    CacheStats stats;
+    mutable util::Mutex mu;
+    std::list<Entry> lru OPTALLOC_GUARDED_BY(mu);  ///< front = MRU
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index
+        OPTALLOC_GUARDED_BY(mu);
+    CacheStats stats OPTALLOC_GUARDED_BY(mu);
   };
 
   Shard& shard_for(const Fingerprint& key) {

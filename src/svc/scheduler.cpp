@@ -137,10 +137,15 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
   job->request = std::move(request);
   job->canon = canonicalize(job->request.problem, job->request.objective);
   job->submitted = Clock::now();
+  // Process-unique request id; every event below (and on the worker that
+  // later claims the job) carries it as "req". Assigned before the job is
+  // published in jobs_ — concurrent inspect()/request_trace_id() calls
+  // read it, so it must be immutable by the time anyone else can see it.
+  job->ctx.req = obs::next_span_id();
 
   std::size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!accepting_) {
       ++counters_.rejected;
       obs::add(metrics().rejected);
@@ -150,9 +155,6 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
     jobs_.emplace(job->id, job);
     depth = queue_.size();
   }
-  // Process-unique request id; every event below (and on the worker that
-  // later claims the job) carries it as "req".
-  job->ctx.req = obs::next_span_id();
   obs::ContextScope ctx_scope(job->ctx);
   obs::add(metrics().requests);
   if (obs::trace_enabled()) {
@@ -191,7 +193,7 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       ++counters_.submitted;
     }
     finalize(job, JobState::kDone, std::move(answer));
@@ -200,7 +202,7 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
   obs::add(metrics().cache_misses);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (queue_.size() >= options_.queue_capacity) {
       ++counters_.rejected;
       jobs_.erase(job->id);
@@ -208,19 +210,21 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
       return std::nullopt;
     }
     ++counters_.submitted;
+    // Cross-thread span: begun here, ended by the worker that claims the
+    // job (execute() knows the measured wait). Opened before the job is
+    // enqueued: once it is in queue_, a worker may claim it and read
+    // queue_span immediately — the enqueue is the publication point.
+    job->queue_span = obs::span_begin_event("queue_wait", job->ctx);
     queue_.push_back(job);
     obs::set(metrics().queue_depth,
              static_cast<std::int64_t>(queue_.size()));
   }
-  // Cross-thread span: begun here, ended by the worker that claims the
-  // job (execute() knows the measured wait).
-  job->queue_span = obs::span_begin_event("queue_wait", job->ctx);
   work_cv_.notify_one();
   return job->id;
 }
 
 std::optional<JobSnapshot> Scheduler::status(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   JobSnapshot snap;
@@ -234,7 +238,7 @@ std::optional<JobInspect> Scheduler::inspect(const std::string& id) const {
   std::shared_ptr<Job> job;
   JobInspect out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return std::nullopt;
     job = it->second;
@@ -258,14 +262,14 @@ std::optional<JobInspect> Scheduler::inspect(const std::string& id) const {
 
 std::optional<std::uint64_t> Scheduler::request_trace_id(
     const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   return it->second->ctx.req;
 }
 
 bool Scheduler::cancel(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   Job& job = *it->second;
@@ -282,7 +286,7 @@ std::optional<JobSnapshot> Scheduler::wait(const std::string& id,
   const auto deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(timeout_s));
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   const std::shared_ptr<Job> job = it->second;
@@ -290,8 +294,8 @@ std::optional<JobSnapshot> Scheduler::wait(const std::string& id,
     return job->state == JobState::kDone || job->state == JobState::kCancelled;
   };
   if (timeout_s <= 0.0) {
-    done_cv_.wait(lock, terminal);
-  } else if (!done_cv_.wait_until(lock, deadline, terminal)) {
+    lock.wait(done_cv_, terminal);
+  } else if (!lock.wait_until(done_cv_, deadline, terminal)) {
     return std::nullopt;
   }
   JobSnapshot snap;
@@ -302,8 +306,13 @@ std::optional<JobSnapshot> Scheduler::wait(const std::string& id,
 }
 
 void Scheduler::shutdown(bool drain) {
+  // First caller does the drain + join while holding shutdown_mu_ (mu_
+  // stays free so workers can make progress); concurrent callers block
+  // here until the join completes, then see joined_ and return. Without
+  // this, two callers could both reach t.join() on the same thread.
+  util::MutexLock shutdown_lock(shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (joined_) return;
     accepting_ = false;
     if (!drain) {
@@ -323,7 +332,7 @@ void Scheduler::shutdown(bool drain) {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   joined_ = true;
 }
 
@@ -331,7 +340,7 @@ ServiceStats Scheduler::stats() const {
   ServiceStats out;
   obs::LocalHistogram lat;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     out = counters_;
     out.queue_depth = queue_.size();
     lat = latencies_ms_;
@@ -348,8 +357,10 @@ void Scheduler::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+      util::MutexLock lock(mu_);
+      lock.wait(work_cv_, [this]() OPTALLOC_REQUIRES(mu_) {
+        return !queue_.empty() || !accepting_;
+      });
       if (queue_.empty()) {
         if (!accepting_) return;
         continue;
@@ -376,7 +387,7 @@ void Scheduler::worker_loop() {
       flight_postmortem(job->id, job->ctx.req, "worker_panic");
       bool terminal = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::MutexLock lock(mu_);
         terminal = job->state == JobState::kDone ||
                    job->state == JobState::kCancelled;
       }
@@ -402,7 +413,7 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
 
   bool cancelled_early = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     cancelled_early = job->cancel_requested;
   }
   if (cancelled_early) {
@@ -487,7 +498,7 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
 
   bool cancelled = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     cancelled = job->cancel_requested;
   }
 
@@ -548,10 +559,17 @@ void Scheduler::finalize(const std::shared_ptr<Job>& job, JobState state,
                          JobAnswer answer) {
   answer.total_seconds = seconds_since(job->submitted);
   const double total_ms = answer.total_seconds * 1000.0;
+  // Terminal facts, captured before the answer moves into the job: once
+  // mu_ is released below, job->answer belongs to the mu_-guarded state
+  // and concurrent status()/inspect() copies — re-reading it lock-free
+  // here would be exactly the unguarded access the annotations forbid.
+  const bool deadline_expired = answer.deadline_expired;
+  const bool proven_optimal = answer.proven_optimal;
+  const double total_seconds = answer.total_seconds;
   job->phase.store(static_cast<int>(JobPhase::kFinished),
                    std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     job->answer = std::move(answer);
     job->state = state;
     if (state == JobState::kCancelled) {
@@ -559,20 +577,20 @@ void Scheduler::finalize(const std::shared_ptr<Job>& job, JobState state,
     } else {
       ++counters_.completed;
     }
-    if (job->answer.deadline_expired) ++counters_.deadline_expired;
+    if (deadline_expired) ++counters_.deadline_expired;
     latencies_ms_.observe(total_ms);
   }
   obs::observe(metrics().request_ms, total_ms);
   done_cv_.notify_all();
   obs::add(state == JobState::kCancelled ? metrics().cancelled
                                          : metrics().completed);
-  if (job->answer.deadline_expired) obs::add(metrics().deadline_expired);
+  if (deadline_expired) obs::add(metrics().deadline_expired);
   if (obs::trace_enabled()) {
     obs::TraceEvent("request_done")
         .str("id", job->id)
         .str("state", job_state_name(state))
-        .boolean("proven_optimal", job->answer.proven_optimal)
-        .num("seconds", job->answer.total_seconds);
+        .boolean("proven_optimal", proven_optimal)
+        .num("seconds", total_seconds);
   }
 }
 

@@ -28,7 +28,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -38,6 +37,7 @@
 #include "obs/metrics.hpp"
 #include "svc/cache.hpp"
 #include "svc/fingerprint.hpp"
+#include "util/mutex.hpp"
 
 namespace optalloc::svc {
 
@@ -174,24 +174,32 @@ class Scheduler {
   void execute(const std::shared_ptr<Job>& job);
   /// Terminalize under the scheduler mutex and wake waiters.
   void finalize(const std::shared_ptr<Job>& job, JobState state,
-                JobAnswer answer);
+                JobAnswer answer) OPTALLOC_EXCLUDES(mu_);
 
   SchedulerOptions options_;
   ResultCache cache_;
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::condition_variable work_cv_;  ///< workers: queue / shutdown
   std::condition_variable done_cv_;  ///< waiters: job completions
-  std::map<std::string, std::shared_ptr<Job>> jobs_;
-  std::deque<std::shared_ptr<Job>> queue_;
-  std::vector<std::thread> workers_;
-  std::uint64_t next_id_ = 0;
-  bool accepting_ = true;
-  bool joined_ = false;
-  ServiceStats counters_;            ///< the counter fields only
+  /// Job fields with cross-thread state (`state`, `answer`,
+  /// `cancel_requested`) are likewise guarded by mu_; that guard crosses
+  /// the object boundary, which GUARDED_BY cannot name — it is enforced
+  /// by keeping every such access inside this class, under mu_.
+  std::map<std::string, std::shared_ptr<Job>> jobs_ OPTALLOC_GUARDED_BY(mu_);
+  std::deque<std::shared_ptr<Job>> queue_ OPTALLOC_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  ///< written in ctor, joined once
+  std::uint64_t next_id_ OPTALLOC_GUARDED_BY(mu_) = 0;
+  bool accepting_ OPTALLOC_GUARDED_BY(mu_) = true;
+  bool joined_ OPTALLOC_GUARDED_BY(mu_) = false;
+  /// Serializes shutdown(): the first caller joins the workers while
+  /// holding it (mu_ stays free so workers can finish); latecomers block
+  /// here until the join completes instead of racing t.join().
+  util::Mutex shutdown_mu_;
+  ServiceStats counters_ OPTALLOC_GUARDED_BY(mu_);  ///< counter fields only
   /// Bounded distribution of request latencies (ms): memory does not grow
   /// with request count, percentiles are within one bucket width (6.25%).
-  obs::LocalHistogram latencies_ms_;
+  obs::LocalHistogram latencies_ms_ OPTALLOC_GUARDED_BY(mu_);
 };
 
 }  // namespace optalloc::svc

@@ -57,6 +57,11 @@ class Server {
  private:
   void serve_connection(int fd);
 
+  // Capability map (no mutex on purpose): scheduler_ is internally
+  // synchronized; listen_fd_/tcp_port_/unix_path_ are written by
+  // listen_*() before run() starts and read-only afterwards;
+  // connections_ is owned by the run() thread alone (accept loop +
+  // final join); the cross-thread flags below are atomics.
   Scheduler scheduler_;
   int listen_fd_ = -1;
   int tcp_port_ = 0;
@@ -64,7 +69,7 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<bool> drained_{false};
   std::atomic<bool> drain_on_stop_{true};  ///< shutdown verb may clear
-  std::vector<std::thread> connections_;
+  std::vector<std::thread> connections_;   ///< run()-thread owned
 };
 
 }  // namespace optalloc::svc

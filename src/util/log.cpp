@@ -3,15 +3,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "obs/trace.hpp"
+#include "util/mutex.hpp"
 
 namespace optalloc {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kSilent};
-std::mutex g_mutex;
+/// Serializes whole-line writes to stderr (the guarded "data" is the
+/// stream position, which the annotations cannot name — write_line is the
+/// REQUIRES-annotated choke point instead).
+util::Mutex g_mutex;
+
+void write_line(const char* line, std::size_t len) OPTALLOC_REQUIRES(g_mutex) {
+  std::fwrite(line, 1, len, stderr);
+  std::fputc('\n', stderr);
+}
 
 void vlog(const char* suffix, const char* fmt, std::va_list args) {
   // Format into a local buffer first so the mutex only covers the write,
@@ -26,9 +34,8 @@ void vlog(const char* suffix, const char* fmt, std::va_list args) {
     if (n > 0) off = std::min(off + static_cast<std::size_t>(n),
                               sizeof line - 1);
   }
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fwrite(line, 1, off, stderr);
-  std::fputc('\n', stderr);
+  util::MutexLock lock(g_mutex);
+  write_line(line, off);
 }
 
 }  // namespace

@@ -1,0 +1,70 @@
+#pragma once
+// Thread-safety capability annotations: a thin macro layer over Clang's
+// -Wthread-safety attributes so the lock discipline of every concurrent
+// data structure (scheduler, cache, clause pools, metrics registry, trace
+// sink...) is machine-checked at compile time instead of only observed
+// dynamically by TSan. The macros expand to nothing on compilers without
+// the attributes (GCC), so the annotated code stays portable; the
+// `analyze` CMake preset builds src/ with clang and
+// -Werror=thread-safety, turning any violation into a build break.
+//
+// Vocabulary (see DESIGN.md §13 for the per-subsystem capability map):
+//   OPTALLOC_CAPABILITY("mutex")  — a class whose instances are lockable
+//   OPTALLOC_SCOPED_CAPABILITY    — an RAII guard that holds a capability
+//   OPTALLOC_GUARDED_BY(mu)      — data readable/writable only under mu
+//   OPTALLOC_PT_GUARDED_BY(mu)   — pointee guarded by mu (pointer free)
+//   OPTALLOC_REQUIRES(mu)        — caller must already hold mu
+//   OPTALLOC_ACQUIRE(mu) / OPTALLOC_RELEASE(mu)
+//                                 — function takes / drops the capability
+//   OPTALLOC_TRY_ACQUIRE(b, mu)  — conditional acquisition (returns b)
+//   OPTALLOC_EXCLUDES(mu)        — caller must NOT hold mu (deadlock
+//                                   guard for self-calling paths)
+//   OPTALLOC_ASSERT_CAPABILITY(mu)
+//                                 — runtime-checked "mu is held here"
+//   OPTALLOC_RETURN_CAPABILITY(mu)
+//                                 — accessor returning a reference to mu
+//   OPTALLOC_NO_THREAD_SAFETY_ANALYSIS
+//                                 — opt one function out (document why!)
+//
+// Annotate with the *public* alias of a guard where one exists; analysis
+// matches capabilities syntactically (this->mu_ vs other->mu_ are
+// distinct), so guards crossing object boundaries — e.g. Scheduler::Job
+// fields protected by the owning Scheduler's mutex — cannot be expressed
+// as GUARDED_BY and are instead enforced through OPTALLOC_REQUIRES
+// helper functions on the owner (plus a comment on the field).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OPTALLOC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef OPTALLOC_THREAD_ANNOTATION
+#define OPTALLOC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define OPTALLOC_CAPABILITY(x) OPTALLOC_THREAD_ANNOTATION(capability(x))
+#define OPTALLOC_SCOPED_CAPABILITY OPTALLOC_THREAD_ANNOTATION(scoped_lockable)
+#define OPTALLOC_GUARDED_BY(x) OPTALLOC_THREAD_ANNOTATION(guarded_by(x))
+#define OPTALLOC_PT_GUARDED_BY(x) OPTALLOC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define OPTALLOC_REQUIRES(...) \
+  OPTALLOC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define OPTALLOC_REQUIRES_SHARED(...) \
+  OPTALLOC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define OPTALLOC_ACQUIRE(...) \
+  OPTALLOC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define OPTALLOC_ACQUIRE_SHARED(...) \
+  OPTALLOC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define OPTALLOC_RELEASE(...) \
+  OPTALLOC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define OPTALLOC_RELEASE_SHARED(...) \
+  OPTALLOC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define OPTALLOC_TRY_ACQUIRE(...) \
+  OPTALLOC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define OPTALLOC_EXCLUDES(...) \
+  OPTALLOC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define OPTALLOC_ASSERT_CAPABILITY(x) \
+  OPTALLOC_THREAD_ANNOTATION(assert_capability(x))
+#define OPTALLOC_RETURN_CAPABILITY(x) \
+  OPTALLOC_THREAD_ANNOTATION(lock_returned(x))
+#define OPTALLOC_NO_THREAD_SAFETY_ANALYSIS \
+  OPTALLOC_THREAD_ANNOTATION(no_thread_safety_analysis)

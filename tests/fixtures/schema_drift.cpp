@@ -1,0 +1,11 @@
+// Drift fixture for the schema_audit ctest (never compiled or linked —
+// schema_audit scans it as text via --also). It emits an event kind that
+// has no rule in trace_schema_check.cpp and no README row, so the audit
+// must exit non-zero; the `schema_audit_detects_drift` test is WILL_FAIL
+// and turns that into a pass. If schema_audit ever stops noticing this
+// site, the suite fails.
+#include "obs/trace.hpp"
+
+void schema_drift_fixture() {
+  optalloc::obs::TraceEvent("rogue_undocumented_event").num("x", 1);
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writes a GUARDED_BY
+// field without holding its mutex. The negative-compile harness asserts
+// clang rejects this TU — proving the annotations in util/mutex.hpp are
+// live, not inert macros.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int v) {
+    balance_ += v;  // no lock held: -Wthread-safety must fire here
+  }
+
+ private:
+  optalloc::util::Mutex mu_;
+  int balance_ OPTALLOC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void negative_compile_guarded_by_violation() {
+  Account a;
+  a.deposit(1);
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calls a
+// REQUIRES-annotated function without holding the capability. The
+// negative-compile harness asserts clang rejects this TU.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    bump_locked();  // mu_ not held: -Wthread-safety must fire here
+  }
+
+ private:
+  void bump_locked() OPTALLOC_REQUIRES(mu_) { ++n_; }
+  optalloc::util::Mutex mu_;
+  int n_ OPTALLOC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void negative_compile_missing_requires() {
+  Counter c;
+  c.bump();
+}

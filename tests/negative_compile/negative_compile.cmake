@@ -1,0 +1,55 @@
+# Negative-compile harness for the thread-safety annotations
+# (run via `cmake -P`, registered as the `negative_compile_thread_safety`
+# ctest in tests/CMakeLists.txt).
+#
+# Proves the capability annotations in src/util/thread_annotations.hpp
+# are live under clang: the positive control must compile clean with
+# -Werror=thread-safety, and each violation TU must be REJECTED with a
+# thread-safety diagnostic (any other failure mode — missing header,
+# syntax error — still fails the harness, so a broken include path can't
+# masquerade as a passing rejection).
+#
+# Inputs: -DCLANGXX=<clang++ or NOTFOUND> -DSRC_DIR=<repo>/src
+#         -DCASE_DIR=<this directory>
+# clang++ absent (the g++-only dev container): prints the skip token
+# matched by the test's SKIP_REGULAR_EXPRESSION. CI installs clang, so
+# the harness always runs there.
+
+if(NOT CLANGXX OR CLANGXX STREQUAL "CLANGXX-NOTFOUND")
+  message(STATUS "NEGATIVE_COMPILE_SKIP: clang++ not found on this host")
+  return()
+endif()
+
+set(flags -std=c++20 -fsyntax-only -I${SRC_DIR}
+          -Wthread-safety -Wthread-safety-beta -Werror=thread-safety)
+
+function(try_case tu expect_failure)
+  execute_process(
+      COMMAND ${CLANGXX} ${flags} ${CASE_DIR}/${tu}
+      RESULT_VARIABLE rc
+      ERROR_VARIABLE err
+      OUTPUT_VARIABLE out)
+  if(NOT expect_failure)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+          "positive control ${tu} failed to compile (rc=${rc}):\n${err}")
+    endif()
+    message(STATUS "${tu}: compiles clean (positive control)")
+    return()
+  endif()
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "${tu} compiled successfully but must be rejected — the "
+        "thread-safety annotations are inert")
+  endif()
+  if(NOT err MATCHES "thread-safety")
+    message(FATAL_ERROR
+        "${tu} failed for the wrong reason (no thread-safety "
+        "diagnostic, rc=${rc}):\n${err}")
+  endif()
+  message(STATUS "${tu}: rejected with a thread-safety diagnostic, as required")
+endfunction()
+
+try_case(positive_control.cpp FALSE)
+try_case(guarded_by_violation.cpp TRUE)
+try_case(missing_requires.cpp TRUE)

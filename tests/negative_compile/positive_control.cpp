@@ -1,0 +1,46 @@
+// Positive control for the thread-safety negative-compile harness:
+// the same shapes as the violation TUs, locked correctly. Must compile
+// clean under -Werror=thread-safety — if it doesn't, the harness would
+// be "proving" rejection with a broken baseline.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int v) {
+    optalloc::util::MutexLock lock(mu_);
+    balance_ += v;
+  }
+  int balance() {
+    optalloc::util::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  optalloc::util::Mutex mu_;
+  int balance_ OPTALLOC_GUARDED_BY(mu_) = 0;
+};
+
+class Counter {
+ public:
+  void bump() {
+    optalloc::util::MutexLock lock(mu_);
+    bump_locked();
+  }
+
+ private:
+  void bump_locked() OPTALLOC_REQUIRES(mu_) { ++n_; }
+  optalloc::util::Mutex mu_;
+  int n_ OPTALLOC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int negative_compile_positive_control() {
+  Account a;
+  a.deposit(1);
+  Counter c;
+  c.bump();
+  return a.balance();
+}

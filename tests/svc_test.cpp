@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -13,6 +14,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "alloc/cost.hpp"
 #include "alloc/io.hpp"
@@ -321,6 +323,97 @@ TEST(Scheduler, BoundedQueueRejectsOverflow) {
 }
 
 // --- Protocol ----------------------------------------------------------
+
+// --- Lock-discipline regressions ---------------------------------------
+//
+// Each test pins a race the thread-safety annotation sweep surfaced.
+// They are functional here and data-race detectors in the TSan CI job
+// (which runs this suite via -R SchedulerRace): with the fixes reverted,
+// TSan reports the racing pair; without TSan the shutdown test still
+// crashes on the double-join.
+
+// submit() used to publish the job (jobs_.emplace / queue_.push_back)
+// and only then assign ctx.req and queue_span — so a worker claiming the
+// job immediately, or a concurrent inspect(), read those fields while
+// submit() was still writing them. Both are now assigned before the job
+// is reachable by anyone else. Distinct instances per submission keep
+// the cache out of the way (a hit would complete the job inline and
+// never touch a worker).
+TEST(SchedulerRace, SubmitVsWorkerAndInspectAssignsBeforePublication) {
+  Scheduler scheduler(quick_options(4));
+
+  std::vector<std::string> ids;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> known{0};
+  // Two readers hammer inspect/status/request_trace_id on every id the
+  // submitter has published so far, racing the workers and finalize().
+  std::vector<std::string> shared_ids(64);
+  auto reader = [&]() {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::size_t n = known.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto live = scheduler.inspect(shared_ids[i]);
+        ASSERT_TRUE(live.has_value());
+        EXPECT_NE(live->req, 0u);  // assigned before publication
+        const auto req = scheduler.request_trace_id(shared_ids[i]);
+        ASSERT_TRUE(req.has_value());
+        EXPECT_NE(*req, 0u);
+        scheduler.status(shared_ids[i]);
+      }
+    }
+  };
+  std::thread r1(reader);
+  std::thread r2(reader);
+
+  for (int i = 0; i < 24; ++i) {
+    JobRequest request;
+    // Vary the memory budget so every instance fingerprints differently.
+    std::string text(kSystem);
+    const auto pos = text.find("memory 0 100");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 12, "memory 0 " + std::to_string(100 + i));
+    request.problem = parse(text);
+    request.objective = alloc::Objective::sum_trt();
+    const auto id = scheduler.submit(request);
+    ASSERT_TRUE(id.has_value());
+    shared_ids[static_cast<std::size_t>(i)] = *id;
+    known.store(static_cast<std::size_t>(i) + 1, std::memory_order_release);
+    ids.push_back(*id);
+  }
+  for (const auto& id : ids) {
+    const auto snap = scheduler.wait(id, 120.0);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->state, JobState::kDone);
+    EXPECT_TRUE(snap->answer.proven_optimal);
+  }
+  stop.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  scheduler.shutdown(/*drain=*/true);
+}
+
+// shutdown() used to let two concurrent callers both reach t.join() on
+// the same std::thread (joined_ flipped only after the joins) — UB that
+// typically terminates. It is now serialized by a dedicated shutdown
+// mutex held across the drain + join, with mu_ free so workers progress.
+TEST(SchedulerRace, ConcurrentShutdownJoinsWorkersExactlyOnce) {
+  Scheduler scheduler(quick_options(2));
+  for (int i = 0; i < 4; ++i) {
+    JobRequest request;
+    request.problem = parse(kSystem);
+    request.objective = alloc::Objective::sum_trt();
+    scheduler.submit(request);
+  }
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&scheduler]() { scheduler.shutdown(true); });
+  }
+  for (auto& t : stoppers) t.join();
+  scheduler.shutdown(true);  // still idempotent afterwards
+  const ServiceStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed + stats.cancelled, stats.submitted);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
 
 TEST(Protocol, ParsesRequestsAndRejectsGarbage) {
   std::string error;

@@ -31,6 +31,12 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
       {"solve", {"call", "result", "conflicts", "seconds"}},
       {"interval", {"lower", "upper", "sat_calls"}},
       {"optimum", {"status", "lower", "sat_calls", "seconds"}},
+      // Portfolio bound propagation: a worker adopting the shared
+      // interval (src/alloc/portfolio).
+      {"bound_sync", {"lower", "upper"}},
+      // Certification checkpoints (model / proof / allocation re-checks);
+      // "error" and proof-lemma counts are conditional, "kind"/"ok" are not.
+      {"certify", {"kind", "ok"}},
       {"solver_restart", {"restarts", "conflicts", "learnts"}},
       // Search-trajectory samples (sat::Solver::sample_interval).
       {"search_sample",
@@ -53,6 +59,9 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
       // Allocation service (alloc_serve) request lifecycle.
       {"request_received", {"id", "objective"}},
       {"cache_hit", {"id"}},
+      // A scheduler worker caught an exception from the optimizer; the
+      // job is failed, not lost.
+      {"worker_panic", {"id", "error"}},
       {"deadline_expired", {"id"}},
       {"request_done", {"id", "state", "proven_optimal", "seconds"}},
       // Request correlation (see src/obs/trace.hpp).
