@@ -64,6 +64,12 @@ inline RunOutcome run_experiment(const alloc::Problem& problem,
 
   alloc::OptimizeOptions opts = base_options;
   opts.time_limit_s = time_limit > 0.0 ? time_limit : budget_seconds();
+  // Ablation hook for tools/bench_diff: OPTALLOC_NO_INPROCESS=1 reruns
+  // any table bench with clause-DB inprocessing disabled, so the on/off
+  // artifacts can be diffed (see EXPERIMENTS.md).
+  if (const char* env = std::getenv("OPTALLOC_NO_INPROCESS")) {
+    if (env[0] != '\0' && env[0] != '0') opts.inprocess = false;
+  }
   if (out.sa.feasible) {
     opts.initial_upper = out.sa.cost;
     opts.warm_start = out.sa.allocation;

@@ -56,7 +56,8 @@ int usage(const char* prog) {
                "usage: %s <file|-> [objective] [--time <seconds>] "
                "[--timeout <ms>] "
                "[--trace <file>] [--stats] [--report] [--dot] "
-               "[--certify] [--proof <file>] [--threads <n> | --portfolio]\n",
+               "[--certify] [--proof <file>] [--threads <n> | --portfolio] "
+               "[--no-inprocess] [--inprocess-interval <conflicts>]\n",
                prog);
   return 2;
 }
@@ -93,6 +94,17 @@ int main(int argc, char** argv) {
       want_stats = true;
     } else if (std::strcmp(argv[i], "--certify") == 0) {
       opts.certify = true;
+    } else if (std::strcmp(argv[i], "--no-inprocess") == 0) {
+      opts.inprocess = false;
+    } else if (std::strcmp(argv[i], "--inprocess-interval") == 0 &&
+               i + 1 < argc) {
+      opts.inprocess_interval = std::atoll(argv[++i]);
+      if (opts.inprocess_interval <= 0) {
+        std::fprintf(stderr,
+                     "error: --inprocess-interval wants a positive conflict "
+                     "count\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--proof") == 0 && i + 1 < argc) {
       proof_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {

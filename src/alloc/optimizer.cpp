@@ -42,6 +42,13 @@ void apply_tuning(sat::Solver& solver, const SolverTuning& t) {
   if (t.seed != 0) solver.set_random_seed(t.seed);
 }
 
+void apply_inprocess(sat::Solver& solver, const OptimizeOptions& options) {
+  solver.inprocess = options.inprocess;
+  if (options.inprocess_interval > 0) {
+    solver.inprocess_interval = options.inprocess_interval;
+  }
+}
+
 const char* verdict_name(sat::LBool v) {
   switch (v) {
     case sat::LBool::kTrue: return "sat";
@@ -414,6 +421,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
                                : options.certify ? &local_proof : nullptr;
     AllocEncoder enc(problem, objective, options.encoder);
     if (options.tuning) apply_tuning(enc.solver(), *options.tuning);
+    apply_inprocess(enc.solver(), options);
     if (proof != nullptr) enc.set_proof(proof);
 
     auto finish = [&](OptimizeResult::Status status) {
@@ -563,6 +571,7 @@ OptimizeResult optimize(const Problem& problem, Objective objective,
     unsat_steps.clear();
     AllocEncoder enc(problem, objective, options.encoder);
     if (options.tuning) apply_tuning(enc.solver(), *options.tuning);
+    apply_inprocess(enc.solver(), options);
     if (options.certify) enc.set_proof(&call_proof);
     bool built = false;
     {

@@ -92,6 +92,11 @@ struct OptimizeOptions {
   const std::atomic<bool>* stop = nullptr;
   /// Solver diversification (see SolverTuning); absent = solver defaults.
   std::optional<SolverTuning> tuning;
+  /// Clause-database inprocessing at restart boundaries (subsumption,
+  /// vivification, bounded variable elimination — see sat/inprocess.hpp).
+  bool inprocess = true;
+  /// Conflicts between inprocessing passes; 0 keeps the solver default.
+  std::int64_t inprocess_interval = 0;
   /// Cooperative parallel search handle (wired by the portfolio; see
   /// src/par): clause exchange with sibling workers plus the shared cost
   /// interval. Not owned. When a proof log is active (certify/proof),

@@ -255,7 +255,15 @@ Bit BitBlaster::equal(const BitVec& a, const BitVec& b) {
 const BitVec& BitBlaster::encode_int(NodeId id) {
   const auto key = static_cast<std::int32_t>(id);
   if (const auto it = int_cache_.find(key); it != int_cache_.end()) {
-    return it->second;
+    // Solver inprocessing may have eliminated a cached gate variable
+    // between solve() calls; the entry is then stale — referencing it in
+    // new encoding would resurrect a removed variable. Re-encode the node
+    // fresh (a sound Tseitin re-definition: the eliminated formula is
+    // equisatisfiability-preserving, so alive cached operands keep their
+    // functional meaning). Leaf variables are frozen below and can never
+    // go stale.
+    if (!vec_stale(it->second)) return it->second;
+    int_cache_.erase(it);
   }
   const ir::Node& n = ctx_.node(id);
   const int w = width_for(n.range);
@@ -267,6 +275,10 @@ const BitVec& BitBlaster::encode_int(NodeId id) {
     case Op::kIntVar: {
       result.reserve(static_cast<std::size_t>(w));
       for (int i = 0; i < w; ++i) result.push_back(fresh());
+      // Leaf bits are the decode/hint interface and must keep their
+      // identity across solves: never let inprocessing eliminate them
+      // (re-encoding a leaf would create an unconstrained alias).
+      for (const Bit& b : result) solver_.set_frozen(b.lit.var());
       // Constrain to the declared range where the width is not exact.
       const std::int64_t repr_lo = -(std::int64_t{1} << (w - 1));
       const std::int64_t repr_hi = (std::int64_t{1} << (w - 1)) - 1;
@@ -316,7 +328,9 @@ const BitVec& BitBlaster::encode_int(NodeId id) {
 Bit BitBlaster::encode_bool(NodeId id) {
   const auto key = static_cast<std::int32_t>(id);
   if (const auto it = bool_cache_.find(key); it != bool_cache_.end()) {
-    return it->second;
+    // Stale after variable elimination: re-encode (see encode_int).
+    if (!bit_stale(it->second)) return it->second;
+    bool_cache_.erase(it);
   }
   const ir::Node& n = ctx_.node(id);
   Bit result;
@@ -326,6 +340,8 @@ Bit BitBlaster::encode_bool(NodeId id) {
       break;
     case Op::kBoolVar:
       result = fresh();
+      // Leaf variable: frozen for the same reason as integer leaf bits.
+      solver_.set_frozen(result.lit.var());
       break;
     case Op::kNot:
       result = b_not(encode_bool(n.a));

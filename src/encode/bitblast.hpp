@@ -146,6 +146,20 @@ class BitBlaster {
   /// Smallest width whose signed range covers [r.lo, r.hi].
   static int width_for(ir::Range r);
 
+  /// Cache staleness after solver inprocessing: a cached encoding whose
+  /// variable was eliminated must not be referenced by new encoding; it is
+  /// treated as a miss and the node re-encoded. Decoding stale entries is
+  /// still fine — eliminated variables get model values reconstructed.
+  bool bit_stale(const Bit& b) const {
+    return !b.is_const() && solver_.is_eliminated(b.lit.var());
+  }
+  bool vec_stale(const BitVec& v) const {
+    for (const Bit& b : v) {
+      if (bit_stale(b)) return true;
+    }
+    return false;
+  }
+
   void add_clause(std::initializer_list<sat::Lit> lits);
 
   const ir::Context& ctx_;

@@ -4,6 +4,14 @@ namespace optalloc::par {
 
 void SharingClient::attach(sat::Solver& solver, std::int32_t var_limit) {
   if (pool_ == nullptr) return;
+  // The export range is the base encoding shared by every worker: foreign
+  // clauses may arrive over any of these variables at any time, so none of
+  // them may be eliminated by inprocessing (imports over a locally
+  // eliminated variable would otherwise have to be dropped, eroding the
+  // portfolio's clause exchange).
+  for (sat::Var v = 0; v < var_limit && v < solver.num_vars(); ++v) {
+    solver.set_frozen(v);
+  }
   sat::Solver::ShareHooks hooks;
   hooks.max_export_lbd = max_export_lbd;
   hooks.max_export_size = max_export_size;

@@ -96,6 +96,9 @@ bool PbPropagator::add(Constraint c) {
   }
 
   const auto id = static_cast<std::uint32_t>(constraints_.size());
+  // The propagator holds literal references to these variables for the
+  // solver's whole lifetime — inprocessing must never eliminate them.
+  for (const Term& t : c.terms) solver_.set_frozen(t.lit.var());
   Watched w;
   w.c = std::move(c);
   w.total = w.c.total();

@@ -49,9 +49,10 @@ class Clause {
   std::uint32_t lbd() const { return lbd_; }
   void set_lbd(std::uint32_t lbd) { lbd_ = lbd; }
 
-  /// Shrink the clause in place (used by level-0 strengthening and
-  /// conflict-clause minimization before allocation never needs this;
-  /// kept for simplify()).
+  /// Shrink the clause in place. Note: this only rewrites the header — it
+  /// does not credit the dropped literal words to the arena's wasted
+  /// count. In-arena callers must go through ClauseArena::shrink_clause,
+  /// or the GC trigger undercounts garbage.
   void shrink(std::uint32_t new_size) {
     assert(new_size <= size());
     header_ = (new_size << 3) | (header_ & 7u);
@@ -104,6 +105,18 @@ class ClauseArena {
 
   /// Mark a clause as freed; its words become wasted until the next GC.
   void free_clause(CRef r) { wasted_ += 3 + deref(r).size(); }
+
+  /// Shrink a clause in place (strengthening), crediting the dropped
+  /// literal words to `wasted_` so the GC trigger sees them. The caller
+  /// must have moved the surviving literals to the front. Interacts
+  /// consistently with free_clause/reloc, which both use the *current*
+  /// size.
+  void shrink_clause(CRef r, std::uint32_t new_size) {
+    Clause& c = deref(r);
+    assert(new_size >= 1 && new_size <= c.size());
+    wasted_ += c.size() - new_size;
+    c.shrink(new_size);
+  }
 
   std::size_t size() const { return mem_.size(); }
   std::size_t wasted() const { return wasted_; }

@@ -76,6 +76,8 @@ Var Solver::new_var(bool decision) {
   decision_.push_back(static_cast<char>(decision));
   seen_.push_back(0);
   lbd_seen_.push_back(0);
+  frozen_.push_back(0);
+  eliminated_.push_back(0);
   if (decision) {
     decision_vars_.push_back(v);
     order_.insert(v);
@@ -92,12 +94,22 @@ bool Solver::add_theory_clause(std::span<const Lit> lits) {
   return add_clause_impl(lits, /*theory=*/true);
 }
 
-bool Solver::add_clause_impl(std::span<const Lit> lits, bool theory) {
+bool Solver::add_clause_impl(std::span<const Lit> lits, bool theory,
+                             bool log_input) {
   assert(decision_level() == 0);
+  if (!ok_) return false;
+  // A clause over an eliminated variable would silently invalidate that
+  // elimination's model reconstruction, so the variable is restored
+  // first (see restore_var). Restoration may itself cascade and can even
+  // derive top-level UNSAT while re-propagating.
+  for (const Lit l : lits) {
+    if (is_eliminated(l.var())) restore_var(l.var());
+  }
   if (!ok_) return false;
   // Log the clause as given: the normalized form below is recovered by the
   // checker's own unit propagation, so re-logging it would be redundant.
-  if (proof_) {
+  // (Restored clauses skip this — they are still live in the checker.)
+  if (proof_ && log_input) {
     if (theory) {
       proof_->add_theory(lits);
     } else {
@@ -168,12 +180,15 @@ bool Solver::locked(CRef cref) const {
   return value(c[0]) == LBool::kTrue && vardata_[v].reason == cref;
 }
 
-void Solver::remove_clause(CRef cref) {
+void Solver::remove_clause(CRef cref, bool log_delete) {
   const Clause& c = arena_.deref(cref);
   // Theory reason clauses are ephemeral and never proof-logged as
   // deletions: keeping them in the checker DB is sound (RUP only gets
-  // stronger) and they may still back an UNSAT core.
-  if (proof_ && !c.theory()) proof_->add_delete(c.lits());
+  // stronger) and they may still back an UNSAT core. Elimination-removed
+  // clauses pass log_delete=false for the same reason: staying live in
+  // the RUP checker is what lets restore_var() re-attach them without
+  // any proof traffic.
+  if (proof_ && log_delete && !c.theory()) proof_->add_delete(c.lits());
   detach_clause(cref);
   // A locked clause must stay alive as a reason; callers check locked().
   assert(!locked(cref));
@@ -500,6 +515,11 @@ bool Solver::attach_imported(const SharedClause& sc) {
   import_scratch_.clear();
   for (const Lit l : sc.lits) {
     if (l.var() < 0 || l.var() >= num_vars()) return true;  // malformed: drop
+    // A foreign clause over a locally eliminated variable cannot be
+    // attached: the variable no longer exists here and re-introducing it
+    // would break model reconstruction. Sharing clients freeze the export
+    // range, so this only rejects clauses from outside it.
+    if (eliminated_[l.var()] != 0) return true;
     if (value(l) == LBool::kTrue) return true;  // satisfied at level 0
     if (value(l) != LBool::kFalse) import_scratch_.push_back(l);
   }
@@ -845,6 +865,14 @@ LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
   lbd_window_count_ = 0;
 
   assumptions_.assign(assumptions.begin(), assumptions.end());
+  for (const Lit a : assumptions_) {
+    // An assumption over an eliminated variable restores it (restore_var
+    // also freezes); restoration can expose top-level UNSAT, which the
+    // search loop below reports through maybe_inprocess()'s ok_ check.
+    if (is_eliminated(a.var())) restore_var(a.var());
+    // Assumed once -> may be assumed again; never eliminable from here on.
+    frozen_[a.var()] = 1;
+  }
   conflict_budget_ =
       budget.conflicts > 0
           ? static_cast<std::int64_t>(stats_.conflicts) + budget.conflicts
@@ -868,6 +896,14 @@ LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
       status = LBool::kFalse;
       break;
     }
+    // Inprocess when the conflict schedule says so (the first iteration of
+    // the first solve acts as a preprocessing pass). A pass may derive
+    // top-level UNSAT, which holds regardless of the assumptions.
+    if (!maybe_inprocess()) {
+      conflict_core_.clear();
+      status = LBool::kFalse;
+      break;
+    }
     status = search(static_cast<std::int64_t>(luby(restart)) * restart_base);
     if (status == LBool::kUndef && budget_exhausted()) break;
   }
@@ -880,6 +916,7 @@ LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
   }
   if (status == LBool::kTrue) {
     model_ = assigns_;
+    extend_model();
   }
   cancel_until(0);
   assumptions_.clear();

@@ -75,6 +75,14 @@ struct SolverStats {
   std::uint64_t theory_propagations = 0;
   std::uint64_t gc_runs = 0;
   std::uint64_t random_decisions = 0;
+  /// Inprocessing (subsumption / self-subsuming resolution, vivification,
+  /// bounded variable elimination; see sat/inprocess.hpp).
+  std::uint64_t inprocess_passes = 0;
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t strengthened_clauses = 0;
+  std::uint64_t eliminated_vars = 0;
+  std::uint64_t restored_vars = 0;
+  std::uint64_t inprocess_reclaimed_words = 0;
   /// Clause-exchange traffic (cooperative portfolio only).
   std::uint64_t clauses_exported = 0;
   std::uint64_t clauses_imported = 0;
@@ -148,6 +156,30 @@ class Solver {
   bool simplify();
 
   const SolverStats& stats() const { return stats_; }
+
+  // --- Inprocessing / frozen variables ----------------------------------
+
+  /// Freeze a variable: inprocessing may never eliminate it. Freezing is
+  /// how external references are declared — theory-propagator terms,
+  /// clause-sharing export ranges, anything a later add_clause or
+  /// assumption might mention. Assumption variables are frozen
+  /// automatically (and permanently) at solve() entry; every other owner
+  /// must freeze before the first solve that could run a pass.
+  void set_frozen(Var v, bool frozen = true) {
+    frozen_[v] = static_cast<char>(frozen);
+  }
+  bool is_frozen(Var v) const { return frozen_[v] != 0; }
+
+  /// True once inprocessing removed `v` by bounded variable elimination.
+  /// On SAT its model value is reconstructed from the elimination stack,
+  /// so model_value() is always defined over the original formula. An
+  /// eliminated variable that reappears in a later add_clause or
+  /// assumption is transparently *restored* first (its removed clauses
+  /// re-attached, its reconstruction entries dropped, the variable frozen
+  /// from then on) — the incremental-inprocessing discipline of
+  /// Fazekas/Biere/Scholl, so incremental callers never observe
+  /// elimination at all. Freezing up front merely avoids the restore.
+  bool is_eliminated(Var v) const { return eliminated_[v] != 0; }
 
   // --- Trail inspection (used by theory propagators) --------------------
 
@@ -253,8 +285,16 @@ class Solver {
   /// dropping its last literal, in both the clause DB and the proof log.
   /// A sound checker must then reject the proof. 0 = off.
   std::uint64_t test_corrupt_learnt = 0;
+  /// Run inprocessing passes (subsumption, vivification, bounded variable
+  /// elimination) at restart boundaries. The first pass fires before the
+  /// first descent, i.e. doubles as preprocessing.
+  bool inprocess = true;
+  /// Conflicts between inprocessing passes; the interval doubles after
+  /// every pass (geometric backoff).
+  std::int64_t inprocess_interval = 4000;
 
  private:
+  friend class Inprocessor;
   // Reason for an assignment: clause reference or kUndefClause (decision /
   // assumption / top-level unit).
   struct VarData {
@@ -268,10 +308,11 @@ class Solver {
   };
 
   // Construction helpers.
-  bool add_clause_impl(std::span<const Lit> lits, bool theory);
+  bool add_clause_impl(std::span<const Lit> lits, bool theory,
+                       bool log_input = true);
   void attach_clause(CRef cref);
   void detach_clause(CRef cref);
-  void remove_clause(CRef cref);
+  void remove_clause(CRef cref, bool log_delete = true);
   bool locked(CRef cref) const;
 
   // Search machinery.
@@ -303,6 +344,11 @@ class Solver {
   void maybe_export(std::span<const Lit> lits, std::uint32_t lbd);
   bool import_shared();  ///< drain + attach foreign clauses; returns ok_
   bool attach_imported(const SharedClause& sc);
+
+  // Inprocessing (defined in inprocess.cpp).
+  bool maybe_inprocess();  ///< run a pass when due; returns ok_
+  void extend_model();     ///< replay elim_stack_ onto model_ after SAT
+  void restore_var(Var v); ///< undo an elimination whose variable is reused
 
   // Clause database.
   ClauseArena arena_;
@@ -348,6 +394,25 @@ class Solver {
   std::vector<Lit> assumptions_;
   std::vector<LBool> model_;
   std::vector<Lit> conflict_core_;
+
+  // Inprocessing state.
+  std::vector<char> frozen_;      ///< never eliminate (external references)
+  std::vector<char> eliminated_;  ///< removed by variable elimination
+  /// Model-reconstruction stack: per stored clause the literal indices
+  /// (eliminated literal first) followed by the length, so extend_model()
+  /// can replay the stack backward (MiniSat's SimpSolver layout).
+  std::vector<std::uint32_t> elim_stack_;
+  /// Verbatim copies of every irredundant clause an elimination removed,
+  /// keyed by the eliminated variable, so restore_var() can re-attach
+  /// them. Their proof deletions are deliberately *not* logged (the
+  /// RUP-only checker keeps them live, making restoration proof-free).
+  struct SavedElimClause {
+    Var v;
+    std::vector<Lit> lits;
+  };
+  std::vector<SavedElimClause> elim_saved_;
+  std::int64_t inprocess_next_ = 0;     ///< conflict count of the next pass
+  std::int64_t inprocess_backoff_ = 0;  ///< current inter-pass interval
 
   // Theory propagators.
   std::vector<Propagator*> propagators_;

@@ -446,6 +446,8 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
 
   alloc::OptimizeOptions opts;
   opts.stop = &job->stop;
+  opts.inprocess = options_.inprocess;
+  opts.inprocess_interval = options_.inprocess_interval;
   // Feed the inspect verb: every optimizer progress report lands in the
   // job's relaxed atomics (portfolio workers share them; last writer
   // wins, which is fine — the interval only tightens).

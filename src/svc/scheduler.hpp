@@ -49,6 +49,9 @@ struct SchedulerOptions {
   /// Simulated-annealing warm-start effort per request (0 = skip; the
   /// warm start is what guarantees an incumbent for anytime answers).
   int anneal_iterations = 2000;
+  /// Solver inprocessing for every job (see alloc::OptimizeOptions).
+  bool inprocess = true;
+  std::int64_t inprocess_interval = 0;  ///< 0 = solver default
 };
 
 struct JobRequest {

@@ -51,6 +51,11 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
       // worker panic): carry the embedded ring contents.
       {"flight_dump", {"id", "reason", "count", "events"}},
       {"solver_gc", {"gc_runs", "arena_before", "arena_after"}},
+      // Inprocessing passes (sat/inprocess.hpp): per-pass rewrite counts
+      // and the arena words the pass turned into garbage.
+      {"inprocess_pass",
+       {"subsumed", "strengthened", "eliminated", "reclaimed_words",
+        "seconds"}},
       {"portfolio_start", {"worker", "strategy", "backend"}},
       {"portfolio_finish", {"worker", "status"}},
       {"portfolio_cancel", {"worker"}},
@@ -78,7 +83,7 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
 bool solver_side(const std::string& type) {
   static const std::set<std::string> kTypes = {
       "solve",          "interval",       "optimum",       "solver_restart",
-      "solver_gc",      "bound_sync",     "portfolio_start",
+      "solver_gc",      "inprocess_pass", "bound_sync",    "portfolio_start",
       "portfolio_finish", "portfolio_cancel", "portfolio_win",
       "search_sample",  "perf_counters"};
   return kTypes.count(type) > 0;

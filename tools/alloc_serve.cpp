@@ -5,6 +5,7 @@
 //   alloc_serve --socket /tmp/alloc.sock [--workers 2] [--queue 64]
 //               [--cache 256] [--anneal 2000] [--trace FILE] [--stats]
 //               [--metrics-interval S] [--flight-dump FILE]
+//               [--no-inprocess] [--inprocess-interval N]
 //   alloc_serve --tcp 7421 ...
 //
 // SIGTERM / SIGINT trigger a graceful drain: no new requests are
@@ -48,7 +49,8 @@ int usage() {
       << "usage: alloc_serve (--socket PATH | --tcp PORT)\n"
       << "                   [--workers N] [--queue N] [--cache N]\n"
       << "                   [--anneal ITERS] [--trace FILE] [--stats]\n"
-      << "                   [--metrics-interval S] [--flight-dump FILE]\n";
+      << "                   [--metrics-interval S] [--flight-dump FILE]\n"
+      << "                   [--no-inprocess] [--inprocess-interval N]\n";
   return 2;
 }
 
@@ -93,6 +95,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       options.scheduler.anneal_iterations = std::atoi(v);
+    } else if (arg == "--no-inprocess") {
+      options.scheduler.inprocess = false;
+    } else if (arg == "--inprocess-interval") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.scheduler.inprocess_interval = std::atoll(v);
+      if (options.scheduler.inprocess_interval <= 0) return usage();
     } else if (arg == "--trace") {
       const char* v = next();
       if (v == nullptr) return usage();

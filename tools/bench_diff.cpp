@@ -1,0 +1,487 @@
+// Compare two benchmark artifacts (BENCH_*.json) row by row.
+//
+//   bench_diff OLD.json NEW.json [--metrics seconds,conflicts,...]
+//              [--threshold 1.20] [--json]
+//
+// Rows are matched by their "instance" key (table benches) or "phase"
+// key (bench_micro). For every numeric metric present in both versions
+// of a row the tool prints per-row ratios (new/old) and the geometric
+// mean across rows — the number the performance gate in EXPERIMENTS.md
+// is stated in. Rows carrying a "cost" field are additionally checked
+// for *equality*: a benchmark run that got faster but reports a
+// different optimum is a correctness bug, not a speedup.
+//
+// Exit status: 0 = clean; 1 = regression (a --threshold metric's geomean
+// ratio exceeded the threshold, or a cost mismatch); 2 = usage or parse
+// error. Without --threshold the run is informational and only cost
+// mismatches fail it — that is the mode the CI step uses, diffing a
+// fresh bench_micro run against the committed baseline.
+//
+// The parser below is a deliberately small recursive-descent JSON
+// reader: the artifacts are machine-written by obs::JsonObject, so it
+// only needs to be correct, not forgiving.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(Value& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  std::string error() const { return error_; }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty()) {
+      error_ = std::string(what) + " near offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            // The artifacts are ASCII; skip the four hex digits and
+            // substitute '?' rather than decoding surrogate pairs.
+            if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+            pos_ += 4;
+            c = '?';
+            break;
+          default: c = e; break;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool value(Value& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == 'n') {
+      out.kind = Value::Kind::kNull;
+      return literal("null");
+    }
+    if (c == 't') {
+      out.kind = Value::Kind::kBool;
+      out.b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = Value::Kind::kBool;
+      out.b = false;
+      return literal("false");
+    }
+    if (c == '"') {
+      out.kind = Value::Kind::kString;
+      return string(out.str);
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = Value::Kind::kArray;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        out.arr.emplace_back();
+        if (!value(out.arr.back())) return false;
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated array");
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      out.kind = Value::Kind::kObject;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+        ++pos_;
+        out.obj.emplace_back(std::move(key), Value{});
+        if (!value(out.obj.back().second)) return false;
+        skip_ws();
+        if (pos_ >= s_.size()) return fail("unterminated object");
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    out.kind = Value::Kind::kNumber;
+    out.num = std::strtod(s_.c_str() + start, nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------- flattening --
+// A row becomes a flat map of numeric metrics; nested objects (the perf
+// counter blocks) flatten with a dotted prefix, JSON nulls are skipped
+// (perf-less hosts), strings/bools are ignored except the matching key.
+void flatten(const Value& v, const std::string& prefix,
+             std::map<std::string, double>& out) {
+  for (const auto& [key, val] : v.obj) {
+    const std::string name = prefix.empty() ? key : prefix + "." + key;
+    if (val.kind == Value::Kind::kNumber) {
+      out[name] = val.num;
+    } else if (val.kind == Value::Kind::kObject) {
+      flatten(val, name, out);
+    }
+  }
+}
+
+struct Row {
+  std::string name;
+  std::string status;  ///< empty when the artifact carries no status
+  std::map<std::string, double> metrics;
+};
+
+// Locate the row array ("instances" for table benches, "phases" for
+// bench_micro) and its per-row key.
+bool extract_rows(const Value& root, const char* path, std::vector<Row>& rows) {
+  const Value* arr = root.find("instances");
+  const char* key = "instance";
+  if (arr == nullptr) {
+    arr = root.find("phases");
+    key = "phase";
+  }
+  if (arr == nullptr || arr->kind != Value::Kind::kArray) {
+    std::fprintf(stderr,
+                 "bench_diff: %s has neither an \"instances\" nor a "
+                 "\"phases\" array\n",
+                 path);
+    return false;
+  }
+  for (const Value& item : arr->arr) {
+    if (item.kind != Value::Kind::kObject) continue;
+    Row row;
+    if (const Value* name = item.find(key);
+        name != nullptr && name->kind == Value::Kind::kString) {
+      row.name = name->str;
+    } else {
+      row.name = "#" + std::to_string(rows.size());
+    }
+    if (const Value* status = item.find("status");
+        status != nullptr && status->kind == Value::Kind::kString) {
+      row.status = status->str;
+    }
+    flatten(item, "", row.metrics);
+    rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+bool load(const char* path, std::vector<Row>& rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  Value root;
+  Parser parser(text);
+  if (!parser.parse(root) || root.kind != Value::Kind::kObject) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path,
+                 parser.error().empty() ? "not a JSON object"
+                                        : parser.error().c_str());
+    return false;
+  }
+  return extract_rows(root, path, rows);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff OLD.json NEW.json "
+               "[--metrics a,b,...] [--threshold R] [--json]\n"
+               "  --metrics    restrict the report to these metrics "
+               "(default: all shared numeric fields)\n"
+               "  --threshold  fail (exit 1) when a reported metric's "
+               "geomean new/old ratio exceeds R\n"
+               "  --json       machine-readable output\n");
+  return 2;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* old_path = nullptr;
+  const char* new_path = nullptr;
+  std::set<std::string> wanted;
+  double threshold = 0.0;  // 0 = informational
+  bool json_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      std::stringstream ss(argv[++i]);
+      std::string m;
+      while (std::getline(ss, m, ',')) {
+        if (!m.empty()) wanted.insert(m);
+      }
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+      if (threshold <= 0.0) {
+        std::fprintf(stderr, "bench_diff: --threshold wants a ratio > 0\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_out = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (old_path == nullptr) {
+      old_path = argv[i];
+    } else if (new_path == nullptr) {
+      new_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (old_path == nullptr || new_path == nullptr) return usage();
+
+  std::vector<Row> old_rows;
+  std::vector<Row> new_rows;
+  if (!load(old_path, old_rows) || !load(new_path, new_rows)) return 2;
+
+  std::map<std::string, const Row*> new_by_name;
+  for (const Row& r : new_rows) new_by_name[r.name] = &r;
+
+  // Per-metric log-ratio accumulation over matched rows, plus the cost /
+  // status agreement check.
+  struct Accum {
+    double log_sum = 0.0;
+    int n = 0;
+  };
+  std::map<std::string, Accum> accum;
+  std::vector<std::string> cost_mismatches;
+  struct RowDiff {
+    std::string name;
+    std::map<std::string, std::pair<double, double>> vals;  // old, new
+  };
+  std::vector<RowDiff> diffs;
+  int matched = 0;
+
+  for (const Row& o : old_rows) {
+    const auto it = new_by_name.find(o.name);
+    if (it == new_by_name.end()) continue;
+    const Row& n = *it->second;
+    ++matched;
+    if (!o.status.empty() && !n.status.empty() && o.status != n.status) {
+      cost_mismatches.push_back(o.name + ": status " + o.status + " -> " +
+                                n.status);
+    }
+    const auto oc = o.metrics.find("cost");
+    const auto nc = n.metrics.find("cost");
+    if (oc != o.metrics.end() && nc != n.metrics.end() &&
+        oc->second != nc->second) {
+      cost_mismatches.push_back(
+          o.name + ": cost " + std::to_string(oc->second) + " -> " +
+          std::to_string(nc->second));
+    }
+    RowDiff d;
+    d.name = o.name;
+    for (const auto& [metric, old_val] : o.metrics) {
+      if (!wanted.empty() && wanted.count(metric) == 0) continue;
+      if (metric == "cost" || metric == "lower_bound") continue;
+      const auto nv = n.metrics.find(metric);
+      if (nv == n.metrics.end()) continue;
+      d.vals[metric] = {old_val, nv->second};
+      // Geomean only over strictly positive pairs — a zero on either
+      // side (e.g. 0 conflicts) carries no ratio information.
+      if (old_val > 0.0 && nv->second > 0.0) {
+        Accum& a = accum[metric];
+        a.log_sum += std::log(nv->second / old_val);
+        ++a.n;
+      }
+    }
+    diffs.push_back(std::move(d));
+  }
+
+  if (matched == 0) {
+    std::fprintf(stderr, "bench_diff: no rows matched between %s and %s\n",
+                 old_path, new_path);
+    return 2;
+  }
+
+  std::map<std::string, double> geomeans;
+  for (const auto& [metric, a] : accum) {
+    if (a.n > 0) geomeans[metric] = std::exp(a.log_sum / a.n);
+  }
+
+  bool regression = !cost_mismatches.empty();
+  std::vector<std::string> over_threshold;
+  if (threshold > 0.0) {
+    for (const auto& [metric, g] : geomeans) {
+      if (g > threshold) {
+        over_threshold.push_back(metric);
+        regression = true;
+      }
+    }
+  }
+
+  if (json_out) {
+    std::printf("{\"old\":\"%s\",\"new\":\"%s\",\"matched_rows\":%d,",
+                json_escape(old_path).c_str(), json_escape(new_path).c_str(),
+                matched);
+    std::printf("\"geomean_ratios\":{");
+    bool first = true;
+    for (const auto& [metric, g] : geomeans) {
+      std::printf("%s\"%s\":%.6f", first ? "" : ",",
+                  json_escape(metric).c_str(), g);
+      first = false;
+    }
+    std::printf("},\"cost_mismatches\":[");
+    first = true;
+    for (const std::string& m : cost_mismatches) {
+      std::printf("%s\"%s\"", first ? "" : ",", json_escape(m).c_str());
+      first = false;
+    }
+    std::printf("],\"over_threshold\":[");
+    first = true;
+    for (const std::string& m : over_threshold) {
+      std::printf("%s\"%s\"", first ? "" : ",", json_escape(m).c_str());
+      first = false;
+    }
+    std::printf("],\"regression\":%s}\n", regression ? "true" : "false");
+    return regression ? 1 : 0;
+  }
+
+  std::printf("bench_diff: %s -> %s (%d matched row%s)\n", old_path, new_path,
+              matched, matched == 1 ? "" : "s");
+  for (const RowDiff& d : diffs) {
+    std::printf("  %s\n", d.name.c_str());
+    for (const auto& [metric, vals] : d.vals) {
+      const auto [ov, nv] = vals;
+      if (ov > 0.0 && nv > 0.0) {
+        std::printf("    %-24s %12.6g -> %12.6g   (x%.3f)\n", metric.c_str(),
+                    ov, nv, nv / ov);
+      } else {
+        std::printf("    %-24s %12.6g -> %12.6g\n", metric.c_str(), ov, nv);
+      }
+    }
+  }
+  std::printf("geomean ratios (new/old; <1 is an improvement):\n");
+  for (const auto& [metric, g] : geomeans) {
+    std::printf("  %-26s x%.3f\n", metric.c_str(), g);
+  }
+  for (const std::string& m : cost_mismatches) {
+    std::printf("COST MISMATCH: %s\n", m.c_str());
+  }
+  for (const std::string& m : over_threshold) {
+    std::printf("REGRESSION: %s geomean x%.3f exceeds threshold x%.3f\n",
+                m.c_str(), geomeans[m], threshold);
+  }
+  if (!regression) std::printf("ok\n");
+  return regression ? 1 : 0;
+}
