@@ -29,17 +29,46 @@ std::vector<int> allowed_ecus(const rt::Architecture& arch,
 
 AllocEncoder::AllocEncoder(const Problem& problem, Objective objective,
                            EncoderConfig config)
-    : problem_(problem), objective_(objective), config_(config) {
-  solver_ = std::make_unique<sat::Solver>();
-  pb_ = std::make_unique<pb::PbPropagator>(*solver_);
-  blaster_ = std::make_unique<encode::BitBlaster>(
-      ctx_, *solver_, pb_.get(), encode::Options{config_.backend});
-  closures_ = std::make_unique<net::PathClosures>(problem_.arch);
+    : problem_(problem),
+      objective_(objective),
+      config_(config),
+      owned_ctx_(std::make_unique<ir::Context>()),
+      owned_solver_(std::make_unique<sat::Solver>()),
+      owned_pb_(std::make_unique<pb::PbPropagator>(*owned_solver_)),
+      owned_blaster_(std::make_unique<encode::BitBlaster>(
+          *owned_ctx_, *owned_solver_, owned_pb_.get(),
+          encode::Options{config.backend})),
+      closures_(std::make_unique<net::PathClosures>(problem.arch)),
+      ctx_(*owned_ctx_),
+      solver_(owned_solver_.get()),
+      pb_(owned_pb_.get()),
+      blaster_(owned_blaster_.get()) {
+  refs_ = problem_.tasks.message_refs();
+}
+
+AllocEncoder::AllocEncoder(const Problem& problem, Objective objective,
+                           EncoderConfig config, EncoderBackend& backend)
+    : problem_(problem),
+      objective_(objective),
+      config_(config),
+      closures_(std::make_unique<net::PathClosures>(problem.arch)),
+      ctx_(backend.ctx),
+      solver_(&backend.solver),
+      pb_(&backend.pb),
+      blaster_(&backend.blaster),
+      backend_(&backend) {
   refs_ = problem_.tasks.message_refs();
 }
 
 void AllocEncoder::require(NodeId formula) {
   asserted_.push_back(formula);
+  if (backend_ != nullptr) {
+    // Session mode: record, don't assert. The session asserts each group
+    // under its activation literal (encode::BitBlaster::assert_guarded)
+    // so an edit can retract it.
+    grouped_.push_back({group_, formula});
+    return;
+  }
   // The paper's "translation into SAT" phase: bit-blasting one asserted
   // constraint. Timed only on request; assert_true recurses, so the timer
   // wraps the top-level call.
@@ -50,6 +79,26 @@ void AllocEncoder::require(NodeId formula) {
   } else {
     ok_ = blaster_->assert_true(formula) && ok_;
   }
+}
+
+NodeId AllocEncoder::mk_int_var(const std::string& name, std::int64_t lo,
+                                std::int64_t hi) {
+  if (backend_ == nullptr) return ctx_.int_var(name, lo, hi);
+  auto key = std::make_tuple(name, lo, hi);
+  const auto it = backend_->int_vars.find(key);
+  if (it != backend_->int_vars.end()) return it->second;
+  const NodeId v = ctx_.int_var(name, lo, hi);
+  backend_->int_vars.emplace(std::move(key), v);
+  return v;
+}
+
+NodeId AllocEncoder::mk_bool_var(const std::string& name) {
+  if (backend_ == nullptr) return ctx_.bool_var(name);
+  const auto it = backend_->bool_vars.find(name);
+  if (it != backend_->bool_vars.end()) return it->second;
+  const NodeId v = ctx_.bool_var(name);
+  backend_->bool_vars.emplace(name, v);
+  return v;
 }
 
 NodeId AllocEncoder::member_of(NodeId a, std::vector<int> ecus) {
@@ -114,6 +163,7 @@ void AllocEncoder::build_tasks() {
 
   for (int i = 0; i < n; ++i) {
     const rt::Task& t = tasks[static_cast<std::size_t>(i)];
+    group("task:" + t.name);
     const std::vector<int> allowed = allowed_ecus(problem_.arch, t);
     if (allowed.empty()) {
       require(ctx_.bool_const(false));
@@ -126,7 +176,7 @@ void AllocEncoder::build_tasks() {
     // Allocation variable a_i over [min allowed, max allowed], with holes
     // excluded (eq. 4, placement part).
     const NodeId a =
-        ctx_.int_var("a_" + t.name, allowed.front(), allowed.back());
+        mk_int_var("a_" + t.name, allowed.front(), allowed.back());
     a_[static_cast<std::size_t>(i)] = a;
     for (int p = allowed.front(); p <= allowed.back(); ++p) {
       if (!std::binary_search(allowed.begin(), allowed.end(), p)) {
@@ -144,7 +194,7 @@ void AllocEncoder::build_tasks() {
     if (cmin == cmax) {
       wcet = ctx_.constant(cmin);
     } else {
-      wcet = ctx_.int_var("wcet_" + t.name, cmin, cmax);
+      wcet = mk_int_var("wcet_" + t.name, cmin, cmax);
       for (const int p : allowed) {
         require(ctx_.implies(
             ctx_.eq(a, ctx_.constant(p)),
@@ -161,7 +211,7 @@ void AllocEncoder::build_tasks() {
       require(ctx_.bool_const(false));  // cannot meet the deadline anywhere
     }
     r_[static_cast<std::size_t>(i)] =
-        ctx_.int_var("r_" + t.name, std::min(cmin, r_cap),
+        mk_int_var("r_" + t.name, std::min(cmin, r_cap),
                      std::max(cmin, r_cap) == r_cap ? r_cap
                                                     : std::min(cmin, r_cap));
   }
@@ -172,6 +222,8 @@ void AllocEncoder::build_tasks() {
       if (j < 0 || j >= n || j == i) {
         throw std::invalid_argument("invalid separation set entry");
       }
+      group("separate:" + tasks[static_cast<std::size_t>(i)].name + ":" +
+            tasks[static_cast<std::size_t>(j)].name);
       require(ctx_.ne(a_[static_cast<std::size_t>(i)],
                       a_[static_cast<std::size_t>(j)]));
     }
@@ -195,6 +247,7 @@ void AllocEncoder::build_tasks() {
             ctx_.constant(t.memory), zero));
       }
       if (!uses.empty()) {
+        group("memory:ecu" + std::to_string(p));
         require(ctx_.le(ctx_.sum(uses), ctx_.constant(cap)));
       }
     }
@@ -204,8 +257,10 @@ void AllocEncoder::build_tasks() {
   //   sum_i [a_i = p] * ceil(1000 * c_i(p) / t_i) <= 1000.
   // Implied by all response times meeting constrained deadlines, but as a
   // native PB constraint it prunes overloaded partial assignments long
-  // before any response-time circuit propagates.
-  if (config_.redundant_utilization) {
+  // before any response-time circuit propagates. Skipped in session mode:
+  // native PB constraints bypass the activation-literal discipline and
+  // could not be retracted after an edit.
+  if (config_.redundant_utilization && backend_ == nullptr) {
     for (int p = 0; p < problem_.arch.num_ecus; ++p) {
       std::vector<pb::Term> terms;
       for (int i = 0; i < n; ++i) {
@@ -244,8 +299,11 @@ void AllocEncoder::build_tasks() {
       } else if (di > dj) {
         i_over_j = ctx_.bool_const(false);
       } else if (config_.free_tie_priorities) {
-        i_over_j = ctx_.bool_var("p_" + std::to_string(i) + "_" +
-                                 std::to_string(j));
+        // Named by task, not index: stable across instance edits so a
+        // session's rebuild reuses the variable.
+        i_over_j = mk_bool_var(
+            "p_" + tasks[static_cast<std::size_t>(i)].name + "_" +
+            tasks[static_cast<std::size_t>(j)].name);
       } else {
         i_over_j = ctx_.bool_const(true);  // index tie-break
       }
@@ -256,6 +314,7 @@ void AllocEncoder::build_tasks() {
     }
   }
   if (config_.free_tie_priorities) {
+    group("priorities");
     for (int i = 0; i < n; ++i) {
       for (int j = i + 1; j < n; ++j) {
         for (int k = j + 1; k < n; ++k) {
@@ -284,6 +343,7 @@ void AllocEncoder::build_tasks() {
     if (ctx_.node(r_[static_cast<std::size_t>(i)]).op == ir::Op::kConst) {
       continue;  // placeholder from an infeasible task
     }
+    group("task:" + ti.name);
     std::vector<NodeId> terms;
     for (int j = 0; j < n; ++j) {
       if (j == i) continue;
@@ -297,7 +357,7 @@ void AllocEncoder::build_tasks() {
       if (cond == ctx_.bool_const(false)) continue;  // can never share an ECU
       const Ticks imax =
           ceil_div(ti.deadline + tj.release_jitter, tj.period);
-      const NodeId I = ctx_.int_var(
+      const NodeId I = mk_int_var(
           "I_" + ti.name + "_" + tj.name, 0, imax);
       // eq. (11): ceiling bounds over the jittered arrival window,
       // guarded by shared ECU + priority.
@@ -315,7 +375,7 @@ void AllocEncoder::build_tasks() {
       // eqs. (7)-(8): pc = I * wcet_j under the guard, else 0. This is the
       // paper's formulation — the product of two variables handled by the
       // non-linear encoding.
-      const NodeId pc = ctx_.int_var(
+      const NodeId pc = mk_int_var(
           "pc_" + ti.name + "_" + tj.name, 0,
           ctx_.range(ctx_.mul(I, wcet_[static_cast<std::size_t>(j)])).hi);
       require(ctx_.implies(
@@ -344,7 +404,7 @@ void AllocEncoder::build_slots() {
     if (medium.type != rt::MediumType::kTokenRing) continue;
     auto& vars = slot_vars_[static_cast<std::size_t>(k)];
     for (std::size_t j = 0; j < medium.ecus.size(); ++j) {
-      vars.push_back(ctx_.int_var(
+      vars.push_back(mk_int_var(
           "slot_" + medium.name + "_" + std::to_string(medium.ecus[j]),
           medium.slot_min, medium.slot_max));
     }
@@ -365,6 +425,14 @@ void AllocEncoder::build_messages() {
   const auto& routes = closures_->routes();
 
   msg_.resize(static_cast<std::size_t>(num_msgs));
+
+  // Stable message identifier: sender name + per-sender index. Variable
+  // and group names derived from it survive instance edits that add or
+  // remove *other* tasks and messages (a global message id would not).
+  auto msg_name = [&](const rt::TaskSet::MsgRef& r) {
+    return problem_.tasks.tasks[static_cast<std::size_t>(r.task)].name + "." +
+           std::to_string(r.index);
+  };
 
   // S(h)/D(h): valid sender/receiver ECU sets per route.
   auto sender_set = [&](const net::Path& h) {
@@ -409,8 +477,8 @@ void AllocEncoder::build_messages() {
     const NodeId a_src = a_[static_cast<std::size_t>(ref.task)];
     const NodeId a_dst = a_[static_cast<std::size_t>(message.target_task)];
     MsgVars& mv = msg_[static_cast<std::size_t>(g)];
-    const std::string mname =
-        "m" + std::to_string(g) + "_" + sender.name;
+    const std::string mname = "m_" + msg_name(ref);
+    group("message:" + msg_name(ref));
 
     auto intersects = [](const std::vector<int>& a,
                          const std::vector<int>& b) {
@@ -442,7 +510,7 @@ void AllocEncoder::build_messages() {
     // candidate set).
     for (const int h : mv.routes) {
       mv.rsel.push_back(
-          ctx_.bool_var("Pf_" + mname + "_h" + std::to_string(h)));
+          mk_bool_var("Pf_" + mname + "_h" + std::to_string(h)));
     }
     require(ctx_.or_all(mv.rsel));
     for (std::size_t x = 0; x < mv.rsel.size(); ++x) {
@@ -493,13 +561,13 @@ void AllocEncoder::build_messages() {
       const NodeId used = mv.used[static_cast<std::size_t>(k)];
       const rt::Medium& medium =
           problem_.arch.media[static_cast<std::size_t>(k)];
-      const NodeId dl = ctx_.int_var("d_" + mname + "_" + medium.name, 0,
+      const NodeId dl = mk_int_var("d_" + mname + "_" + medium.name, 0,
                                      message.deadline);
       mv.local_dl[static_cast<std::size_t>(k)] = dl;
       require(ctx_.implies(ctx_.lnot(used), ctx_.eq(dl, zero)));
       budget_terms.push_back(dl);
 
-      const NodeId jit = ctx_.int_var(
+      const NodeId jit = mk_int_var(
           "J_" + mname + "_" + medium.name, 0,
           message.release_jitter + message.deadline);
       mv.jitter[static_cast<std::size_t>(k)] = jit;
@@ -511,13 +579,13 @@ void AllocEncoder::build_messages() {
           lo = std::min(lo, e);
           hi = std::max(hi, e);
         }
-        mv.station[static_cast<std::size_t>(k)] = ctx_.int_var(
+        mv.station[static_cast<std::size_t>(k)] = mk_int_var(
             "stn_" + mname + "_" + medium.name, lo, hi);
-        mv.slot_len[static_cast<std::size_t>(k)] = ctx_.int_var(
+        mv.slot_len[static_cast<std::size_t>(k)] = mk_int_var(
             "osl_" + mname + "_" + medium.name, medium.slot_min,
             medium.slot_max);
       }
-      mv.response[static_cast<std::size_t>(k)] = ctx_.int_var(
+      mv.response[static_cast<std::size_t>(k)] = mk_int_var(
           "rm_" + mname + "_" + medium.name, 0, message.deadline);
       require(ctx_.implies(
           ctx_.lnot(used),
@@ -546,7 +614,7 @@ void AllocEncoder::build_messages() {
     if (serv_min == serv_max) {
       serv_node = ctx_.constant(serv_min);
     } else {
-      serv_node = ctx_.int_var("serv_" + mname, serv_min, serv_max);
+      serv_node = mk_int_var("serv_" + mname, serv_min, serv_max);
       for (std::size_t c = 0; c < mv.routes.size(); ++c) {
         require(ctx_.implies(mv.rsel[c],
                              ctx_.eq(serv_node, ctx_.constant(serv_of[c]))));
@@ -611,7 +679,8 @@ void AllocEncoder::build_messages() {
     if (mv.routes.empty()) continue;
     const auto& ref = refs_[static_cast<std::size_t>(g)];
     const rt::Message& message = problem_.tasks.message(ref);
-    const std::string mname = "m" + std::to_string(g);
+    const std::string mname = "m_" + msg_name(ref);
+    group("message:" + msg_name(ref));
 
     for (int k = 0; k < num_media; ++k) {
       if (mv.used[static_cast<std::size_t>(k)] == ir::kInvalidNode) continue;
@@ -648,8 +717,8 @@ void AllocEncoder::build_messages() {
         }
         const Ticks imax = ceil_div(
             message.deadline + hmsg.release_jitter + hmsg.deadline, ht);
-        const NodeId imsg = ctx_.int_var(
-            "Im_" + mname + "_" + std::to_string(h) + "_" + medium.name, 0,
+        const NodeId imsg = mk_int_var(
+            "Im_" + mname + "_" + msg_name(href) + "_" + medium.name, 0,
             imax);
         const NodeId arrivals =
             ctx_.add(rm, other.jitter[static_cast<std::size_t>(k)]);
@@ -690,7 +759,7 @@ void AllocEncoder::build_messages() {
           bmax = std::max(bmax, hrho);
         }
         if (!cands.empty()) {
-          const NodeId block = ctx_.int_var(
+          const NodeId block = mk_int_var(
               "B_" + mname + "_" + medium.name, 0, bmax);
           std::vector<NodeId> achieved;
           achieved.push_back(ctx_.eq(block, zero));
@@ -709,7 +778,7 @@ void AllocEncoder::build_messages() {
         const NodeId lambda = lambda_[static_cast<std::size_t>(k)];
         const Ticks lambda_min =
             medium.slot_min * static_cast<Ticks>(medium.ecus.size());
-        const NodeId imb = ctx_.int_var(
+        const NodeId imb = mk_int_var(
             "Imb_" + mname + "_" + medium.name, 0,
             ceil_div(message.deadline, std::max<Ticks>(1, lambda_min)));
         require(ctx_.implies(used, ctx_.ge(ctx_.mul(imb, lambda), rm)));
@@ -735,6 +804,7 @@ void AllocEncoder::build_messages() {
 // ---------------------------------------------------------------------
 
 void AllocEncoder::build_cost() {
+  group("objective");
   const NodeId zero = ctx_.constant(0);
   switch (objective_.kind) {
     case ObjectiveKind::kFeasibility:
@@ -792,7 +862,7 @@ void AllocEncoder::build_cost() {
     case ObjectiveKind::kMaxUtilization: {
       // cost >= util_p for every ECU; minimization pins cost to the max.
       // util_p = sum_i [a_i = p] * ceil(1000 * c_i(p) / t_i).
-      const NodeId cost_var = ctx_.int_var("max_util", 0, 1000);
+      const NodeId cost_var = mk_int_var("max_util", 0, 1000);
       for (int p = 0; p < problem_.arch.num_ecus; ++p) {
         std::vector<NodeId> terms;
         for (std::size_t i = 0; i < problem_.tasks.tasks.size(); ++i) {

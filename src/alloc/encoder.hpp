@@ -19,9 +19,13 @@
 //   lambda_k,j     TDMA slot-length variables; Lambda_k their sum
 //   cost           the objective variable minimized by BIN_SEARCH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -34,6 +38,46 @@
 #include "sat/solver.hpp"
 
 namespace optalloc::alloc {
+
+/// Persistent encoding state shared across encoder rebuilds — the
+/// substrate of an incremental re-solve session (src/inc). One backend
+/// outlives many AllocEncoder instances: the hash-consed IR context and
+/// the solver survive, so re-encoding an edited instance reuses every
+/// unchanged subcircuit (and the solver keeps its learned clauses, phase
+/// saves, and activity scores).
+///
+/// ir::Context interns operator nodes but never variables — every
+/// int_var/bool_var call mints a fresh node. The registries below close
+/// that gap: an encoder attached to a backend looks variables up by name
+/// (and, for integers, range) before creating them, which is what makes
+/// consecutive builds of near-identical instances produce near-identical
+/// IR. A range change deliberately misses the registry: the old
+/// variable's range constraint is already asserted, unguarded, so a
+/// resized variable must be a fresh one.
+struct EncoderBackend {
+  explicit EncoderBackend(encode::Backend backend = encode::Backend::kCnf)
+      : pb(solver),
+        blaster(ctx, solver, &pb, encode::Options{backend}) {}
+
+  ir::Context ctx;
+  sat::Solver solver;
+  pb::PbPropagator pb;
+  encode::BitBlaster blaster;
+
+  /// (name, lo, hi) -> integer variable node.
+  std::map<std::tuple<std::string, std::int64_t, std::int64_t>, ir::NodeId>
+      int_vars;
+  std::map<std::string, ir::NodeId> bool_vars;
+};
+
+/// One formula of a grouped (session-mode) build, labelled with the named
+/// constraint group it belongs to. Groups are the unit of retraction —
+/// each gets one activation literal — and the unit of blame in unsat
+/// cores ("these 3 constraints conflict").
+struct GroupedFormula {
+  std::string group;
+  ir::NodeId formula;
+};
 
 struct EncoderConfig {
   encode::Backend backend = encode::Backend::kCnf;
@@ -52,6 +96,16 @@ class AllocEncoder {
  public:
   AllocEncoder(const Problem& problem, Objective objective,
                EncoderConfig config = {});
+
+  /// Session mode: encode into a shared, persistent backend instead of
+  /// owning the pipeline. require() then *records* formulas into named
+  /// constraint groups (see grouped()) rather than asserting them — the
+  /// session asserts each group under its own activation literal so it
+  /// can be retracted when an edit invalidates it. Native PB shortcuts
+  /// (redundant_utilization) are skipped in this mode: PB constraints
+  /// cannot be retracted.
+  AllocEncoder(const Problem& problem, Objective objective,
+               EncoderConfig config, EncoderBackend& backend);
 
   /// Build and assert the full constraint system. Returns false if the
   /// instance is unsatisfiable already at encode time.
@@ -83,6 +137,12 @@ class AllocEncoder {
   const pb::PbPropagator& pb() const { return *pb_; }
   const net::PathClosures& closures() const { return *closures_; }
 
+  /// Session-mode outputs: the recorded (group, formula) pairs of the
+  /// last build(), and the cost node the session's bound guards compare
+  /// against. Empty/invalid unless constructed with an EncoderBackend.
+  std::span<const GroupedFormula> grouped() const { return grouped_; }
+  ir::NodeId cost_node() const { return cost_; }
+
   // --- Certification hooks (see src/check) ------------------------------
 
   /// Attach a proof log to the underlying solver. Must be called before
@@ -107,18 +167,38 @@ class AllocEncoder {
   /// a-membership in an ECU set (range form when contiguous).
   NodeId member_of(NodeId a, std::vector<int> ecus);
 
-  /// Assert an IR formula, tracking encoder-time unsatisfiability.
+  /// Assert an IR formula, tracking encoder-time unsatisfiability. In
+  /// session mode the formula is recorded under the current group
+  /// instead of being asserted.
   void require(NodeId formula);
+
+  /// Set the constraint group subsequent require() calls record into.
+  void group(std::string name) { group_ = std::move(name); }
+
+  /// Variable creation, routed through the backend registry in session
+  /// mode so consecutive builds reuse variable nodes (ir::Context never
+  /// interns variables).
+  NodeId mk_int_var(const std::string& name, std::int64_t lo,
+                    std::int64_t hi);
+  NodeId mk_bool_var(const std::string& name);
 
   const Problem& problem_;
   Objective objective_;
   EncoderConfig config_;
 
-  ir::Context ctx_;
-  std::unique_ptr<sat::Solver> solver_;
-  std::unique_ptr<pb::PbPropagator> pb_;
-  std::unique_ptr<encode::BitBlaster> blaster_;
+  // Owned pipeline (classic mode); null when attached to a backend.
+  std::unique_ptr<ir::Context> owned_ctx_;
+  std::unique_ptr<sat::Solver> owned_solver_;
+  std::unique_ptr<pb::PbPropagator> owned_pb_;
+  std::unique_ptr<encode::BitBlaster> owned_blaster_;
   std::unique_ptr<net::PathClosures> closures_;
+
+  // Views: either the owned pipeline above or the shared backend's.
+  ir::Context& ctx_;
+  sat::Solver* solver_;
+  pb::PbPropagator* pb_;
+  encode::BitBlaster* blaster_;
+  EncoderBackend* backend_ = nullptr;
 
   bool ok_ = true;
   bool built_ = false;
@@ -155,6 +235,10 @@ class AllocEncoder {
 
   /// Every formula passed to require(), for the model certifier.
   std::vector<NodeId> asserted_;
+
+  /// Session mode: (group, formula) pairs recorded by require().
+  std::vector<GroupedFormula> grouped_;
+  std::string group_ = "base";
 
   /// Guard literals already built for (lo,hi) bound pairs.
   std::map<std::pair<std::int64_t, std::int64_t>, sat::Lit> bound_guards_;

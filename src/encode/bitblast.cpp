@@ -407,6 +407,26 @@ bool BitBlaster::assert_true(NodeId formula) {
   return ok_;
 }
 
+bool BitBlaster::assert_guarded(Lit guard, NodeId formula) {
+  // Mirrors assert_true's CNF-aware splitting, with ~guard joined into
+  // every emitted clause: conjunctions split recursively (each conjunct
+  // guarded separately), disjunctions become one clause. A constant-false
+  // formula degenerates to the unit ~guard — assuming the guard then
+  // yields an immediate conflict whose core names exactly this group.
+  const ir::Node& n = ctx_.node(formula);
+  if (n.op == Op::kAnd) {
+    const bool first = assert_guarded(guard, n.a);
+    return assert_guarded(guard, n.b) && first;
+  }
+  std::vector<Lit> clause;
+  clause.push_back(~guard);
+  bool tautology = false;
+  collect_or(formula, clause, tautology);
+  if (tautology) return ok_;
+  ok_ = solver_.add_clause(clause) && ok_;
+  return ok_;
+}
+
 void BitBlaster::collect_or(NodeId formula, std::vector<Lit>& out,
                             bool& tautology) {
   const ir::Node& n = ctx_.node(formula);

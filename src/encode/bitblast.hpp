@@ -70,6 +70,15 @@ class BitBlaster {
   /// solve-time assumption, e.g. for the optimizer's cost-interval guards.
   sat::Lit formula_lit(ir::NodeId formula);
 
+  /// Assert `formula` conditionally on an activation literal: the clause
+  /// (¬guard ∨ formula). The formula's Tseitin definition is emitted
+  /// unguarded — it is definitional, hence satisfiable on its own — so
+  /// only the top-level assertion depends on `guard`. A session activates
+  /// the constraint by assuming `guard` and retracts it permanently with
+  /// the unit clause ¬guard (src/inc). Returns false if the system became
+  /// unsatisfiable during encoding.
+  bool assert_guarded(sat::Lit guard, ir::NodeId formula);
+
   /// Force an integer variable to be represented (so its value can be
   /// decoded even if no asserted formula mentions it).
   void touch(ir::NodeId int_var) { encode_int(int_var); }

@@ -1,0 +1,35 @@
+#include "inc/delta.hpp"
+
+#include <algorithm>
+
+namespace optalloc::inc {
+
+EncodingDelta diff_groups(const GroupMap& live,
+                          std::span<const alloc::GroupedFormula> build) {
+  EncodingDelta delta;
+  for (const alloc::GroupedFormula& gf : build) {
+    delta.next[gf.group].push_back(gf.formula);
+  }
+  for (auto& [name, formulas] : delta.next) {
+    std::sort(formulas.begin(), formulas.end());
+    formulas.erase(std::unique(formulas.begin(), formulas.end()),
+                   formulas.end());
+  }
+  for (const auto& [name, group] : live) {
+    const auto it = delta.next.find(name);
+    if (it == delta.next.end()) {
+      delta.retired.push_back(name);
+    } else if (it->second != group.formulas) {
+      delta.retired.push_back(name);
+      delta.added.push_back(name);
+    } else {
+      ++delta.unchanged;
+    }
+  }
+  for (const auto& [name, formulas] : delta.next) {
+    if (!live.contains(name)) delta.added.push_back(name);
+  }
+  return delta;
+}
+
+}  // namespace optalloc::inc

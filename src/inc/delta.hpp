@@ -1,0 +1,49 @@
+#pragma once
+// EncodingDelta: the diff between two consecutive grouped encodings of a
+// session's instance, computed over the shared hash-consed IR. Because
+// the backend interns operator nodes (ir::Context) and the session
+// interns variables by name (EncoderBackend registries), an unchanged
+// constraint re-encodes to the *same* NodeId — so "did this group
+// change?" is a set comparison of NodeIds, no structural walk needed. A
+// change anywhere propagates automatically: if task B's variables change,
+// every formula mentioning them hash-conses to a new node, so every
+// affected group shows up changed.
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "alloc/encoder.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::inc {
+
+/// A live constraint group: its activation literal and the sorted,
+/// deduplicated formula set asserted under it.
+struct Group {
+  sat::Lit guard = sat::kUndefLit;
+  std::vector<ir::NodeId> formulas;
+};
+
+using GroupMap = std::map<std::string, Group>;
+
+struct EncodingDelta {
+  /// Groups to assert under a fresh guard (new, or changed in any way).
+  std::vector<std::string> added;
+  /// Groups to retract via the unit clause ¬guard (removed or changed —
+  /// a changed group appears in both lists).
+  std::vector<std::string> retired;
+  std::size_t unchanged = 0;
+  /// The new build's formula sets, sorted and deduplicated, by group.
+  std::map<std::string, std::vector<ir::NodeId>> next;
+};
+
+/// Diff a freshly recorded build against the live groups. Re-asserting a
+/// changed group is cheap: the bit-blaster's memoization means only
+/// clauses for genuinely new subcircuits are emitted.
+EncodingDelta diff_groups(const GroupMap& live,
+                          std::span<const alloc::GroupedFormula> build);
+
+}  // namespace optalloc::inc

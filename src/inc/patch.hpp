@@ -1,0 +1,77 @@
+#pragma once
+// Instance patches — the edit language of incremental re-solve sessions
+// (the service's `revise` verb). A patch is an ordered list of small,
+// named edits against an alloc::Problem: bump one WCET, tighten a
+// deadline, add or remove a task or message, (un)separate a pair. The
+// session applies the patch to its live instance and re-solves only the
+// encoding delta (src/inc/session.hpp).
+//
+// Edits address tasks by *name* (stable across edits) and messages by
+// (sender name, per-sender index). Architecture edits are deliberately
+// out of scope: the media topology determines the route closure and the
+// whole variable layout, so changing it is a new session, not a patch.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/problem.hpp"
+#include "obs/json.hpp"
+
+namespace optalloc::inc {
+
+struct PatchOp {
+  enum class Kind {
+    kSetWcet,            ///< task, ecu, value (rt::kForbidden = -1 allowed)
+    kSetDeadline,        ///< task, value
+    kSetPeriod,          ///< task, value
+    kSetJitter,          ///< task, value
+    kSetMemory,          ///< task, value
+    kAddTask,            ///< task, value=period, value2=deadline, wcet[],
+                         ///< jitter, memory
+    kRemoveTask,         ///< task
+    kSetMessageDeadline, ///< task, index, value
+    kSetMessageSize,     ///< task, index, value
+    kAddMessage,         ///< task, target, value=bytes, value2=deadline,
+                         ///< jitter
+    kRemoveMessage,      ///< task, index
+    kSeparate,           ///< task, target
+    kUnseparate,         ///< task, target
+  };
+
+  Kind kind = Kind::kSetWcet;
+  std::string task;    ///< primary task (by name)
+  std::string target;  ///< message receiver / separation partner
+  int ecu = -1;        ///< kSetWcet
+  int index = -1;      ///< per-sender message index
+  std::int64_t value = 0;
+  std::int64_t value2 = 0;
+  std::int64_t jitter = 0;
+  std::int64_t memory = 0;
+  std::vector<std::int64_t> wcet;  ///< kAddTask: per-ECU WCETs
+
+  /// Short human-readable form ("set_wcet sensor@0=12") for logs.
+  std::string describe() const;
+};
+
+struct InstancePatch {
+  std::vector<PatchOp> ops;
+  bool empty() const { return ops.empty(); }
+};
+
+/// Parse the wire form: a JSON array of op objects, e.g.
+///   [{"op":"set_wcet","task":"sensor","ecu":0,"wcet":12},
+///    {"op":"separate","task":"ctrl","target":"ctrl_backup"}]
+/// Returns nullopt (with *error set) on malformed input; structural
+/// validity against a concrete problem is checked by apply_patch.
+std::optional<InstancePatch> parse_patch(const obs::JsonValue& edits,
+                                         std::string* error);
+
+/// Apply all ops in order. Returns an error message on the first invalid
+/// op (unknown task, bad index, duplicate name...); the problem may then
+/// reflect a prefix of the patch, so callers should apply to a copy.
+std::optional<std::string> apply_patch(const InstancePatch& patch,
+                                       alloc::Problem& problem);
+
+}  // namespace optalloc::inc

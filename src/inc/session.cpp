@@ -1,0 +1,218 @@
+#include "inc/session.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace optalloc::inc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* SessionResult::status_name(Status s) {
+  switch (s) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kFeasible: return "feasible";
+    case Status::kUnknown: return "unknown";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+Session::Session(alloc::Problem problem, alloc::Objective objective,
+                 SessionOptions options)
+    : problem_(std::move(problem)),
+      objective_(objective),
+      options_(options),
+      backend_(options.backend) {}
+
+Session::~Session() = default;
+
+bool Session::sync_encoding(SessionResult& out) {
+  alloc::EncoderConfig config;
+  config.backend = options_.backend;
+  config.free_tie_priorities = options_.free_tie_priorities;
+  encoder_.reset();
+  encoder_ = std::make_unique<alloc::AllocEncoder>(problem_, objective_,
+                                                   config, backend_);
+  try {
+    encoder_->build();
+  } catch (const std::exception& e) {
+    out.status = SessionResult::Status::kError;
+    out.error = e.what();
+    return false;
+  }
+  const EncodingDelta delta = diff_groups(groups_, encoder_->grouped());
+  const std::int64_t clauses_before = backend_.solver.num_clauses();
+  for (const std::string& name : delta.retired) {
+    // Permanent retraction. Sound: every learnt clause is implied by the
+    // clause database, and the database only grows — a retired group's
+    // clauses become vacuously satisfied, never contradicted.
+    backend_.solver.add_unit(~groups_.at(name).guard);
+    groups_.erase(name);
+  }
+  for (const std::string& name : delta.added) {
+    Group group;
+    const sat::Var v = backend_.solver.new_var();
+    backend_.solver.set_frozen(v);  // guards must survive inprocessing
+    group.guard = sat::pos(v);
+    group.formulas = delta.next.at(name);
+    for (const ir::NodeId f : group.formulas) {
+      backend_.blaster.assert_guarded(group.guard, f);
+    }
+    groups_.emplace(name, std::move(group));
+  }
+  out.groups_added = static_cast<int>(delta.added.size());
+  out.groups_retired = static_cast<int>(delta.retired.size());
+  out.groups_unchanged = delta.unchanged;
+  out.clauses_added = backend_.solver.num_clauses() - clauses_before;
+  guard_assumptions_.clear();
+  guard_assumptions_.reserve(groups_.size());
+  for (const auto& [name, group] : groups_) {
+    guard_assumptions_.push_back(group.guard);
+  }
+  return true;
+}
+
+SessionResult Session::solve(const SolveLimits& limits) {
+  SessionResult out;
+  const auto start = Clock::now();
+  const std::uint64_t conflicts_before = backend_.solver.stats().conflicts;
+  const auto finish = [&](SessionResult::Status status) {
+    out.status = status;
+    out.seconds = seconds_since(start);
+    out.conflicts = static_cast<std::int64_t>(
+        backend_.solver.stats().conflicts - conflicts_before);
+    return out;
+  };
+
+  if (!sync_encoding(out)) return finish(SessionResult::Status::kError);
+
+  const ir::Range range = encoder_->cost_range();
+  const ir::NodeId cost = encoder_->cost_node();
+  ir::Context& ctx = backend_.ctx;
+
+  const auto probe = [&](std::int64_t lo, std::int64_t hi) -> sat::LBool {
+    sat::Budget budget;
+    budget.conflicts = limits.conflicts;
+    budget.stop = limits.stop;
+    if (limits.deadline_s > 0.0) {
+      const double left = limits.deadline_s - seconds_since(start);
+      if (left <= 0.0) return sat::LBool::kUndef;
+      budget.seconds = left;
+    }
+    ++out.sat_calls;
+    std::vector<sat::Lit> assumptions = guard_assumptions_;
+    if (lo > range.lo || hi < range.hi) {
+      // The bound guard is a memoized Tseitin literal: probing the same
+      // interval twice (e.g. across revisions) reuses the encoding.
+      const ir::NodeId bound = ctx.land(ctx.ge(cost, ctx.constant(lo)),
+                                        ctx.le(cost, ctx.constant(hi)));
+      assumptions.push_back(backend_.blaster.formula_lit(bound));
+    }
+    return backend_.solver.solve(assumptions, budget);
+  };
+
+  // Warm start: one probe at the previous optimum decides whether the
+  // edit kept or improved the cost (SAT: continue below C*) or regressed
+  // it (UNSAT: the optimum moved up — search (C*, hi]).
+  std::int64_t lower = range.lo;
+  std::int64_t first_hi = range.hi;
+  if (prev_optimum_ && *prev_optimum_ >= range.lo &&
+      *prev_optimum_ < range.hi) {
+    first_hi = *prev_optimum_;
+  }
+  sat::LBool r = probe(lower, first_hi);
+  if (r == sat::LBool::kFalse && first_hi < range.hi) {
+    lower = first_hi + 1;
+    r = probe(lower, range.hi);
+  }
+
+  if (r == sat::LBool::kFalse) {
+    // Infeasible instance. For the core, re-solve with only the group
+    // guards (no cost bounds) when the last conflict involved a bound
+    // assumption — the cost variable's own range makes this equivalent.
+    out.proven_optimal = true;
+    CoreExplainer explainer(backend_.solver, groups_);
+    std::vector<std::string> core =
+        explainer.explain(backend_.solver.conflict_core());
+    if (lower > range.lo || first_hi < range.hi) {
+      sat::Budget budget;
+      budget.conflicts = limits.conflicts;
+      budget.stop = limits.stop;
+      ++out.sat_calls;
+      if (backend_.solver.solve(guard_assumptions_, budget) ==
+          sat::LBool::kFalse) {
+        core = explainer.explain(backend_.solver.conflict_core());
+      }
+    }
+    if (options_.minimize_cores && core.size() > 1) {
+      core = explainer.minimize(std::move(core), options_.core_probe);
+    }
+    out.core = std::move(core);
+    return finish(SessionResult::Status::kInfeasible);
+  }
+  if (r == sat::LBool::kUndef) {
+    out.lower_bound = lower;
+    return finish(SessionResult::Status::kUnknown);
+  }
+
+  // SAT: tighten with the optimizer's BIN_SEARCH discipline — probe
+  // [lower, mid], adopt the decoded cost as the new upper bound on SAT
+  // (often far below mid), raise lower on UNSAT.
+  std::int64_t upper = encoder_->decode_cost();
+  out.allocation = encoder_->decode();
+  out.has_allocation = true;
+  bool complete = true;
+  while (lower < upper) {
+    const std::int64_t mid = lower + (upper - lower) / 2;
+    r = probe(lower, mid);
+    if (r == sat::LBool::kTrue) {
+      upper = encoder_->decode_cost();
+      out.allocation = encoder_->decode();
+    } else if (r == sat::LBool::kFalse) {
+      lower = mid + 1;
+    } else {
+      complete = false;
+      break;
+    }
+  }
+  out.cost = upper;
+  out.lower_bound = complete ? upper : lower;
+  out.proven_optimal = complete;
+  prev_optimum_ = upper;
+  return finish(complete ? SessionResult::Status::kOptimal
+                         : SessionResult::Status::kFeasible);
+}
+
+SessionResult Session::revise(const InstancePatch& patch,
+                              const SolveLimits& limits) {
+  // Validate against a copy: a rejected patch must leave the live
+  // instance (and encoding) untouched.
+  alloc::Problem edited = problem_;
+  if (const auto error = apply_patch(patch, edited)) {
+    SessionResult out;
+    out.status = SessionResult::Status::kError;
+    out.error = *error;
+    return out;
+  }
+  encoder_.reset();  // encoder_ references problem_; drop before swap
+  problem_ = std::move(edited);
+  return solve(limits);
+}
+
+bool Session::core_is_conflicting(std::span<const std::string> core) {
+  if (core.empty()) return false;
+  CoreExplainer explainer(backend_.solver, groups_);
+  return explainer.is_conflicting(core);
+}
+
+}  // namespace optalloc::inc

@@ -1,0 +1,127 @@
+#pragma once
+// Incremental re-solve sessions: a live, assumption-guarded solver per
+// client session, re-solving instance edits against the encoding *delta*
+// instead of from scratch — the paper's Section 7 "factor of 2 and more"
+// projection, extended from cost bounds to whole constraint groups.
+//
+// How an edit flows through:
+//   1. The patch is applied to the instance (inc/patch.hpp).
+//   2. The instance is re-encoded over the session's persistent backend
+//      (alloc::EncoderBackend). Hash-consing + the variable registries
+//      make this an IR-level no-op for everything unchanged, so the
+//      grouped formula lists come out NodeId-identical except where the
+//      edit actually bit.
+//   3. diff_groups (inc/delta.hpp) yields retired/added groups. Retired
+//      groups die by the unit clause ¬guard; added groups are asserted
+//      under a fresh activation literal (BitBlaster::assert_guarded).
+//      Learned clauses, phase saves, and VSIDS activity all survive:
+//      the clause database only ever grows, so every learnt remains
+//      implied.
+//   4. The binary search warm-starts at the previous optimum: one probe
+//      at cost <= C* decides whether the edit kept, improved, or
+//      regressed the optimum, and the search continues from there.
+//   5. An infeasible edit yields an assumption-level unsat core over the
+//      activation literals, mapped back to named constraints and
+//      deletion-minimized (inc/core_explain.hpp).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "alloc/encoder.hpp"
+#include "alloc/problem.hpp"
+#include "inc/core_explain.hpp"
+#include "inc/delta.hpp"
+#include "inc/patch.hpp"
+#include "rt/model.hpp"
+#include "sat/solver.hpp"
+
+namespace optalloc::inc {
+
+/// Per-solve resource limits (all optional).
+struct SolveLimits {
+  double deadline_s = 0.0;     ///< wall-clock budget; 0 = unlimited
+  std::int64_t conflicts = 0;  ///< per SAT call; 0 = unlimited
+  const std::atomic<bool>* stop = nullptr;  ///< cooperative cancellation
+};
+
+struct SessionResult {
+  enum class Status { kOptimal, kInfeasible, kFeasible, kUnknown, kError };
+  Status status = Status::kUnknown;
+  bool proven_optimal = false;
+  std::int64_t cost = -1;
+  std::int64_t lower_bound = 0;
+  bool has_allocation = false;
+  rt::Allocation allocation;
+  /// Infeasible edits: named constraint groups that conflict.
+  std::vector<std::string> core;
+  /// kError: what went wrong (bad patch, invalid instance).
+  std::string error;
+
+  // Delta and search statistics for this solve.
+  int sat_calls = 0;
+  std::int64_t conflicts = 0;
+  double seconds = 0.0;
+  int groups_added = 0;
+  int groups_retired = 0;
+  std::size_t groups_unchanged = 0;
+  std::int64_t clauses_added = 0;
+
+  static const char* status_name(Status s);
+};
+
+struct SessionOptions {
+  encode::Backend backend = encode::Backend::kCnf;
+  bool free_tie_priorities = true;
+  /// Deletion-minimize unsat cores (bounded by core_probe per probe).
+  bool minimize_cores = true;
+  sat::Budget core_probe = sat::Budget{20000, 1.0, nullptr};
+};
+
+class Session {
+ public:
+  Session(alloc::Problem problem, alloc::Objective objective,
+          SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// (Re-)solve the current instance. The first call encodes everything;
+  /// later calls (after revise) re-solve the delta.
+  SessionResult solve(const SolveLimits& limits = {});
+
+  /// Apply a patch and re-solve. A patch that fails validation leaves
+  /// the instance untouched and returns kError.
+  SessionResult revise(const InstancePatch& patch,
+                       const SolveLimits& limits = {});
+
+  const alloc::Problem& problem() const { return problem_; }
+  alloc::Objective objective() const { return objective_; }
+
+  /// Check that the named groups genuinely conflict (re-solves with only
+  /// their guards assumed). Used by the differential tests.
+  bool core_is_conflicting(std::span<const std::string> core);
+
+ private:
+  /// Rebuild the encoding over the backend and apply the group delta.
+  /// Returns false (with out.status = kError) on an invalid instance.
+  bool sync_encoding(SessionResult& out);
+
+  alloc::Problem problem_;
+  alloc::Objective objective_;
+  SessionOptions options_;
+  alloc::EncoderBackend backend_;
+  /// Rebuilt per solve; holds a reference to problem_, so it is reset
+  /// before every instance mutation.
+  std::unique_ptr<alloc::AllocEncoder> encoder_;
+  GroupMap groups_;
+  std::vector<sat::Lit> guard_assumptions_;
+  std::optional<std::int64_t> prev_optimum_;
+};
+
+}  // namespace optalloc::inc

@@ -6,10 +6,30 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <thread>
 
 namespace optalloc::svc {
+
+namespace {
+
+/// Retry loop shared by both transports. `attempts` < 1 behaves as 1.
+template <typename Connect>
+int connect_with_retry(const Connect& connect, int attempts,
+                       int initial_backoff_ms) {
+  int backoff_ms = initial_backoff_ms > 0 ? initial_backoff_ms : 1;
+  for (int attempt = 0;; ++attempt) {
+    const int fd = connect();
+    if (fd >= 0) return fd;
+    if (attempt + 1 >= attempts) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms *= 2;
+  }
+}
+
+}  // namespace
 
 int connect_unix(const std::string& path) {
   sockaddr_un addr{};
@@ -39,6 +59,18 @@ int connect_tcp(const std::string& host, int port) {
     return -1;
   }
   return fd;
+}
+
+int connect_unix_retry(const std::string& path, int attempts,
+                       int initial_backoff_ms) {
+  return connect_with_retry([&] { return connect_unix(path); }, attempts,
+                            initial_backoff_ms);
+}
+
+int connect_tcp_retry(const std::string& host, int port, int attempts,
+                      int initial_backoff_ms) {
+  return connect_with_retry([&] { return connect_tcp(host, port); },
+                            attempts, initial_backoff_ms);
 }
 
 bool send_line(int fd, const std::string& line) {

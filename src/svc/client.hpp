@@ -14,6 +14,16 @@ int connect_unix(const std::string& path);
 /// -1 on failure.
 int connect_tcp(const std::string& host, int port);
 
+/// Bounded-retry connect for transient failures (daemon still binding
+/// its socket, connection backlog momentarily full): up to `attempts`
+/// tries with exponential backoff starting at `initial_backoff_ms`
+/// (doubling per retry, so the default 5/50 waits 50+100+200+400 ms
+/// worst case). Returns the fd, or -1 once every attempt failed.
+int connect_unix_retry(const std::string& path, int attempts = 5,
+                       int initial_backoff_ms = 50);
+int connect_tcp_retry(const std::string& host, int port, int attempts = 5,
+                      int initial_backoff_ms = 50);
+
 /// Write `line` plus the terminating newline; false on a broken pipe.
 bool send_line(int fd, const std::string& line);
 

@@ -249,4 +249,54 @@ rt::Allocation restore_allocation(const Canonical& canon,
   return out;
 }
 
+rt::Allocation canonical_allocation(const Canonical& canon,
+                                    const rt::Allocation& oa) {
+  rt::Allocation out;
+  const std::size_t num_tasks = canon.task_perm.size();
+  const std::size_t num_media = canon.media_perm.size();
+
+  if (!oa.task_ecu.empty()) {
+    out.task_ecu.resize(num_tasks);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      out.task_ecu[static_cast<std::size_t>(canon.task_perm[i])] =
+          oa.task_ecu[i];
+    }
+  }
+  if (!oa.task_prio.empty()) {
+    out.task_prio.resize(num_tasks);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      out.task_prio[static_cast<std::size_t>(canon.task_perm[i])] =
+          oa.task_prio[i];
+    }
+  }
+  if (!oa.msg_route.empty()) {
+    out.msg_route.resize(canon.msg_perm.size());
+    out.msg_local_deadline.resize(canon.msg_perm.size());
+    for (std::size_t g = 0; g < canon.msg_perm.size(); ++g) {
+      const std::size_t cg = static_cast<std::size_t>(canon.msg_perm[g]);
+      std::vector<int> route = oa.msg_route[g];
+      for (int& k : route) {
+        k = canon.media_perm[static_cast<std::size_t>(k)];
+      }
+      out.msg_route[cg] = std::move(route);
+      if (g < oa.msg_local_deadline.size()) {
+        out.msg_local_deadline[cg] = oa.msg_local_deadline[g];
+      }
+    }
+  }
+  if (!oa.slots.empty()) {
+    out.slots.resize(num_media);
+    for (std::size_t k = 0; k < num_media; ++k) {
+      const auto& perm = canon.ecu_pos_perm[k];
+      auto& canon_slots =
+          out.slots[static_cast<std::size_t>(canon.media_perm[k])];
+      canon_slots.resize(perm.size());
+      for (std::size_t p = 0; p < perm.size(); ++p) {
+        canon_slots[static_cast<std::size_t>(perm[p])] = oa.slots[k][p];
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace optalloc::svc

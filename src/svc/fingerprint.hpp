@@ -65,6 +65,15 @@ Canonical canonicalize(const alloc::Problem& problem,
 rt::Allocation restore_allocation(const Canonical& canon,
                                   const rt::Allocation& canonical_alloc);
 
+/// The exact inverse of restore_allocation: translate an allocation in
+/// the *original* instance's indexing into canonical indexing, so that
+/// answers produced outside the canonical pipeline (incremental sessions
+/// solve the instance as-submitted) can be stored in the result cache
+/// and later replayed through restore_allocation for any permutation of
+/// the same system.
+rt::Allocation canonical_allocation(const Canonical& canon,
+                                    const rt::Allocation& original_alloc);
+
 /// FNV-1a over `text` (exposed for tests).
 Fingerprint fingerprint_text(const std::string& text);
 

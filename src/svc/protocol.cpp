@@ -81,6 +81,49 @@ std::optional<Request> parse_request(const std::string& line,
     req.verb = Request::Verb::kMetrics;
     return req;
   }
+  if (*verb == "session_open") {
+    req.verb = Request::Verb::kSessionOpen;
+    const auto problem = doc->get_string("problem");
+    if (!problem || problem->empty()) {
+      return fail("session_open requires a \"problem\" string",
+                  "bad_request");
+    }
+    req.problem_text = *problem;
+    if (const auto obj = doc->get_string("objective")) req.objective = *obj;
+    if (const auto d = doc->get_number("deadline_ms")) {
+      req.deadline_ms = *d > 0 ? *d : 0.0;
+    }
+    if (const auto c = doc->get_number("conflicts")) {
+      req.conflicts = static_cast<std::int64_t>(*c > 0 ? *c : 0);
+    }
+    return req;
+  }
+  if (*verb == "revise" || *verb == "session_close") {
+    req.verb = *verb == "revise" ? Request::Verb::kRevise
+                                 : Request::Verb::kSessionClose;
+    const auto session = doc->get_string("session");
+    if (!session || session->empty()) {
+      return fail(*verb + " requires a \"session\" id", "bad_request");
+    }
+    req.session = *session;
+    if (req.verb == Request::Verb::kRevise) {
+      const obs::JsonValue* edits = doc->get("edits");
+      if (edits == nullptr) {
+        return fail("revise requires an \"edits\" array", "bad_request");
+      }
+      std::string patch_error;
+      auto patch = inc::parse_patch(*edits, &patch_error);
+      if (!patch) return fail(patch_error, "bad_patch");
+      req.patch = std::move(*patch);
+      if (const auto d = doc->get_number("deadline_ms")) {
+        req.deadline_ms = *d > 0 ? *d : 0.0;
+      }
+      if (const auto c = doc->get_number("conflicts")) {
+        req.conflicts = static_cast<std::int64_t>(*c > 0 ? *c : 0);
+      }
+    }
+    return req;
+  }
   if (*verb == "shutdown") {
     req.verb = Request::Verb::kShutdown;
     req.drain = get_bool(*doc, "drain", true);
@@ -142,6 +185,11 @@ std::string stats_line(const ServiceStats& stats) {
            static_cast<std::int64_t>(stats.deadline_expired))
       .num("queue_depth", static_cast<std::int64_t>(stats.queue_depth))
       .num("workers", static_cast<std::int64_t>(stats.workers))
+      .num("sessions_opened", static_cast<std::int64_t>(stats.sessions_opened))
+      .num("sessions_closed", static_cast<std::int64_t>(stats.sessions_closed))
+      .num("revises", static_cast<std::int64_t>(stats.revises))
+      .num("active_sessions",
+           static_cast<std::int64_t>(stats.active_sessions))
       .num("cache_hits", static_cast<std::int64_t>(stats.cache.hits))
       .num("cache_misses", static_cast<std::int64_t>(stats.cache.misses))
       .num("cache_insertions",
@@ -193,6 +241,49 @@ std::string dump_line(std::uint64_t req) {
       .boolean("ok", true)
       .num("count", static_cast<std::int64_t>(count))
       .raw("events", events)
+      .build();
+}
+
+std::string session_line(const std::string& session,
+                         const SessionAnswer& a) {
+  obs::JsonObject o;
+  o.boolean("ok", true)
+      .str("session", session)
+      .str("status", a.status)
+      .boolean("proven_optimal", a.proven_optimal)
+      .boolean("cache_stored", a.cache_stored)
+      .num("cost", a.cost)
+      .num("lower_bound", a.lower_bound)
+      .num("sat_calls", static_cast<std::int64_t>(a.sat_calls))
+      .num("solve_ms", a.solve_seconds * 1000.0)
+      .num("groups_added", static_cast<std::int64_t>(a.groups_added))
+      .num("groups_retired", static_cast<std::int64_t>(a.groups_retired))
+      .num("groups_unchanged",
+           static_cast<std::int64_t>(a.groups_unchanged))
+      .num("clauses_added", a.clauses_added);
+  if (!a.error.empty()) o.str("error", a.error);
+  if (a.has_allocation) {
+    obs::JsonArray ecus;
+    for (const int e : a.allocation.task_ecu) {
+      ecus.push(std::to_string(e));
+    }
+    o.raw("task_ecu", ecus.build());
+  }
+  if (!a.core.empty()) {
+    obs::JsonArray core;
+    for (const std::string& name : a.core) {
+      core.push("\"" + obs::json_escape(name) + "\"");
+    }
+    o.raw("unsat_core", core.build());
+  }
+  return o.build();
+}
+
+std::string session_close_line(const std::string& session) {
+  return obs::JsonObject()
+      .boolean("ok", true)
+      .str("session", session)
+      .boolean("closed", true)
       .build();
 }
 

@@ -23,10 +23,25 @@
 //                                     to one request's records)
 //   {"verb":"shutdown","drain":true} -> {"ok":true,...}; server exits
 //
+// Incremental re-solve sessions (what-if queries over a warm solver):
+//
+//   {"verb":"session_open","problem":"<text>","objective":"sum-trt",
+//    "deadline_ms":500,"conflicts":100000}
+//       -> {"ok":true,"session":"s1",...initial answer...}
+//   {"verb":"revise","session":"s1","edits":[{"op":"set_wcet",
+//    "task":"sensor","ecu":0,"wcet":12},...]}
+//       -> the post-edit answer: status/proven_optimal/cost/lower_bound,
+//          delta statistics (groups_added/retired/unchanged,
+//          clauses_added), the allocation when feasible — and, for an
+//          infeasible edit, "unsat_core": the named constraint groups
+//          that conflict (see inc/patch.hpp for the edit op schema)
+//   {"verb":"session_close","session":"s1"} -> {"ok":true,"session":"s1"}
+//
 // Every response carries "ok"; failures look like
 // {"ok":false,"error":m,"code":c} where `code` is a stable machine-
 // readable discriminator ("bad_json", "bad_request", "unknown_verb",
-// "unknown_id", "bad_problem", "queue_full") — clients branch on it
+// "unknown_id", "bad_problem", "queue_full", "unknown_session",
+// "bad_patch") — clients branch on it
 // without parsing prose. Unknown verbs in particular are answered (with
 // code "unknown_verb"), never silently dropped.
 // The problem text is the alloc::io file format embedded as one JSON
@@ -37,6 +52,7 @@
 #include <optional>
 #include <string>
 
+#include "inc/patch.hpp"
 #include "svc/scheduler.hpp"
 
 namespace optalloc::svc {
@@ -51,17 +67,22 @@ struct Request {
     kMetrics,
     kInspect,
     kDump,
-    kShutdown
+    kShutdown,
+    kSessionOpen,
+    kRevise,
+    kSessionClose
   };
   Verb verb = Verb::kStats;
   std::string id;            ///< status/cancel/result/inspect; dump (opt.)
-  std::string problem_text;  ///< submit: alloc::io problem format
+  std::string problem_text;  ///< submit/session_open: alloc::io format
   std::string objective = "sum-trt";
   double deadline_ms = 0.0;
   std::int64_t conflicts = 0;
   int threads = 1;
   bool wait = false;         ///< submit: block until terminal
   bool drain = true;         ///< shutdown: finish queued work first
+  std::string session;       ///< revise/session_close: session id
+  inc::InstancePatch patch;  ///< revise: parsed "edits" array
 };
 
 /// Parse one request line. Returns nullopt and fills `error` (and, when
@@ -92,5 +113,11 @@ std::string inspect_line(const JobInspect& inspect);
 /// filtered to one request's records when `req` != 0.
 std::string dump_line(std::uint64_t req);
 std::string shutdown_ack_line(bool drain);
+/// Answer of one session solve (session_open / revise): status, bounds,
+/// delta statistics, the allocation's task->ECU vector when present, and
+/// "unsat_core" (named constraint groups) for proven-infeasible edits.
+std::string session_line(const std::string& session,
+                         const SessionAnswer& answer);
+std::string session_close_line(const std::string& session);
 
 }  // namespace optalloc::svc

@@ -8,6 +8,7 @@
 
 #include "alloc/optimizer.hpp"
 #include "alloc/portfolio.hpp"
+#include "obs/json.hpp"
 #include "heur/annealing.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -44,6 +45,11 @@ struct SvcMetrics {
   obs::Metric queue_wait_ms = obs::histogram("svc.queue_wait_ms");
   obs::Metric request_ms = obs::histogram("svc.request_ms");
   obs::Metric cache_lookup_ms = obs::histogram("svc.cache_lookup_ms");
+  // Incremental sessions (the revise verb).
+  obs::Metric sessions_opened = obs::counter("svc.sessions.opened");
+  obs::Metric sessions_closed = obs::counter("svc.sessions.closed");
+  obs::Metric revises = obs::counter("svc.revises");
+  obs::Metric revise_ms = obs::histogram("svc.revise_ms");
 };
 
 SvcMetrics& metrics() {
@@ -94,6 +100,18 @@ struct Scheduler::Job {
   std::atomic<std::int64_t> live_upper{-1};   ///< -1 = no incumbent yet
   std::atomic<std::int64_t> live_sat_calls{0};
   std::atomic<std::int64_t> live_conflicts{0};
+};
+
+/// One live incremental session: a persistent inc::Session guarded by
+/// its own mutex (solves on the same session serialize; different
+/// sessions never contend), plus the trace identity every event of this
+/// session carries as "req".
+struct Scheduler::SessionEntry {
+  std::string id;
+  alloc::Objective objective;
+  obs::SpanContext ctx;
+  util::Mutex mu;
+  std::unique_ptr<inc::Session> session OPTALLOC_GUARDED_BY(mu);
 };
 
 namespace {
@@ -305,7 +323,162 @@ std::optional<JobSnapshot> Scheduler::wait(const std::string& id,
   return snap;
 }
 
+std::optional<std::pair<std::string, SessionAnswer>> Scheduler::session_open(
+    JobRequest request) {
+  auto entry = std::make_shared<SessionEntry>();
+  entry->objective = request.objective;
+  entry->ctx.req = obs::next_span_id();
+  {
+    util::MutexLock lock(mu_);
+    if (!accepting_) return std::nullopt;
+    entry->id = "s" + std::to_string(++next_session_id_);
+    sessions_.emplace(entry->id, entry);
+    ++counters_.sessions_opened;
+  }
+  obs::add(metrics().sessions_opened);
+  {
+    obs::ContextScope ctx_scope(entry->ctx);
+    if (obs::trace_enabled()) {
+      obs::TraceEvent("session_open")
+          .str("session", entry->id)
+          .str("objective", request.objective.describe());
+    }
+  }
+  {
+    util::MutexLock lock(entry->mu);
+    entry->session = std::make_unique<inc::Session>(
+        std::move(request.problem), request.objective);
+  }
+  SessionAnswer answer =
+      run_session_solve(*entry, nullptr, 0, request.deadline_s,
+                        request.conflict_budget);
+  return std::make_pair(entry->id, std::move(answer));
+}
+
+std::optional<SessionAnswer> Scheduler::session_revise(
+    const std::string& id, const inc::InstancePatch& patch,
+    double deadline_s, std::int64_t conflicts) {
+  std::shared_ptr<SessionEntry> entry;
+  {
+    util::MutexLock lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return std::nullopt;
+    entry = it->second;
+    ++counters_.revises;
+  }
+  obs::add(metrics().revises);
+  return run_session_solve(*entry, &patch, patch.ops.size(), deadline_s,
+                           conflicts);
+}
+
+bool Scheduler::session_close(const std::string& id) {
+  std::shared_ptr<SessionEntry> entry;
+  {
+    util::MutexLock lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    entry = it->second;
+    sessions_.erase(it);
+    ++counters_.sessions_closed;
+  }
+  obs::add(metrics().sessions_closed);
+  // A solve still in flight on another connection thread keeps the entry
+  // alive through its shared_ptr; the solver is freed on the last drop.
+  obs::ContextScope ctx_scope(entry->ctx);
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("session_close").str("session", entry->id);
+  }
+  return true;
+}
+
+SessionAnswer Scheduler::run_session_solve(SessionEntry& entry,
+                                           const inc::InstancePatch* patch,
+                                           std::size_t edits,
+                                           double deadline_s,
+                                           std::int64_t conflicts) {
+  obs::ContextScope ctx_scope(entry.ctx);
+  inc::SolveLimits limits;
+  limits.deadline_s = deadline_s;
+  limits.conflicts = conflicts;
+  limits.stop = &session_stop_;
+
+  inc::SessionResult result;
+  alloc::Problem solved;  ///< post-edit instance, for the cache key
+  {
+    util::MutexLock lock(entry.mu);
+    result = patch != nullptr ? entry.session->revise(*patch, limits)
+                              : entry.session->solve(limits);
+    solved = entry.session->problem();
+  }
+  obs::observe(metrics().revise_ms, result.seconds * 1000.0);
+
+  SessionAnswer answer;
+  answer.status = inc::SessionResult::status_name(result.status);
+  answer.proven_optimal = result.proven_optimal;
+  answer.cost = result.cost;
+  answer.lower_bound = result.lower_bound;
+  answer.core = result.core;
+  answer.error = result.error;
+  answer.sat_calls = result.sat_calls;
+  answer.solve_seconds = result.seconds;
+  answer.groups_added = result.groups_added;
+  answer.groups_retired = result.groups_retired;
+  answer.groups_unchanged = result.groups_unchanged;
+  answer.clauses_added = result.clauses_added;
+  if (result.has_allocation) {
+    answer.has_allocation = true;
+    answer.allocation = result.allocation;
+  }
+
+  // Proven answers enter the result cache under the *post-edit* canonical
+  // fingerprint: a later cold submit of the same edited instance hits,
+  // while the base instance's own entry is untouched. The allocation is
+  // translated into canonical indexing first — cached entries are always
+  // canonical so restore_allocation works for any permuted duplicate.
+  const bool proven_optimum =
+      result.status == inc::SessionResult::Status::kOptimal;
+  const bool proven_infeasible =
+      result.status == inc::SessionResult::Status::kInfeasible &&
+      result.proven_optimal;
+  if (proven_optimum || proven_infeasible) {
+    const Canonical canon = canonicalize(solved, entry.objective);
+    CachedAnswer ca;
+    if (proven_infeasible) {
+      ca.infeasible = true;
+    } else {
+      ca.cost = result.cost;
+      ca.lower_bound = result.cost;
+      if (result.has_allocation) {
+        ca.has_allocation = true;
+        ca.allocation = canonical_allocation(canon, result.allocation);
+      }
+    }
+    cache_.put(canon.key, canon.text, std::move(ca));
+    answer.cache_stored = true;
+  }
+
+  if (obs::trace_enabled()) {
+    obs::TraceEvent("revise")
+        .str("session", entry.id)
+        .num("edits", static_cast<std::int64_t>(edits))
+        .str("status", answer.status)
+        .num("seconds", result.seconds);
+    if (!answer.core.empty()) {
+      obs::JsonArray core;
+      for (const std::string& name : answer.core) {
+        core.push("\"" + obs::json_escape(name) + "\"");
+      }
+      obs::TraceEvent("unsat_core")
+          .str("session", entry.id)
+          .num("size", static_cast<std::int64_t>(answer.core.size()))
+          .raw("core", core.build());
+    }
+  }
+  return answer;
+}
+
 void Scheduler::shutdown(bool drain) {
+  session_stop_.store(true, std::memory_order_relaxed);
   // First caller does the drain + join while holding shutdown_mu_ (mu_
   // stays free so workers can make progress); concurrent callers block
   // here until the join completes, then see joined_ and return. Without
@@ -343,6 +516,7 @@ ServiceStats Scheduler::stats() const {
     util::MutexLock lock(mu_);
     out = counters_;
     out.queue_depth = queue_.size();
+    out.active_sessions = sessions_.size();
     lat = latencies_ms_;
   }
   out.cache = cache_.stats();

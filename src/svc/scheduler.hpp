@@ -23,6 +23,7 @@
 // gauge, queue/solve timers) and request_received / cache_hit /
 // deadline_expired / request_done trace events.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,9 +32,12 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "alloc/problem.hpp"
+#include "inc/patch.hpp"
+#include "inc/session.hpp"
 #include "obs/metrics.hpp"
 #include "svc/cache.hpp"
 #include "svc/fingerprint.hpp"
@@ -114,12 +118,40 @@ struct JobInspect {
   JobAnswer answer;                ///< meaningful once state is terminal
 };
 
+/// Answer of one session solve (open or revise) — the incremental
+/// counterpart of JobAnswer, with the delta/search statistics the
+/// session reports and, on infeasible edits, the named constraint core.
+struct SessionAnswer {
+  std::string status = "unknown";  ///< optimal|infeasible|feasible|unknown|error
+  bool proven_optimal = false;
+  bool has_allocation = false;
+  std::int64_t cost = -1;
+  std::int64_t lower_bound = 0;
+  rt::Allocation allocation;       ///< the session instance's indexing
+  std::vector<std::string> core;   ///< infeasible: conflicting groups
+  std::string error;               ///< status "error": what went wrong
+  int sat_calls = 0;
+  double solve_seconds = 0.0;
+  int groups_added = 0;
+  int groups_retired = 0;
+  std::size_t groups_unchanged = 0;
+  std::int64_t clauses_added = 0;
+  /// A proven answer was stored in the result cache under the *post-edit*
+  /// canonical fingerprint (so cold submits of the same edited instance
+  /// hit it — and the base instance's entry is never poisoned).
+  bool cache_stored = false;
+};
+
 struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t rejected = 0;         ///< bounced off the full queue
   std::uint64_t deadline_expired = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t revises = 0;
+  std::size_t active_sessions = 0;
   std::size_t queue_depth = 0;
   int workers = 0;
   CacheStats cache;
@@ -162,9 +194,36 @@ class Scheduler {
   std::optional<JobSnapshot> wait(const std::string& id,
                                   double timeout_s = 0.0);
 
+  // --- Incremental re-solve sessions (the revise verb) -----------------
+  //
+  // A session keeps a live inc::Session (persistent solver + encoding)
+  // for one client across edits. Session solves run inline on the calling
+  // thread — they are interactive what-if queries riding the warm solver,
+  // not batch jobs for the worker pool. Concurrent ops on the *same*
+  // session serialize on a per-session mutex; different sessions do not
+  // contend.
+
+  /// Open a session on `request.problem` and solve it. Returns the
+  /// session id + the initial answer, or nullopt when shutting down.
+  /// (JobRequest::threads is ignored: sessions are single-solver.)
+  std::optional<std::pair<std::string, SessionAnswer>> session_open(
+      JobRequest request);
+
+  /// Apply a patch to a session's instance and re-solve incrementally.
+  /// Nullopt for unknown session ids; a patch that fails validation
+  /// returns status "error" and leaves the session instance untouched.
+  std::optional<SessionAnswer> session_revise(const std::string& id,
+                                              const inc::InstancePatch& patch,
+                                              double deadline_s,
+                                              std::int64_t conflicts);
+
+  /// Discard a session (frees its solver). False for unknown ids.
+  bool session_close(const std::string& id);
+
   /// Stop accepting work. drain=true finishes every queued job first;
   /// drain=false cancels queued jobs and stops running solves. Joins the
-  /// workers; idempotent.
+  /// workers; idempotent. Session solves in flight on connection threads
+  /// are stopped cooperatively in both modes.
   void shutdown(bool drain);
 
   ServiceStats stats() const;
@@ -172,6 +231,16 @@ class Scheduler {
 
  private:
   struct Job;
+  struct SessionEntry;
+
+  /// Run one session solve (open or revise) under the entry's own mutex,
+  /// translate the result, emit trace events, and cache proven answers
+  /// under the post-edit canonical fingerprint. `edits` is only for the
+  /// trace (0 = the opening solve).
+  SessionAnswer run_session_solve(SessionEntry& entry,
+                                  const inc::InstancePatch* patch,
+                                  std::size_t edits, double deadline_s,
+                                  std::int64_t conflicts);
 
   void worker_loop();
   void execute(const std::shared_ptr<Job>& job);
@@ -191,8 +260,17 @@ class Scheduler {
   /// by keeping every such access inside this class, under mu_.
   std::map<std::string, std::shared_ptr<Job>> jobs_ OPTALLOC_GUARDED_BY(mu_);
   std::deque<std::shared_ptr<Job>> queue_ OPTALLOC_GUARDED_BY(mu_);
+  /// Live sessions. The map is guarded by mu_; each entry's inc::Session
+  /// is guarded by the entry's own mutex so a long incremental solve
+  /// never holds the scheduler lock.
+  std::map<std::string, std::shared_ptr<SessionEntry>> sessions_
+      OPTALLOC_GUARDED_BY(mu_);
+  /// Raised by shutdown(); every session solve passes it as its stop
+  /// flag, so in-flight revises on connection threads wind down fast.
+  std::atomic<bool> session_stop_{false};
   std::vector<std::thread> workers_;  ///< written in ctor, joined once
   std::uint64_t next_id_ OPTALLOC_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_session_id_ OPTALLOC_GUARDED_BY(mu_) = 0;
   bool accepting_ OPTALLOC_GUARDED_BY(mu_) = true;
   bool joined_ OPTALLOC_GUARDED_BY(mu_) = false;
   /// Serializes shutdown(): the first caller joins the workers while

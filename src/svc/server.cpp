@@ -242,6 +242,38 @@ std::string Server::handle_line(const std::string& line) {
       return stats_line(scheduler_.stats());
     case Request::Verb::kMetrics:
       return metrics_line();
+    case Request::Verb::kSessionOpen: {
+      JobRequest job;
+      try {
+        std::istringstream in(req->problem_text);
+        job.problem = alloc::parse_problem(in, "submitted problem");
+        job.objective = alloc::parse_objective(req->objective);
+      } catch (const std::exception& e) {
+        return error_line(e.what(), "bad_problem");
+      }
+      job.deadline_s = req->deadline_ms / 1000.0;
+      job.conflict_budget = req->conflicts;
+      const auto opened = scheduler_.session_open(std::move(job));
+      if (!opened) return error_line("shutting down", "queue_full");
+      return session_line(opened->first, opened->second);
+    }
+    case Request::Verb::kRevise: {
+      const auto answer = scheduler_.session_revise(
+          req->session, req->patch, req->deadline_ms / 1000.0,
+          req->conflicts);
+      if (!answer) {
+        return error_line("unknown session id \"" + req->session + "\"",
+                          "unknown_session");
+      }
+      return session_line(req->session, *answer);
+    }
+    case Request::Verb::kSessionClose: {
+      if (!scheduler_.session_close(req->session)) {
+        return error_line("unknown session id \"" + req->session + "\"",
+                          "unknown_session");
+      }
+      return session_close_line(req->session);
+    }
     case Request::Verb::kShutdown: {
       drain_on_stop_.store(req->drain, std::memory_order_relaxed);
       request_stop();

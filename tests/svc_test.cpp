@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rt/verify.hpp"
+#include "inc/patch.hpp"
 #include "svc/cache.hpp"
 #include "svc/fingerprint.hpp"
 #include "svc/protocol.hpp"
@@ -136,6 +137,27 @@ TEST(Fingerprint, RestoreAllocationRoundTrips) {
 }
 
 // --- Result cache ------------------------------------------------------
+
+TEST(Fingerprint, CanonicalAllocationInvertsRestore) {
+  // The permuted declaration gives nontrivial task/media/slot perms.
+  const alloc::Problem permuted = parse(kSystemPermuted);
+  const Canonical canon = canonicalize(permuted, alloc::Objective::sum_trt());
+
+  rt::Allocation original;
+  original.task_ecu = {1, 0, 0};        // actuator, control, sensor
+  original.task_prio = {2, 1, 0};
+  original.msg_route = {{0}, {}};       // msg 0 crosses ring0, msg 1 local
+  original.msg_local_deadline = {{60}, {}};
+  original.slots = {{4, 7}};            // ring0 declared ecus=1,0
+
+  const rt::Allocation canonical = canonical_allocation(canon, original);
+  const rt::Allocation back = restore_allocation(canon, canonical);
+  EXPECT_EQ(back.task_ecu, original.task_ecu);
+  EXPECT_EQ(back.task_prio, original.task_prio);
+  EXPECT_EQ(back.msg_route, original.msg_route);
+  EXPECT_EQ(back.msg_local_deadline, original.msg_local_deadline);
+  EXPECT_EQ(back.slots, original.slots);
+}
 
 TEST(ResultCache, HitMissAndLruEviction) {
   ResultCache cache(/*capacity=*/2, /*shards=*/1);
@@ -415,6 +437,170 @@ TEST(SchedulerRace, ConcurrentShutdownJoinsWorkersExactlyOnce) {
   EXPECT_EQ(stats.queue_depth, 0u);
 }
 
+// --- Incremental sessions ----------------------------------------------
+
+inc::InstancePatch ops_from_json(const std::string& json) {
+  std::string error;
+  auto patch = inc::parse_patch(*obs::json_parse(json), &error);
+  EXPECT_TRUE(patch.has_value()) << error;
+  return patch.value_or(inc::InstancePatch{});
+}
+
+TEST(SchedulerSession, OpenReviseCloseLifecycle) {
+  Scheduler scheduler(quick_options(1));
+
+  JobRequest open;
+  open.problem = parse(kSystem);
+  open.objective = alloc::Objective::sum_trt();
+  const auto opened = scheduler.session_open(std::move(open));
+  ASSERT_TRUE(opened.has_value());
+  const std::string sid = opened->first;
+  EXPECT_EQ(opened->second.status, "optimal");
+  EXPECT_TRUE(opened->second.proven_optimal);
+  EXPECT_TRUE(opened->second.cache_stored);
+  EXPECT_GT(opened->second.groups_added, 0);
+  const std::int64_t base_cost = opened->second.cost;
+
+  const auto revised = scheduler.session_revise(
+      sid,
+      ops_from_json(
+          R"([{"op":"set_wcet","task":"control","ecu":0,"wcet":35}])"),
+      0.0, 0);
+  ASSERT_TRUE(revised.has_value());
+  EXPECT_EQ(revised->status, "optimal");
+  EXPECT_GT(revised->groups_unchanged, 0u);
+  EXPECT_GT(revised->groups_retired, 0);
+
+  const auto back = scheduler.session_revise(
+      sid,
+      ops_from_json(
+          R"([{"op":"set_wcet","task":"control","ecu":0,"wcet":25}])"),
+      0.0, 0);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->cost, base_cost);
+
+  // A structurally invalid patch reports status "error", not nullopt.
+  const auto bad = scheduler.session_revise(
+      sid, ops_from_json(R"([{"op":"remove_task","task":"ghost"}])"), 0.0,
+      0);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, "error");
+  EXPECT_FALSE(bad->error.empty());
+
+  const ServiceStats mid = scheduler.stats();
+  EXPECT_EQ(mid.sessions_opened, 1u);
+  EXPECT_EQ(mid.active_sessions, 1u);
+  EXPECT_EQ(mid.revises, 3u);
+
+  EXPECT_TRUE(scheduler.session_close(sid));
+  EXPECT_FALSE(scheduler.session_close(sid));
+  EXPECT_FALSE(scheduler.session_revise(sid, inc::InstancePatch{}, 0.0, 0)
+                   .has_value());
+  const ServiceStats end = scheduler.stats();
+  EXPECT_EQ(end.sessions_closed, 1u);
+  EXPECT_EQ(end.active_sessions, 0u);
+  scheduler.shutdown(/*drain=*/true);
+}
+
+TEST(SchedulerSession, ReviseDoesNotPoisonBaseCacheEntry) {
+  // The satellite regression: a session's post-edit answers must land
+  // under the *edited* instance's fingerprint. Storing them under the
+  // base fingerprint would make a later cold submit of the base instance
+  // replay the edited verdict — here, a false "infeasible".
+  Scheduler scheduler(quick_options(1));
+
+  JobRequest open;
+  open.problem = parse(kSystem);
+  open.objective = alloc::Objective::sum_trt();
+  const auto opened = scheduler.session_open(std::move(open));
+  ASSERT_TRUE(opened.has_value());
+  const std::int64_t base_cost = opened->second.cost;
+
+  // Infeasible edit (control forced onto ECU 1 with a deadline-busting
+  // WCET): the session proves it and caches the verdict.
+  const std::string kill =
+      R"([{"op":"set_wcet","task":"control","ecu":0,"wcet":-1},)"
+      R"({"op":"set_wcet","task":"control","ecu":1,"wcet":90}])";
+  const auto revised =
+      scheduler.session_revise(opened->first, ops_from_json(kill), 0.0, 0);
+  ASSERT_TRUE(revised.has_value());
+  EXPECT_EQ(revised->status, "infeasible");
+  EXPECT_TRUE(revised->proven_optimal);
+  EXPECT_TRUE(revised->cache_stored);
+  EXPECT_FALSE(revised->core.empty());
+
+  // Cold submit of the *base* instance: must be the base optimum, served
+  // from the entry the opening solve stored.
+  JobRequest cold_base;
+  cold_base.problem = parse(kSystem);
+  cold_base.objective = alloc::Objective::sum_trt();
+  const auto id1 = scheduler.submit(std::move(cold_base));
+  ASSERT_TRUE(id1.has_value());
+  const auto snap1 = scheduler.wait(*id1, 60.0);
+  ASSERT_TRUE(snap1.has_value());
+  EXPECT_EQ(snap1->answer.status, "optimal");
+  EXPECT_TRUE(snap1->answer.cached);
+  EXPECT_EQ(snap1->answer.cost, base_cost);
+
+  // Cold submit of the *edited* instance: served from the revise's entry.
+  alloc::Problem edited = parse(kSystem);
+  ASSERT_FALSE(inc::apply_patch(ops_from_json(kill), edited).has_value());
+  JobRequest cold_edited;
+  cold_edited.problem = std::move(edited);
+  cold_edited.objective = alloc::Objective::sum_trt();
+  const auto id2 = scheduler.submit(std::move(cold_edited));
+  ASSERT_TRUE(id2.has_value());
+  const auto snap2 = scheduler.wait(*id2, 60.0);
+  ASSERT_TRUE(snap2.has_value());
+  EXPECT_EQ(snap2->answer.status, "infeasible");
+  EXPECT_TRUE(snap2->answer.cached);
+  scheduler.shutdown(/*drain=*/true);
+}
+
+TEST(SchedulerSession, CachedSessionAnswerServesPermutedColdSubmit) {
+  // A feasible revise's allocation is stored in canonical indexing
+  // (canonical_allocation), so a cold submit of a *permuted* declaration
+  // of the edited system gets a cache hit with a valid allocation in its
+  // own indexing.
+  Scheduler scheduler(quick_options(1));
+
+  JobRequest open;
+  open.problem = parse(kSystem);
+  open.objective = alloc::Objective::sum_trt();
+  const auto opened = scheduler.session_open(std::move(open));
+  ASSERT_TRUE(opened.has_value());
+
+  const std::string edit =
+      R"([{"op":"set_deadline","task":"sensor","deadline":35}])";
+  const auto revised =
+      scheduler.session_revise(opened->first, ops_from_json(edit), 0.0, 0);
+  ASSERT_TRUE(revised.has_value());
+  ASSERT_EQ(revised->status, "optimal");
+  ASSERT_TRUE(revised->cache_stored);
+
+  alloc::Problem permuted = parse(kSystemPermuted);
+  ASSERT_FALSE(inc::apply_patch(ops_from_json(edit), permuted).has_value());
+  JobRequest cold;
+  cold.problem = permuted;
+  cold.objective = alloc::Objective::sum_trt();
+  const auto id = scheduler.submit(std::move(cold));
+  ASSERT_TRUE(id.has_value());
+  const auto snap = scheduler.wait(*id, 60.0);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->answer.status, "optimal");
+  EXPECT_TRUE(snap->answer.cached);
+  EXPECT_EQ(snap->answer.cost, revised->cost);
+  ASSERT_TRUE(snap->answer.has_allocation);
+  EXPECT_TRUE(
+      rt::verify(permuted.tasks, permuted.arch, snap->answer.allocation)
+          .feasible);
+  const auto cost = alloc::evaluate_allocation(
+      permuted, alloc::Objective::sum_trt(), snap->answer.allocation);
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(*cost, snap->answer.cost);
+  scheduler.shutdown(/*drain=*/true);
+}
+
 TEST(Protocol, ParsesRequestsAndRejectsGarbage) {
   std::string error;
   const auto submit = parse_request(
@@ -609,6 +795,71 @@ TEST(Server, UnknownVerbRepliesWithStructuredCode) {
   const auto incomplete =
       obs::json_parse(server.handle_line(R"({"verb":"status"})"));
   EXPECT_EQ(incomplete->get_string("code"), "bad_request");
+}
+
+TEST(Server, SessionVerbsLifecycle) {
+  ServerOptions options;
+  options.scheduler = quick_options(1);
+  Server server(options);
+
+  const auto opened = obs::json_parse(server.handle_line(
+      obs::JsonObject()
+          .str("verb", "session_open")
+          .str("problem", kSystem)
+          .str("objective", "sum-trt")
+          .build()));
+  ASSERT_TRUE(opened.has_value());
+  ASSERT_TRUE(opened->get("ok")->b);
+  const auto sid = opened->get_string("session");
+  ASSERT_TRUE(sid.has_value());
+  EXPECT_EQ(opened->get_string("status"), "optimal");
+  ASSERT_NE(opened->get("task_ecu"), nullptr);
+  const double base_cost = *opened->get_number("cost");
+
+  // Feasible edit, then the inverse edit: optimum must come back.
+  const auto worse = obs::json_parse(server.handle_line(
+      R"({"verb":"revise","session":")" + *sid +
+      R"(","edits":[{"op":"set_wcet","task":"sensor","ecu":0,"wcet":30}]})"));
+  ASSERT_TRUE(worse.has_value());
+  ASSERT_TRUE(worse->get("ok")->b);
+  EXPECT_EQ(worse->get_string("status"), "optimal");
+  const auto back = obs::json_parse(server.handle_line(
+      R"({"verb":"revise","session":")" + *sid +
+      R"(","edits":[{"op":"set_wcet","task":"sensor","ecu":0,"wcet":8}]})"));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back->get_number("cost"), base_cost);
+
+  // Infeasible edit: unsat_core names the conflicting constraint groups.
+  const auto dead = obs::json_parse(server.handle_line(
+      R"({"verb":"revise","session":")" + *sid +
+      R"(","edits":[{"op":"set_wcet","task":"control","ecu":0,"wcet":-1},)" +
+      R"({"op":"set_wcet","task":"control","ecu":1,"wcet":90}]})"));
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->get_string("status"), "infeasible");
+  const obs::JsonValue* core = dead->get("unsat_core");
+  ASSERT_NE(core, nullptr);
+  ASSERT_EQ(core->kind, obs::JsonValue::Kind::kArray);
+  EXPECT_FALSE(core->array.empty());
+
+  // Error codes: malformed edits, unknown session, missing fields.
+  const auto bad_patch = obs::json_parse(server.handle_line(
+      R"({"verb":"revise","session":")" + *sid +
+      R"(","edits":[{"op":"transmogrify"}]})"));
+  EXPECT_EQ(bad_patch->get_string("code"), "bad_patch");
+  const auto unknown = obs::json_parse(server.handle_line(
+      R"({"verb":"revise","session":"s999","edits":[]})"));
+  EXPECT_EQ(unknown->get_string("code"), "unknown_session");
+  const auto missing = obs::json_parse(
+      server.handle_line(R"({"verb":"revise","session":"s1"})"));
+  EXPECT_EQ(missing->get_string("code"), "bad_request");
+
+  const auto closed = obs::json_parse(server.handle_line(
+      R"({"verb":"session_close","session":")" + *sid + R"("})"));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_TRUE(closed->get("ok")->b);
+  const auto closed_again = obs::json_parse(server.handle_line(
+      R"({"verb":"session_close","session":")" + *sid + R"("})"));
+  EXPECT_EQ(closed_again->get_string("code"), "unknown_session");
 }
 
 TEST(Server, InspectAndDumpVerbs) {

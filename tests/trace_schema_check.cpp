@@ -69,6 +69,13 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
       {"worker_panic", {"id", "error"}},
       {"deadline_expired", {"id"}},
       {"request_done", {"id", "state", "proven_optimal", "seconds"}},
+      // Incremental re-solve sessions (session_open / revise verbs).
+      {"session_open", {"session", "objective"}},
+      // Every session solve (the opening solve has edits=0).
+      {"revise", {"session", "edits", "status", "seconds"}},
+      // Infeasible edits: the named constraint groups that conflict.
+      {"unsat_core", {"session", "size", "core"}},
+      {"session_close", {"session"}},
       // Request correlation (see src/obs/trace.hpp).
       {"span_begin", {"name", "span", "parent"}},
       {"span_end", {"name", "span", "parent", "seconds"}},
@@ -240,9 +247,10 @@ int main(int argc, char** argv) {
   // invariants below don't apply. Their own invariant: every request that
   // was received either finished or is still in flight — never more
   // completions than receipts — and a non-empty service trace must have
-  // completed something.
-  if (census["request_received"] > 0) {
-    if (census["request_done"] < 1) {
+  // completed something. A trace holding only session traffic (the
+  // revise verb) is a service trace too.
+  if (census["request_received"] > 0 || census["session_open"] > 0) {
+    if (census["request_received"] > 0 && census["request_done"] < 1) {
       std::fprintf(stderr,
                    "trace_schema_check: service trace without any "
                    "\"request_done\"\n");
@@ -258,6 +266,34 @@ int main(int argc, char** argv) {
     if (census["cache_hit"] > census["request_received"]) {
       std::fprintf(stderr,
                    "trace_schema_check: more \"cache_hit\" than requests\n");
+      ok = false;
+    }
+    // Sessions: the opening solve emits a "revise" event (edits=0), so a
+    // trace can never hold more opens than solves; closes and cores are
+    // bounded by their opens/solves.
+    if (census["revise"] < census["session_open"]) {
+      std::fprintf(stderr,
+                   "trace_schema_check: %d \"revise\" for %d "
+                   "\"session_open\" (the opening solve must emit one)\n",
+                   census["revise"], census["session_open"]);
+      ok = false;
+    }
+    if (census["session_close"] > census["session_open"]) {
+      std::fprintf(stderr,
+                   "trace_schema_check: more \"session_close\" than "
+                   "\"session_open\"\n");
+      ok = false;
+    }
+    if (census["unsat_core"] > census["revise"]) {
+      std::fprintf(stderr,
+                   "trace_schema_check: more \"unsat_core\" than "
+                   "\"revise\"\n");
+      ok = false;
+    }
+    if (census["revise"] > 0 && census["session_open"] == 0) {
+      std::fprintf(stderr,
+                   "trace_schema_check: \"revise\" without any "
+                   "\"session_open\"\n");
       ok = false;
     }
     // A drained service trace must have closed every span it opened, and
