@@ -58,6 +58,7 @@ bool Session::sync_encoding(SessionResult& out) {
     // clauses become vacuously satisfied, never contradicted.
     backend_.solver.add_unit(~groups_.at(name).guard);
     groups_.erase(name);
+    ++retired_guards_;
   }
   for (const std::string& name : delta.added) {
     Group group;
@@ -79,7 +80,15 @@ bool Session::sync_encoding(SessionResult& out) {
   for (const auto& [name, group] : groups_) {
     guard_assumptions_.push_back(group.guard);
   }
+  guards_res_.set(0, static_cast<std::int64_t>(groups_.size()));
+  dead_guards_res_.set(0, retired_guards_);
   return true;
+}
+
+double Session::dead_guard_fraction() const {
+  const double total =
+      static_cast<double>(retired_guards_) + static_cast<double>(groups_.size());
+  return total > 0.0 ? static_cast<double>(retired_guards_) / total : 0.0;
 }
 
 SessionResult Session::solve(const SolveLimits& limits) {

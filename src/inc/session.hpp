@@ -107,6 +107,21 @@ class Session {
   /// their guards assumed). Used by the differential tests.
   bool core_is_conflicting(std::span<const std::string> core);
 
+  // --- Capacity accounting --------------------------------------------
+  // Retired guards stay in the clause database as dead weight (their
+  // clauses are vacuously satisfied, never reclaimed); the ROADMAP's
+  // compaction trigger needs this fraction measured, and the resource
+  // registry ("inc.guards" / "inc.dead_guards") exposes it process-wide.
+
+  /// Constraint groups currently guarded alive.
+  std::size_t live_guards() const { return groups_.size(); }
+
+  /// Guards retired over this session's lifetime.
+  std::int64_t retired_guards() const { return retired_guards_; }
+
+  /// retired / (retired + live); 0 for an empty session.
+  double dead_guard_fraction() const;
+
  private:
   /// Rebuild the encoding over the backend and apply the group delta.
   /// Returns false (with out.status = kError) on an invalid instance.
@@ -122,6 +137,9 @@ class Session {
   GroupMap groups_;
   std::vector<sat::Lit> guard_assumptions_;
   std::optional<std::int64_t> prev_optimum_;
+  std::int64_t retired_guards_ = 0;
+  obs::ResourceTracker guards_res_{obs::resource("inc.guards")};
+  obs::ResourceTracker dead_guards_res_{obs::resource("inc.dead_guards")};
 };
 
 }  // namespace optalloc::inc

@@ -15,14 +15,34 @@ ClausePool::ClausePool(int num_workers, PoolOptions options)
   }
 }
 
+ClausePool::~ClausePool() {
+  // Retract the rings' footprint from the resource registry (portfolio
+  // runs construct a pool per race).
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    const std::uint64_t held = std::min<std::uint64_t>(shard->head, capacity_);
+    obs::res_add(res_, -static_cast<std::int64_t>(shard->lit_bytes),
+                 -static_cast<std::int64_t>(held));
+  }
+}
+
 void ClausePool::publish(int worker, std::span<const sat::Lit> lits,
                          std::uint32_t lbd) {
   assert(worker >= 0 && worker < num_workers());
   Shard& shard = *shards_[static_cast<std::size_t>(worker)];
   util::MutexLock lock(shard.mu);
   SharedClause& slot = shard.ring[shard.head % capacity_];
+  // Overwriting recycles the slot: only the literal-byte delta and (for a
+  // previously empty slot) one item land in the resource registry.
+  const std::size_t old_bytes = slot.lits.size() * sizeof(sat::Lit);
   slot.lits.assign(lits.begin(), lits.end());
   slot.lbd = lbd;
+  const std::size_t new_bytes = slot.lits.size() * sizeof(sat::Lit);
+  shard.lit_bytes += new_bytes - old_bytes;
+  obs::res_add(res_,
+               static_cast<std::int64_t>(new_bytes) -
+                   static_cast<std::int64_t>(old_bytes),
+               shard.head < capacity_ ? 1 : 0);
   ++shard.head;
   published_.fetch_add(1, std::memory_order_relaxed);
 }

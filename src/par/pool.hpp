@@ -73,6 +73,8 @@ class ClausePool {
                     std::vector<SharedClause>& out,
                     std::size_t max_clauses = 1024);
 
+  ~ClausePool();
+
   PoolStats stats() const;
 
  private:
@@ -81,10 +83,13 @@ class ClausePool {
     /// slot i holds sequence head-ring+i... % cap
     std::vector<SharedClause> ring OPTALLOC_GUARDED_BY(mu);
     std::uint64_t head OPTALLOC_GUARDED_BY(mu) = 0;  ///< clauses published
+    /// Literal bytes retained across the ring ("par.pool" resource).
+    std::size_t lit_bytes OPTALLOC_GUARDED_BY(mu) = 0;
   };
 
   std::size_t capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  obs::Resource res_ = obs::resource("par.pool");
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> consumed_{0};
   std::atomic<std::uint64_t> overwritten_{0};

@@ -600,6 +600,7 @@ void Solver::garbage_collect() {
   reloc_all(to);
   arena_.swap(to);
   ++stats_.gc_runs;
+  sync_resource_usage();
   if (obs::trace_enabled()) {
     obs::TraceEvent("solver_gc")
         .num("gc_runs", stats_.gc_runs)
@@ -921,7 +922,18 @@ LBool Solver::solve(std::span<const Lit> assumptions, Budget budget) {
   cancel_until(0);
   assumptions_.clear();
   flush_solve_metrics(stats_before, stats_);
+  sync_resource_usage();
   return status;
+}
+
+void Solver::sync_resource_usage() {
+  // Arena sizes are in 32-bit words (clause.hpp); report bytes. Item
+  // counts: total stored clauses for the arena, learnts split out so the
+  // dashboard can show DB growth against the reduce-DB schedule.
+  arena_res_.set(static_cast<std::int64_t>(arena_.size()) * 4,
+                 num_clauses() + num_learnts());
+  wasted_res_.set(static_cast<std::int64_t>(arena_.wasted()) * 4, 0);
+  learnts_res_.set(0, num_learnts());
 }
 
 }  // namespace optalloc::sat

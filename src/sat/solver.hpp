@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/resource.hpp"
 #include "sat/clause.hpp"
 #include "sat/heap.hpp"
 #include "sat/types.hpp"
@@ -354,6 +355,14 @@ class Solver {
   ClauseArena arena_;
   std::vector<CRef> clauses_;  ///< problem clauses
   std::vector<CRef> learnts_;  ///< learnt + theory-reason clauses
+
+  // Capacity accounting (obs/resource.hpp): absolute arena footprint,
+  // refreshed at solve boundaries and after GC so `alloc_top` and the
+  // watermark sampler see live/wasted bytes; retracted on destruction.
+  obs::ResourceTracker arena_res_{obs::resource("sat.arena")};
+  obs::ResourceTracker wasted_res_{obs::resource("sat.arena.wasted")};
+  obs::ResourceTracker learnts_res_{obs::resource("sat.learnts")};
+  void sync_resource_usage();
 
   // Assignment state.
   std::vector<LBool> assigns_;

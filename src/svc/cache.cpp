@@ -12,6 +12,26 @@ ResultCache::ResultCache(std::size_t capacity, int shards) {
   shards_ = std::vector<Shard>(n);
 }
 
+ResultCache::~ResultCache() {
+  // Retract this cache's contribution from the resource registry: tests
+  // and benches build many schedulers, and their caches must not leave
+  // phantom occupancy behind.
+  for (const Shard& s : shards_) {
+    util::MutexLock lock(s.mu);
+    obs::res_add(res_, -static_cast<std::int64_t>(s.bytes),
+                 -static_cast<std::int64_t>(s.lru.size()));
+  }
+}
+
+std::size_t ResultCache::entry_bytes(const Entry& e) {
+  // Estimate: canonical text + allocation payload + list/index node
+  // overhead. Exactness does not matter — eviction pressure and trend
+  // direction do.
+  return e.text.size() +
+         e.answer.allocation.task_ecu.size() * sizeof(int) +
+         sizeof(Entry) + 64;
+}
+
 std::optional<CachedAnswer> ResultCache::get(const Fingerprint& key,
                                              std::string_view canonical_text) {
   Shard& s = shard_for(key);
@@ -33,20 +53,33 @@ void ResultCache::put(const Fingerprint& key, std::string canonical_text,
   util::MutexLock lock(s.mu);
   if (const auto it = s.index.find(key.a); it != s.index.end()) {
     // Refresh (or replace a colliding entry — last writer wins).
+    const std::size_t before = entry_bytes(*it->second);
     it->second->key = key;
     it->second->text = std::move(canonical_text);
     it->second->answer = std::move(answer);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
+    const std::size_t after = entry_bytes(*it->second);
+    s.bytes += after - before;
+    obs::res_add(res_,
+                 static_cast<std::int64_t>(after) -
+                     static_cast<std::int64_t>(before),
+                 0);
     return;
   }
   if (s.lru.size() >= per_shard_capacity_) {
+    const std::size_t victim = entry_bytes(s.lru.back());
     s.index.erase(s.lru.back().key.a);
     s.lru.pop_back();
     ++s.stats.evictions;
+    s.bytes -= victim;
+    obs::res_add(res_, -static_cast<std::int64_t>(victim), -1);
   }
   s.lru.push_front(Entry{key, std::move(canonical_text), std::move(answer)});
   s.index.emplace(key.a, s.lru.begin());
   ++s.stats.insertions;
+  const std::size_t added = entry_bytes(s.lru.front());
+  s.bytes += added;
+  obs::res_add(res_, static_cast<std::int64_t>(added), 1);
 }
 
 CacheStats ResultCache::stats() const {
@@ -68,6 +101,25 @@ std::size_t ResultCache::size() const {
     n += s.lru.size();
   }
   return n;
+}
+
+std::size_t ResultCache::bytes() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    util::MutexLock lock(s.mu);
+    n += s.bytes;
+  }
+  return n;
+}
+
+std::vector<CacheShardOccupancy> ResultCache::shard_occupancy() const {
+  std::vector<CacheShardOccupancy> out;
+  out.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    util::MutexLock lock(s.mu);
+    out.push_back({s.lru.size(), s.bytes, per_shard_capacity_});
+  }
+  return out;
 }
 
 }  // namespace optalloc::svc

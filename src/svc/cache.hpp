@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/resource.hpp"
 #include "rt/model.hpp"
 #include "svc/fingerprint.hpp"
 #include "util/mutex.hpp"
@@ -41,6 +42,16 @@ struct CacheStats {
   std::uint64_t evictions = 0;
 };
 
+/// Point-in-time fill level of one shard (occupancy telemetry for
+/// alloc_top and the skew analysis future eviction policies need: a hot
+/// shard pinning its LRU while others sit empty is invisible in the
+/// aggregate counters).
+struct CacheShardOccupancy {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;  ///< estimated retained footprint
+  std::size_t capacity = 0;
+};
+
 class ResultCache {
  public:
   /// `capacity` total entries spread over `shards` independent LRU lists
@@ -58,9 +69,13 @@ class ResultCache {
   void put(const Fingerprint& key, std::string canonical_text,
            CachedAnswer answer);
 
+  ~ResultCache();
+
   CacheStats stats() const;   ///< aggregated over shards
   std::size_t size() const;   ///< live entries
+  std::size_t bytes() const;  ///< estimated retained footprint
   int shards() const { return static_cast<int>(shards_.size()); }
+  std::vector<CacheShardOccupancy> shard_occupancy() const;
 
  private:
   struct Entry {
@@ -74,7 +89,10 @@ class ResultCache {
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index
         OPTALLOC_GUARDED_BY(mu);
     CacheStats stats OPTALLOC_GUARDED_BY(mu);
+    std::size_t bytes OPTALLOC_GUARDED_BY(mu) = 0;  ///< sum of entry_bytes
   };
+
+  static std::size_t entry_bytes(const Entry& e);
 
   Shard& shard_for(const Fingerprint& key) {
     return shards_[static_cast<std::size_t>(key.a % shards_.size())];
@@ -82,6 +100,7 @@ class ResultCache {
 
   std::size_t per_shard_capacity_;
   std::vector<Shard> shards_;
+  obs::Resource res_ = obs::resource("svc.cache");
 };
 
 }  // namespace optalloc::svc

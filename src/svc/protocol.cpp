@@ -5,6 +5,7 @@
 #include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace optalloc::svc {
 
@@ -79,6 +80,17 @@ std::optional<Request> parse_request(const std::string& line,
   }
   if (*verb == "metrics") {
     req.verb = Request::Verb::kMetrics;
+    return req;
+  }
+  if (*verb == "query") {
+    req.verb = Request::Verb::kQuery;
+    if (const auto metric = doc->get_string("metric")) req.metric = *metric;
+    if (const auto w = doc->get_number("last_s")) {
+      req.last_s = *w > 0 ? *w : 0.0;
+    }
+    if (const auto m = doc->get_number("max_samples")) {
+      req.max_samples = static_cast<std::int64_t>(*m > 0 ? *m : 0);
+    }
     return req;
   }
   if (*verb == "session_open") {
@@ -185,6 +197,8 @@ std::string stats_line(const ServiceStats& stats) {
            static_cast<std::int64_t>(stats.deadline_expired))
       .num("queue_depth", static_cast<std::int64_t>(stats.queue_depth))
       .num("workers", static_cast<std::int64_t>(stats.workers))
+      .num("uptime_s", stats.uptime_s)
+      .num("start_time_unix_ms", stats.start_time_unix_ms)
       .num("sessions_opened", static_cast<std::int64_t>(stats.sessions_opened))
       .num("sessions_closed", static_cast<std::int64_t>(stats.sessions_closed))
       .num("revises", static_cast<std::int64_t>(stats.revises))
@@ -207,6 +221,45 @@ std::string metrics_line() {
   return obs::JsonObject()
       .boolean("ok", true)
       .raw("metrics", obs::metrics_full_json())
+      .build();
+}
+
+std::string query_line(const Request& request) {
+  if (request.metric.empty()) {
+    // Catalogue mode: one summary row per series.
+    obs::JsonArray series;
+    std::size_t n = 0;
+    for (const obs::SeriesInfo& info : obs::timeseries_list()) {
+      series.push(obs::JsonObject()
+                      .str("metric", info.name)
+                      .num("count", static_cast<std::int64_t>(info.count))
+                      .num("last_unix_ms", info.last_unix_ms)
+                      .num("last", info.last)
+                      .build());
+      ++n;
+    }
+    return obs::JsonObject()
+        .boolean("ok", true)
+        .num("count", static_cast<std::int64_t>(n))
+        .raw("series", series.build())
+        .build();
+  }
+  const std::vector<obs::TimeSample> samples = obs::timeseries_query(
+      request.metric, request.last_s,
+      request.max_samples > 0 ? static_cast<std::size_t>(request.max_samples)
+                              : 0);
+  obs::JsonArray rows;
+  for (const obs::TimeSample& s : samples) {
+    obs::JsonArray pair;
+    pair.push(std::to_string(s.unix_ms));
+    pair.push(obs::json_number(s.value));
+    rows.push(pair.build());
+  }
+  return obs::JsonObject()
+      .boolean("ok", true)
+      .str("metric", request.metric)
+      .num("count", static_cast<std::int64_t>(samples.size()))
+      .raw("samples", rows.build())
       .build();
 }
 

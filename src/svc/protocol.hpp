@@ -21,6 +21,14 @@
 //   {"verb":"dump"}                -> flight-recorder contents as an
 //                                     "events" array (add "id" to filter
 //                                     to one request's records)
+//   {"verb":"query"}               -> time-series catalogue: one summary
+//                                     row per recorded series (name,
+//                                     sample count, latest value)
+//   {"verb":"query","metric":"svc.request_ms.p99","last_s":60}
+//                                  -> that series' samples in the window
+//                                     as [unix_ms, value] pairs (add
+//                                     "max_samples" to downsample);
+//                                     unknown series -> ok, count 0
 //   {"verb":"shutdown","drain":true} -> {"ok":true,...}; server exits
 //
 // Incremental re-solve sessions (what-if queries over a warm solver):
@@ -65,6 +73,7 @@ struct Request {
     kResult,
     kStats,
     kMetrics,
+    kQuery,
     kInspect,
     kDump,
     kShutdown,
@@ -83,6 +92,9 @@ struct Request {
   bool drain = true;         ///< shutdown: finish queued work first
   std::string session;       ///< revise/session_close: session id
   inc::InstancePatch patch;  ///< revise: parsed "edits" array
+  std::string metric;        ///< query: series name ("" = list catalogue)
+  double last_s = 0.0;       ///< query: window in seconds (0 = full ring)
+  std::int64_t max_samples = 0;  ///< query: downsample cap (0 = all)
 };
 
 /// Parse one request line. Returns nullopt and fills `error` (and, when
@@ -105,6 +117,9 @@ std::string stats_line(const ServiceStats& stats);
 /// Full registry snapshot (obs::metrics_full_json) under "metrics" —
 /// enough for a remote client to render Prometheus text format.
 std::string metrics_line();
+/// Time-series reply (query verb). With a metric: its windowed samples
+/// as [unix_ms, value] pairs; without: the series catalogue.
+std::string query_line(const Request& request);
 /// Live per-request introspection (inspect verb): phase, elapsed wall
 /// time, proven cost interval, SOLVE calls and conflicts so far; terminal
 /// jobs additionally carry the answer's status fields.

@@ -12,6 +12,7 @@
 #include "heur/annealing.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace optalloc::svc {
@@ -92,6 +93,7 @@ struct Scheduler::Job {
   /// every event of this request carries the same "req" field.
   obs::SpanContext ctx;
   std::uint64_t queue_span = 0;  ///< open queue_wait span (cross-thread)
+  std::size_t queue_bytes = 0;   ///< "svc.queue" contribution while queued
   // Live-introspection fields (the inspect verb): updated with relaxed
   // stores from the worker's progress callback, read lock-free by any
   // connection thread. Staleness is bounded by one SOLVE call.
@@ -139,6 +141,7 @@ void flight_postmortem(const std::string& id, std::uint64_t req,
 Scheduler::Scheduler(const SchedulerOptions& options)
     : options_(options),
       cache_(options.cache_entries, options.cache_shards) {
+  start_unix_ms_ = obs::wall_unix_ms();
   options_.workers = std::max(1, options_.workers);
   options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
   counters_.workers = options_.workers;
@@ -233,9 +236,12 @@ std::optional<std::string> Scheduler::submit(JobRequest request) {
     // enqueued: once it is in queue_, a worker may claim it and read
     // queue_span immediately — the enqueue is the publication point.
     job->queue_span = obs::span_begin_event("queue_wait", job->ctx);
+    job->queue_bytes = job->canon.text.size();
     queue_.push_back(job);
     obs::set(metrics().queue_depth,
              static_cast<std::int64_t>(queue_.size()));
+    obs::res_add(queue_res_,
+                 static_cast<std::int64_t>(job->queue_bytes), 1);
   }
   work_cv_.notify_one();
   return job->id;
@@ -334,6 +340,7 @@ std::optional<std::pair<std::string, SessionAnswer>> Scheduler::session_open(
     entry->id = "s" + std::to_string(++next_session_id_);
     sessions_.emplace(entry->id, entry);
     ++counters_.sessions_opened;
+    obs::res_add(sessions_res_, 0, 1);
   }
   obs::add(metrics().sessions_opened);
   {
@@ -380,6 +387,7 @@ bool Scheduler::session_close(const std::string& id) {
     entry = it->second;
     sessions_.erase(it);
     ++counters_.sessions_closed;
+    obs::res_add(sessions_res_, 0, -1);
   }
   obs::add(metrics().sessions_closed);
   // A solve still in flight on another connection thread keeps the entry
@@ -520,6 +528,10 @@ ServiceStats Scheduler::stats() const {
     lat = latencies_ms_;
   }
   out.cache = cache_.stats();
+  out.uptime_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  out.start_time_unix_ms = start_unix_ms_;
   out.p50_ms = lat.quantile(0.50);
   out.p95_ms = lat.quantile(0.95);
   out.p99_ms = lat.quantile(0.99);
@@ -544,6 +556,8 @@ void Scheduler::worker_loop() {
       job->state = JobState::kRunning;
       obs::set(metrics().queue_depth,
                static_cast<std::int64_t>(queue_.size()));
+      obs::res_add(queue_res_,
+                   -static_cast<std::int64_t>(job->queue_bytes), -1);
     }
     // Panic guard: an exception escaping a solve (OOM in the encoder, a
     // bug) must not take the worker thread — and with it 1/N of the

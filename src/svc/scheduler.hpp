@@ -24,6 +24,7 @@
 // deadline_expired / request_done trace events.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 #include "inc/patch.hpp"
 #include "inc/session.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 #include "svc/cache.hpp"
 #include "svc/fingerprint.hpp"
 #include "util/mutex.hpp"
@@ -154,6 +156,9 @@ struct ServiceStats {
   std::size_t active_sessions = 0;
   std::size_t queue_depth = 0;
   int workers = 0;
+  /// Process lifetime view (alloc_top's utilization denominator).
+  double uptime_s = 0.0;
+  std::int64_t start_time_unix_ms = 0;
   CacheStats cache;
   // Request latency percentiles (ms, submission -> terminal state).
   double p50_ms = 0.0;
@@ -281,6 +286,14 @@ class Scheduler {
   /// Bounded distribution of request latencies (ms): memory does not grow
   /// with request count, percentiles are within one bucket width (6.25%).
   obs::LocalHistogram latencies_ms_ OPTALLOC_GUARDED_BY(mu_);
+  /// Scheduler birth on both clocks: steady for uptime arithmetic, wall
+  /// for the stats verb's start_time_unix_ms.
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::int64_t start_unix_ms_ = 0;  ///< set once in the ctor
+  /// Capacity accounting: queued-request bytes/count and open sessions.
+  obs::Resource queue_res_ = obs::resource("svc.queue");
+  obs::Resource sessions_res_ = obs::resource("svc.sessions");
 };
 
 }  // namespace optalloc::svc

@@ -242,6 +242,8 @@ std::string Server::handle_line(const std::string& line) {
       return stats_line(scheduler_.stats());
     case Request::Verb::kMetrics:
       return metrics_line();
+    case Request::Verb::kQuery:
+      return query_line(*req);
     case Request::Verb::kSessionOpen: {
       JobRequest job;
       try {

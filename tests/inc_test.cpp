@@ -20,6 +20,7 @@
 #include "inc/patch.hpp"
 #include "inc/session.hpp"
 #include "obs/json.hpp"
+#include "obs/resource.hpp"
 
 namespace optalloc::inc {
 namespace {
@@ -242,6 +243,39 @@ TEST(IncSession, ReviseMatchesColdOnEditedInstance) {
       session.problem(), session.objective(), inc.allocation);
   ASSERT_TRUE(value.has_value());
   EXPECT_EQ(*value, inc.cost);
+}
+
+TEST(IncSession, DeadGuardAccountingTracksRetirement) {
+  const auto guard_level = [](const char* name) {
+    for (const auto& r : obs::resource_snapshot()) {
+      if (r.name == name) return r.items;
+    }
+    return std::int64_t{0};
+  };
+  const std::int64_t live_before = guard_level("inc.guards");
+  const std::int64_t dead_before = guard_level("inc.dead_guards");
+  {
+    Session session(parse(kSystem), alloc::Objective::sum_trt());
+    ASSERT_EQ(session.solve().status, SessionResult::Status::kOptimal);
+    EXPECT_GT(session.live_guards(), 0u);
+    EXPECT_EQ(session.retired_guards(), 0);
+    EXPECT_EQ(session.dead_guard_fraction(), 0.0);
+    EXPECT_EQ(guard_level("inc.guards") - live_before,
+              static_cast<std::int64_t>(session.live_guards()));
+
+    const InstancePatch patch = parse_ops(
+        R"([{"op":"set_wcet","task":"control","ecu":0,"wcet":35}])");
+    ASSERT_EQ(session.revise(patch).status, SessionResult::Status::kOptimal);
+    EXPECT_GT(session.retired_guards(), 0);
+    const double fraction = session.dead_guard_fraction();
+    EXPECT_GT(fraction, 0.0);
+    EXPECT_LT(fraction, 1.0);
+    EXPECT_EQ(guard_level("inc.dead_guards") - dead_before,
+              session.retired_guards());
+  }
+  // Session destruction retracts both gauges.
+  EXPECT_EQ(guard_level("inc.guards"), live_before);
+  EXPECT_EQ(guard_level("inc.dead_guards"), dead_before);
 }
 
 TEST(IncSession, InfeasibleEditYieldsConflictingCore) {

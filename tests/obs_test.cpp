@@ -21,6 +21,8 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfctr.hpp"
+#include "obs/resource.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "workload/tindell.hpp"
 
@@ -735,6 +737,236 @@ TEST(PerfCtr, KillSwitchDisablesFreshThreads) {
   EXPECT_FALSE(available);
   EXPECT_FALSE(counts.available);
   EXPECT_EQ(counts.cycles, -1);
+}
+
+// --- Resource registry -------------------------------------------------
+
+/// Snapshot lookup helper; (0,0) when the resource is absent.
+obs::ResourceValue res_lookup(const char* name) {
+  for (const auto& r : obs::resource_snapshot()) {
+    if (r.name == name) return r;
+  }
+  return {};
+}
+
+TEST(ResourceRegistry, DeltasMergeAcrossThreads) {
+  obs::reset_resources();
+  const obs::Resource r = obs::resource("test.res.merge");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([r] {
+      for (int i = 0; i < kIters; ++i) {
+        obs::res_add(r, 64, 1);
+        if (i % 2 == 0) obs::res_add(r, -16, 0);
+      }
+    });
+  }
+  // Every writer exits before the snapshot: their totals must fold into
+  // the retired accumulator, not vanish with the threads.
+  for (auto& w : workers) w.join();
+  const auto v = res_lookup("test.res.merge");
+  EXPECT_EQ(v.bytes, kThreads * (kIters * 64 - (kIters / 2) * 16));
+  EXPECT_EQ(v.items, kThreads * kIters);
+}
+
+TEST(ResourceRegistry, TrackerDiffsAndRetractsOnDestruction) {
+  obs::reset_resources();
+  {
+    obs::ResourceTracker tracker(obs::resource("test.res.tracker"));
+    tracker.set(1000, 5);
+    auto v = res_lookup("test.res.tracker");
+    EXPECT_EQ(v.bytes, 1000);
+    EXPECT_EQ(v.items, 5);
+    tracker.set(400, 2);  // shrink: only the delta is published
+    v = res_lookup("test.res.tracker");
+    EXPECT_EQ(v.bytes, 400);
+    EXPECT_EQ(v.items, 2);
+  }
+  const auto v = res_lookup("test.res.tracker");
+  EXPECT_EQ(v.bytes, 0);
+  EXPECT_EQ(v.items, 0);
+}
+
+TEST(ResourceRegistry, DisabledGateDropsWrites) {
+  obs::reset_resources();
+  const obs::Resource r = obs::resource("test.res.gate");
+  obs::set_resources(false);
+  obs::res_add(r, 4096, 7);
+  obs::set_resources(true);
+  const auto v = res_lookup("test.res.gate");
+  EXPECT_EQ(v.bytes, 0);
+  EXPECT_EQ(v.items, 0);
+}
+
+TEST(ResourceRegistry, WatermarkEmitsOnCrossingWithHysteresis) {
+  obs::reset_resources();
+  const obs::Resource r = obs::resource("test.res.wm");
+  obs::set_resource_watermark("test.res.wm", 1000, 500);
+  std::ostringstream sink;
+  obs::trace_to_stream(&sink);
+
+  obs::res_add(r, 1500, 1);
+  obs::check_resource_watermarks();  // 1500 > 1000: "high"
+  obs::res_add(r, -600, 0);
+  obs::check_resource_watermarks();  // 900: inside the hysteresis band
+  obs::res_add(r, -500, 0);
+  obs::check_resource_watermarks();  // 400 <= 500: "normal"
+  obs::res_add(r, 800, 0);
+  obs::check_resource_watermarks();  // 1200: "high" again
+  obs::trace_close();
+  obs::set_resource_watermark("test.res.wm", 0);  // disarm
+
+  std::vector<std::pair<std::string, double>> crossings;  // level, bytes
+  std::istringstream lines(sink.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto ev = obs::json_parse(line);
+    ASSERT_TRUE(ev.has_value()) << line;
+    if (ev->get_string("type") != "resource_watermark") continue;
+    EXPECT_EQ(ev->get_string("resource"), "test.res.wm");
+    ASSERT_TRUE(ev->get_number("threshold").has_value());
+    crossings.emplace_back(*ev->get_string("level"),
+                           *ev->get_number("bytes"));
+  }
+  ASSERT_EQ(crossings.size(), 3u);
+  EXPECT_EQ(crossings[0].first, "high");
+  EXPECT_EQ(crossings[0].second, 1500);
+  EXPECT_EQ(crossings[1].first, "normal");
+  EXPECT_EQ(crossings[1].second, 400);
+  EXPECT_EQ(crossings[2].first, "high");
+  EXPECT_EQ(crossings[2].second, 1200);
+}
+
+TEST(ResourceRegistry, ConcurrentAddWhileSnapshot) {
+  obs::reset_resources();
+  const obs::Resource r = obs::resource("test.res.race");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::res_add(r, 128, 1);
+      obs::res_add(r, -128, -1);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const auto v = res_lookup("test.res.race");
+    // The writer adds then retracts; any interleaving of the two relaxed
+    // adds yields a level of 0 or 128 bytes, never garbage.
+    EXPECT_TRUE(v.bytes == 0 || v.bytes == 128) << v.bytes;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  const auto v = res_lookup("test.res.race");
+  EXPECT_EQ(v.bytes, 0);
+  EXPECT_EQ(v.items, 0);
+}
+
+// --- Time-series rings -------------------------------------------------
+
+TEST(TimeSeries, WraparoundKeepsLatestSamples) {
+  obs::reset_timeseries();
+  const std::size_t total = obs::kTimeSeriesCapacity + 50;
+  for (std::size_t i = 0; i < total; ++i) {
+    obs::timeseries_record("test.ts.wrap", static_cast<std::int64_t>(i),
+                           static_cast<double>(i));
+  }
+  const auto samples = obs::timeseries_query("test.ts.wrap");
+  ASSERT_EQ(samples.size(), obs::kTimeSeriesCapacity);
+  EXPECT_EQ(samples.front().unix_ms,
+            static_cast<std::int64_t>(total - obs::kTimeSeriesCapacity));
+  EXPECT_EQ(samples.back().unix_ms, static_cast<std::int64_t>(total - 1));
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].unix_ms, samples[i].unix_ms);
+  }
+}
+
+TEST(TimeSeries, DownsamplingKeepsNewestSample) {
+  obs::reset_timeseries();
+  for (int i = 0; i < 100; ++i) {
+    obs::timeseries_record("test.ts.down", i, i);
+  }
+  const auto samples = obs::timeseries_query("test.ts.down", 0.0, 10);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LE(samples.size(), 10u);
+  EXPECT_EQ(samples.back().unix_ms, 99);  // latest always survives
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].unix_ms, samples[i].unix_ms);
+  }
+}
+
+TEST(TimeSeries, EmptyAndUnknownQueries) {
+  obs::reset_timeseries();
+  EXPECT_TRUE(obs::timeseries_query("no.such.series").empty());
+  EXPECT_TRUE(obs::timeseries_list().empty());
+  obs::timeseries_record("test.ts.one", 1, 1.0);
+  EXPECT_TRUE(obs::timeseries_query("still.not.there").empty());
+  EXPECT_EQ(obs::timeseries_list().size(), 1u);
+}
+
+TEST(TimeSeries, WindowFilterDropsOldSamples) {
+  obs::reset_timeseries();
+  const std::int64_t now = obs::wall_unix_ms();
+  obs::timeseries_record("test.ts.window", now - 9000, 1.0);
+  obs::timeseries_record("test.ts.window", now - 200, 2.0);
+  const auto samples = obs::timeseries_query("test.ts.window", 5.0);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 2.0);
+}
+
+TEST(TimeSeries, SampleNowDerivesQuantilesAndResources) {
+  obs::reset_timeseries();
+  obs::reset_resources();
+  const obs::Metric h = obs::histogram("test.ts.hist_ms");
+  obs::observe(h, 5.0);
+  obs::observe(h, 50.0);
+  const obs::Resource r = obs::resource("test.ts.res");
+  obs::res_add(r, 4096, 3);
+  obs::timeseries_sample_now();
+
+  const auto p99 = obs::timeseries_query("test.ts.hist_ms.p99");
+  ASSERT_EQ(p99.size(), 1u);
+  EXPECT_GE(p99[0].value, 5.0);
+  const auto count = obs::timeseries_query("test.ts.hist_ms.count");
+  ASSERT_EQ(count.size(), 1u);
+  EXPECT_EQ(count[0].value, 2.0);
+  const auto bytes = obs::timeseries_query("res.test.ts.res.bytes");
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0].value, 4096.0);
+  const auto items = obs::timeseries_query("res.test.ts.res.items");
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].value, 3.0);
+
+  obs::timeseries_sample_now();
+  EXPECT_EQ(obs::timeseries_query("test.ts.hist_ms.p99").size(), 2u);
+}
+
+TEST(TimeSeries, ConcurrentWriteWhileQuery) {
+  obs::reset_timeseries();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::int64_t ts = 0;
+    do {  // at least one record even if stop wins the thread-start race
+      obs::timeseries_record("test.ts.race", ++ts, 1.0);
+      obs::timeseries_sample_now();
+    } while (!stop.load(std::memory_order_relaxed));
+  });
+  // On a single-CPU box the writer may not be scheduled yet; make the
+  // queries actually overlap with live writes before racing them.
+  while (obs::timeseries_query("test.ts.race").empty()) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto samples = obs::timeseries_query("test.ts.race", 0.0, 16);
+    EXPECT_LE(samples.size(), 16u);
+    for (std::size_t k = 1; k < samples.size(); ++k) {
+      EXPECT_LE(samples[k - 1].unix_ms, samples[k].unix_ms);
+    }
+    (void)obs::timeseries_list();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_FALSE(obs::timeseries_query("test.ts.race").empty());
 }
 
 TEST(Metrics, OptimizerFlushesRegistry) {

@@ -13,7 +13,13 @@
 # truncated — its last event must be the shutdown's "service_stop"; the
 # deadline miss must have left a flight_dump with the final search_sample).
 #
-# usage: svc_smoke.sh ALLOC_SERVE ALLOC_CLIENT SCHEMA_CHECK TRACE_REPORT PROBLEM WORKDIR EXPORT_WORKLOAD
+# On top of that: open an incremental session and revise it (so guard and
+# dead-guard gauges are live), let the sampler feed the time-series rings,
+# pull a latency quantile series back through the query verb, and render
+# one alloc_top dashboard frame whose arena / cache / dead-guard readings
+# must be non-zero while the session is still open.
+#
+# usage: svc_smoke.sh ALLOC_SERVE ALLOC_CLIENT SCHEMA_CHECK TRACE_REPORT PROBLEM WORKDIR EXPORT_WORKLOAD ALLOC_TOP
 set -u
 
 SERVE="$1"
@@ -23,6 +29,7 @@ TRACE_REPORT="$4"
 PROBLEM="$5"
 WORKDIR="$6"
 EXPORT="$7"
+TOP="$8"
 
 fail() { echo "svc_smoke: FAIL: $*" >&2; exit 1; }
 
@@ -160,6 +167,64 @@ case "$MISS_DUMP" in
   *'"type":"search_sample"'*) ;;
   *) fail "post-mortem dump lacks the final search_sample: $MISS_DUMP" ;;
 esac
+
+# --- Capacity telemetry: query verb + alloc_top dashboard ---------------
+
+# Open a session and run a feasible revise: the warm solver keeps its
+# clause arena alive (res.sat.arena.bytes) and the revise retires at
+# least one constraint guard (res.inc.dead_guards.items).
+OPEN=$("$CLIENT" --socket "$SOCK" session-open "$PROBLEM" sum-trt) \
+  || fail "session-open failed"
+SESSION=$(printf '%s\n' "$OPEN" | sed -n 's/.*"session":"\([^"]*\)".*/\1/p')
+[ -n "$SESSION" ] || fail "cannot extract session id from $OPEN"
+"$CLIENT" --socket "$SOCK" revise "$SESSION" \
+  '[{"op":"set_deadline","task":"monitor","deadline":140}]' >/dev/null \
+  || fail "revise failed"
+
+# Give the 0.2 s sampler time to take at least two ticks.
+sleep 0.6
+
+# Catalogue mode: the rings must include resource series.
+CATALOGUE=$("$CLIENT" --socket "$SOCK" query) || fail "query verb failed"
+case "$CATALOGUE" in
+  *'"metric":"res.sat.arena.bytes"'*) ;;
+  *) fail "query catalogue lacks res.sat.arena.bytes: $CATALOGUE" ;;
+esac
+
+# Series mode: the revise-latency p99 must have >= 2 samples, each a
+# [unix_ms, value] pair stamped within the last minute.
+SERIES=$("$CLIENT" --socket "$SOCK" query svc.revise_ms.p99 --last 60) \
+  || fail "query series failed"
+echo "series: $SERIES"
+COUNT=$(printf '%s\n' "$SERIES" | sed -n 's/.*"count":\([0-9]*\).*/\1/p')
+[ -n "$COUNT" ] && [ "$COUNT" -ge 2 ] \
+  || fail "expected >= 2 samples of svc.revise_ms.p99, got: $SERIES"
+NOW_MS=$(($(date +%s) * 1000))
+FIRST_TS=$(printf '%s\n' "$SERIES" | sed -n 's/.*"samples":\[\[\([0-9]*\),.*/\1/p')
+[ -n "$FIRST_TS" ] || fail "cannot extract sample timestamp from $SERIES"
+[ $((NOW_MS - FIRST_TS)) -lt 60000 ] && [ "$FIRST_TS" -le $((NOW_MS + 5000)) ] \
+  || fail "sample timestamp $FIRST_TS not within a minute of now $NOW_MS"
+
+# One dashboard frame while the session (and its warm solver) is live:
+# arena bytes, cache occupancy and the dead-guard count must be non-zero.
+FRAME=$("$TOP" --once --socket "$SOCK") || fail "alloc_top --once failed"
+printf '%s\n' "$FRAME"
+ARENA=$(printf '%s\n' "$FRAME" | sed -n 's/^arena *bytes=\([0-9]*\).*/\1/p')
+[ -n "$ARENA" ] && [ "$ARENA" -gt 0 ] \
+  || fail "alloc_top reports no arena bytes: $FRAME"
+CACHEB=$(printf '%s\n' "$FRAME" | sed -n 's/^cache .*bytes=\([0-9]*\).*/\1/p')
+[ -n "$CACHEB" ] && [ "$CACHEB" -gt 0 ] \
+  || fail "alloc_top reports no cache bytes: $FRAME"
+DEAD=$(printf '%s\n' "$FRAME" | sed -n 's/.*dead=\([0-9]*\) .*/\1/p')
+[ -n "$DEAD" ] && [ "$DEAD" -ge 1 ] \
+  || fail "alloc_top reports no dead guards: $FRAME"
+printf '%s\n' "$FRAME" | grep -q '^p99_ms' \
+  || fail "alloc_top frame lacks the p99 series row: $FRAME"
+printf '%s\n' "$FRAME" | grep -q 'uptime=' \
+  || fail "alloc_top frame lacks uptime: $FRAME"
+
+"$CLIENT" --socket "$SOCK" session-close "$SESSION" >/dev/null \
+  || fail "session-close failed"
 
 # Let at least one periodic metrics_snapshot trace event fire.
 sleep 0.4

@@ -22,6 +22,8 @@
 #include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "rt/verify.hpp"
 #include "inc/patch.hpp"
@@ -195,6 +197,50 @@ TEST(ResultCache, CollisionDegradesToMiss) {
   EXPECT_FALSE(cache.get({42, 2}, "text-a").has_value());
   EXPECT_FALSE(cache.get({42, 1}, "text-b").has_value());
   EXPECT_TRUE(cache.get({42, 1}, "text-a").has_value());
+}
+
+/// Current registry level of the "svc.cache" resource.
+obs::ResourceValue cache_resource() {
+  for (const auto& r : obs::resource_snapshot()) {
+    if (r.name == "svc.cache") return r;
+  }
+  return {};
+}
+
+TEST(ResultCache, AccountsBytesAndShardOccupancy) {
+  const obs::ResourceValue before = cache_resource();
+  {
+    ResultCache cache(/*capacity=*/2, /*shards=*/1);
+    EXPECT_EQ(cache.bytes(), 0u);
+    CachedAnswer a;
+    a.cost = 1;
+    a.allocation.task_ecu = {0, 1, 0};
+    cache.put({1, 1}, "one", a);
+    cache.put({2, 2}, "twotwo", a);
+    EXPECT_GT(cache.bytes(), 0u);
+    const auto occupancy = cache.shard_occupancy();
+    ASSERT_EQ(occupancy.size(), 1u);
+    EXPECT_EQ(occupancy[0].entries, 2u);
+    EXPECT_EQ(occupancy[0].capacity, 2u);
+    EXPECT_EQ(occupancy[0].bytes, cache.bytes());
+
+    // Eviction keeps bytes in step with entries: the byte count after
+    // insert+evict equals the two survivors' footprints.
+    const std::size_t before_evict = cache.bytes();
+    cache.put({3, 3}, "three", a);
+    EXPECT_EQ(cache.shard_occupancy()[0].entries, 2u);
+    EXPECT_NE(cache.bytes(), 0u);
+    EXPECT_LE(cache.bytes(), before_evict + 1024);
+
+    const obs::ResourceValue during = cache_resource();
+    EXPECT_EQ(during.bytes - before.bytes,
+              static_cast<std::int64_t>(cache.bytes()));
+    EXPECT_EQ(during.items - before.items, 2);
+  }
+  // Destruction retracts the cache's whole footprint from the registry.
+  const obs::ResourceValue after = cache_resource();
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(after.items, before.items);
 }
 
 // --- Scheduler ---------------------------------------------------------
@@ -1087,6 +1133,140 @@ TEST(Trace, ServiceLifecycleEventsAreEmitted) {
   EXPECT_GT(solver_events, 0);
   EXPECT_EQ(solver_events_without_req, 0);
   EXPECT_EQ(reqs.size(), 3u);
+}
+
+// --- Uptime + time-series query verb -----------------------------------
+
+TEST(Scheduler, StatsReportUptimeAndStartTime) {
+  const std::int64_t t0 = obs::wall_unix_ms();
+  Scheduler scheduler(quick_options(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const ServiceStats stats = scheduler.stats();
+  EXPECT_GT(stats.uptime_s, 0.0);
+  EXPECT_LT(stats.uptime_s, 60.0);
+  EXPECT_GE(stats.start_time_unix_ms, t0 - 1000);
+  EXPECT_LE(stats.start_time_unix_ms, obs::wall_unix_ms() + 1000);
+
+  const double first = stats.uptime_s;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const ServiceStats later = scheduler.stats();
+  EXPECT_GT(later.uptime_s, first);
+  EXPECT_EQ(later.start_time_unix_ms, stats.start_time_unix_ms);
+  scheduler.shutdown(/*drain=*/true);
+}
+
+TEST(Protocol, StatsLineCarriesUptimeFields) {
+  ServiceStats stats;
+  stats.uptime_s = 12.5;
+  stats.start_time_unix_ms = 1700000000123;
+  const auto doc = obs::json_parse(stats_line(stats));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_number("uptime_s"), 12.5);
+  EXPECT_EQ(doc->get_number("start_time_unix_ms"), 1700000000123.0);
+}
+
+TEST(Protocol, QueryVerbParsesAndSerializes) {
+  std::string error, code;
+  const auto catalogue =
+      parse_request("{\"verb\":\"query\"}", &error, &code);
+  ASSERT_TRUE(catalogue.has_value()) << error;
+  EXPECT_EQ(catalogue->verb, Request::Verb::kQuery);
+  EXPECT_TRUE(catalogue->metric.empty());
+
+  const auto series = parse_request(
+      "{\"verb\":\"query\",\"metric\":\"svc.request_ms.p99\","
+      "\"last_s\":60,\"max_samples\":32}",
+      &error, &code);
+  ASSERT_TRUE(series.has_value()) << error;
+  EXPECT_EQ(series->metric, "svc.request_ms.p99");
+  EXPECT_EQ(series->last_s, 60.0);
+  EXPECT_EQ(series->max_samples, 32);
+
+  obs::reset_timeseries();
+  obs::timeseries_record("test.proto.series", 1000, 1.5);
+  obs::timeseries_record("test.proto.series", 2000, 2.5);
+
+  // Catalogue mode: one row per series with count + latest sample.
+  const auto list_doc = obs::json_parse(query_line(*catalogue));
+  ASSERT_TRUE(list_doc.has_value());
+  EXPECT_EQ(list_doc->get_number("count"), 1.0);
+  const obs::JsonValue* rows = list_doc->get("series");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 1u);
+  EXPECT_EQ(rows->array[0].get_string("metric"), "test.proto.series");
+  EXPECT_EQ(rows->array[0].get_number("count"), 2.0);
+  EXPECT_EQ(rows->array[0].get_number("last"), 2.5);
+  EXPECT_EQ(rows->array[0].get_number("last_unix_ms"), 2000.0);
+
+  // Series mode: chronological [unix_ms, value] pairs.
+  Request q;
+  q.verb = Request::Verb::kQuery;
+  q.metric = "test.proto.series";
+  const auto doc = obs::json_parse(query_line(q));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->get_string("metric"), "test.proto.series");
+  EXPECT_EQ(doc->get_number("count"), 2.0);
+  const obs::JsonValue* samples = doc->get("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->array.size(), 2u);
+  ASSERT_EQ(samples->array[1].array.size(), 2u);
+  EXPECT_EQ(samples->array[0].array[0].number, 1000.0);
+  EXPECT_EQ(samples->array[0].array[1].number, 1.5);
+  EXPECT_EQ(samples->array[1].array[0].number, 2000.0);
+  EXPECT_EQ(samples->array[1].array[1].number, 2.5);
+
+  // Unknown series: ok with an empty sample list, not an error.
+  q.metric = "no.such.series";
+  const auto empty_doc = obs::json_parse(query_line(q));
+  ASSERT_TRUE(empty_doc.has_value());
+  EXPECT_EQ(empty_doc->get_number("count"), 0.0);
+}
+
+TEST(Server, QueryVerbServesSeriesEndToEnd) {
+  obs::reset_timeseries();
+  ServerOptions options;
+  options.scheduler = quick_options(1);
+  Server server(options);
+
+  JobRequest job;
+  job.problem = parse(kSystem);
+  job.objective = alloc::Objective::sum_trt();
+  // Drive traffic through the scheduler, then sample twice so quantile
+  // series exist with >= 2 points (what alloc_top draws).
+  const auto id = server.scheduler().submit(job);
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(server.scheduler().wait(*id, 60.0).has_value());
+  obs::timeseries_sample_now();
+  obs::timeseries_sample_now();
+
+  const auto catalogue = obs::json_parse(
+      server.handle_line("{\"verb\":\"query\"}"));
+  ASSERT_TRUE(catalogue.has_value());
+  ASSERT_NE(catalogue->get("series"), nullptr);
+  std::set<std::string> names;
+  for (const auto& row : catalogue->get("series")->array) {
+    names.insert(*row.get_string("metric"));
+  }
+  EXPECT_EQ(names.count("svc.request_ms.p99"), 1u);
+  EXPECT_EQ(names.count("res.svc.cache.bytes"), 1u);
+  EXPECT_EQ(names.count("res.sat.arena.bytes"), 1u);
+
+  const auto doc = obs::json_parse(server.handle_line(
+      "{\"verb\":\"query\",\"metric\":\"svc.request_ms.p99\","
+      "\"last_s\":600}"));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_GE(*doc->get_number("count"), 2.0);
+  const obs::JsonValue* samples = doc->get("samples");
+  ASSERT_NE(samples, nullptr);
+  std::int64_t prev = 0;
+  for (const auto& pair : samples->array) {
+    ASSERT_EQ(pair.array.size(), 2u);
+    const auto ms = static_cast<std::int64_t>(pair.array[0].number);
+    EXPECT_GE(ms, prev);  // correctly timestamped: chronological
+    prev = ms;
+  }
+  // Timestamps are wall-clock: within ten minutes of "now".
+  EXPECT_GT(prev, obs::wall_unix_ms() - 600 * 1000);
 }
 
 }  // namespace

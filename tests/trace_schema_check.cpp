@@ -80,6 +80,9 @@ const std::map<std::string, std::vector<const char*>>& required_fields() {
       {"span_begin", {"name", "span", "parent"}},
       {"span_end", {"name", "span", "parent", "seconds"}},
       {"metrics_snapshot", {"metrics"}},
+      // Resource watermark crossings (obs/resource.hpp): level is "high"
+      // on the way up, "normal" once usage falls back under the low mark.
+      {"resource_watermark", {"resource", "level", "bytes", "threshold"}},
       {"service_stop", {"drain"}},
   };
   return kSchema;

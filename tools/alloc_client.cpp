@@ -8,6 +8,9 @@
 //   status ID | result ID | cancel ID | inspect ID
 //   dump [ID]                     # flight-recorder events
 //   stats | metrics [--prom]
+//   query [METRIC] [--last S] [--max-samples N]
+//                                 # time-series: catalogue, or one
+//                                 # series' [unix_ms, value] samples
 //   shutdown [--no-drain]
 //   raw LINE                      # send LINE verbatim
 //
@@ -62,6 +65,7 @@ int usage() {
       << "  session-close SESSION\n"
       << "  dump [ID]\n"
       << "  metrics [--prom]\n"
+      << "  query [METRIC] [--last S] [--max-samples N]\n"
       << "  shutdown [--no-drain]\n"
       << "  raw LINE\n";
   return 2;
@@ -272,6 +276,24 @@ int main(int argc, char** argv) {
     if (const char* a = next()) {
       if (std::string(a) == "--prom") {
         prom = true;
+      } else {
+        return usage();
+      }
+    }
+  } else if (verb == "query") {
+    request.str("verb", "query");
+    while (const char* a = next()) {
+      const std::string s = a;
+      if (s == "--last") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        request.num("last_s", std::atof(v));
+      } else if (s == "--max-samples") {
+        const char* v = next();
+        if (v == nullptr) return usage();
+        request.num("max_samples", static_cast<std::int64_t>(std::atol(v)));
+      } else if (!s.empty() && s[0] != '-') {
+        request.str("metric", s);
       } else {
         return usage();
       }

@@ -6,14 +6,20 @@
 //               [--cache 256] [--anneal 2000] [--trace FILE] [--stats]
 //               [--metrics-interval S] [--flight-dump FILE]
 //               [--no-inprocess] [--inprocess-interval N]
+//               [--watermark NAME:HIGH[:LOW]]
 //   alloc_serve --tcp 7421 ...
 //
 // SIGTERM / SIGINT trigger a graceful drain: no new requests are
 // accepted, every queued job still gets its answer, the trace sink is
 // flushed and closed, then the process exits 0. --stats prints the
-// service counters on exit. --metrics-interval S emits a
-// "metrics_snapshot" trace event (full registry, flat form) every S
-// seconds while tracing is on.
+// service counters on exit. --metrics-interval S drives the sampler
+// thread every S seconds: each tick records the whole registry into the
+// in-process time-series rings (the `query` verb / alloc_top's data),
+// checks the armed resource watermarks, and — while tracing is on —
+// emits a "metrics_snapshot" trace event (full registry, flat form).
+// --watermark arms a byte threshold on a resource ("sat.arena:8388608"
+// or "svc.cache:1048576:786432"); crossings emit `resource_watermark`
+// trace events with hysteresis (LOW defaults to 3/4 of HIGH).
 //
 // Post-mortem: a fatal signal (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT)
 // dumps the flight-recorder rings — the last telemetry records of every
@@ -33,6 +39,8 @@
 
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "svc/server.hpp"
 
@@ -50,8 +58,29 @@ int usage() {
       << "                   [--workers N] [--queue N] [--cache N]\n"
       << "                   [--anneal ITERS] [--trace FILE] [--stats]\n"
       << "                   [--metrics-interval S] [--flight-dump FILE]\n"
-      << "                   [--no-inprocess] [--inprocess-interval N]\n";
+      << "                   [--no-inprocess] [--inprocess-interval N]\n"
+      << "                   [--watermark NAME:HIGH[:LOW]]\n";
   return 2;
+}
+
+/// Parse "NAME:HIGH[:LOW]" and arm the watermark. False on bad syntax.
+bool arm_watermark(const std::string& spec) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  const std::string name = spec.substr(0, c1);
+  const std::size_t c2 = spec.find(':', c1 + 1);
+  const std::string high_s =
+      c2 == std::string::npos ? spec.substr(c1 + 1)
+                              : spec.substr(c1 + 1, c2 - c1 - 1);
+  const long long high = std::atoll(high_s.c_str());
+  if (high <= 0) return false;
+  long long low = -1;
+  if (c2 != std::string::npos) {
+    low = std::atoll(spec.substr(c2 + 1).c_str());
+    if (low < 0 || low > high) return false;
+  }
+  optalloc::obs::set_resource_watermark(name, high, low);
+  return true;
 }
 
 }  // namespace
@@ -114,6 +143,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       flight_dump_path = v;
+    } else if (arg == "--watermark") {
+      const char* v = next();
+      if (v == nullptr || !arm_watermark(v)) {
+        std::cerr << "alloc_serve: --watermark wants NAME:HIGH[:LOW] "
+                     "(bytes)\n";
+        return usage();
+      }
     } else if (arg == "--stats") {
       print_stats = true;
     } else {
@@ -169,8 +205,10 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGINT, handle_signal);
 
-  // Periodic registry snapshots into the trace, so a long run's JSONL is
-  // also a coarse time series of every counter/histogram.
+  // Periodic sampler: every tick feeds the in-process time-series rings
+  // (the `query` verb's data), checks resource watermarks, and — with
+  // tracing on — snapshots the registry into the trace, so a long run's
+  // JSONL is also a coarse time series of every counter/histogram.
   std::thread snapshotter;
   std::atomic<bool> snapshot_stop{false};
   if (metrics_interval_s > 0.0) {
@@ -185,6 +223,8 @@ int main(int argc, char** argv) {
           continue;
         }
         wake += interval;
+        optalloc::obs::timeseries_sample_now();
+        optalloc::obs::check_resource_watermarks();
         if (optalloc::obs::trace_enabled()) {
           optalloc::obs::TraceEvent("metrics_snapshot")
               .raw("metrics", optalloc::obs::metrics_json());

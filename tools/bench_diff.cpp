@@ -240,7 +240,9 @@ struct Row {
 };
 
 // Locate the row array ("instances" for table benches, "phases" for
-// bench_micro) and its per-row key.
+// bench_micro, "configs" for bench_obs_overhead) and its per-row key.
+// An artifact with none of those (bench_service writes one flat object)
+// becomes a single row named by its "bench" field.
 bool extract_rows(const Value& root, const char* path, std::vector<Row>& rows) {
   const Value* arr = root.find("instances");
   const char* key = "instance";
@@ -248,10 +250,28 @@ bool extract_rows(const Value& root, const char* path, std::vector<Row>& rows) {
     arr = root.find("phases");
     key = "phase";
   }
-  if (arr == nullptr || arr->kind != Value::Kind::kArray) {
-    std::fprintf(stderr,
-                 "bench_diff: %s has neither an \"instances\" nor a "
-                 "\"phases\" array\n",
+  if (arr == nullptr) {
+    arr = root.find("configs");
+    key = "config";
+  }
+  if (arr == nullptr) {
+    Row row;
+    if (const Value* name = root.find("bench");
+        name != nullptr && name->kind == Value::Kind::kString) {
+      row.name = name->str;
+    } else {
+      row.name = path;
+    }
+    flatten(root, "", row.metrics);
+    if (row.metrics.empty()) {
+      std::fprintf(stderr, "bench_diff: %s has no numeric fields\n", path);
+      return false;
+    }
+    rows.push_back(std::move(row));
+    return true;
+  }
+  if (arr->kind != Value::Kind::kArray) {
+    std::fprintf(stderr, "bench_diff: %s: row container is not an array\n",
                  path);
     return false;
   }

@@ -1,4 +1,5 @@
-// Static schema-drift audit for the trace vocabulary.
+// Static schema-drift audit for the trace vocabulary and the metric
+// namespace.
 //
 // The trace event schema lives in three places that must agree:
 //   1. the emit sites — every `obs::TraceEvent("<kind>")` /
@@ -14,6 +15,12 @@
 // the validator and the docs about it breaks the suite immediately —
 // schema drift is a compile-adjacent error, not an archaeology project.
 //
+// The metric namespace gets the same treatment: every registration
+// literal — `obs::counter("<name>")`, gauge, timer, histogram and
+// `obs::resource("<name>")` — found under src/ and tools/ must have a
+// row (with the matching kind) in README.md's "Metrics reference" table,
+// and every table row must correspond to a live registration site.
+//
 // Usage: schema_audit <repo-root> [--also <file-or-dir>]...
 //   --also adds extra scan roots (the drift-fixture test points one at a
 //   file with a deliberately undocumented event).
@@ -23,6 +30,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -180,18 +188,66 @@ void scan_source(const std::string& display_path, const std::string& raw,
   }
 }
 
+bool metric_name_like(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::islower(c) || std::isdigit(c) || c == '_' || c == '.';
+  });
+}
+
+/// A metric registration site: file:line, the registering function
+/// (counter/gauge/timer/histogram/resource) and the name literal.
+struct MetricSite {
+  std::string file;
+  int line = 0;
+  std::string kind;
+  std::string name;
+};
+
+/// Find `obs::counter("<name>")`-style registrations in `text`. Only the
+/// qualified form with an immediate string literal counts — that is the
+/// codebase idiom, and it keeps helper functions that merely *take* a
+/// name (histogram_quantile and friends) out of the inventory.
+void scan_metric_sites(const std::string& display_path,
+                       const std::string& raw,
+                       std::vector<MetricSite>& sites) {
+  const std::string text = strip_comments(raw);
+  static const std::pair<const char*, const char*> kFns[] = {
+      {"obs::counter(\"", "counter"},   {"obs::gauge(\"", "gauge"},
+      {"obs::timer(\"", "timer"},       {"obs::histogram(\"", "histogram"},
+      {"obs::resource(\"", "resource"},
+  };
+  for (const auto& [pattern, kind] : kFns) {
+    const std::size_t skip = std::strlen(pattern);
+    std::size_t pos = 0;
+    while ((pos = text.find(pattern, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += skip;
+      const std::size_t close = text.find('"', pos);
+      if (close == std::string::npos) break;
+      const std::string name = text.substr(pos, close - pos);
+      pos = close + 1;
+      if (metric_name_like(name)) {
+        sites.push_back({display_path, line_of(text, start), kind, name});
+      }
+    }
+  }
+}
+
 bool has_ext(const fs::path& p) {
   const auto ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
 bool scan_root(const fs::path& repo_root, const fs::path& root,
-               std::vector<EmitSite>& sites) {
+               std::vector<EmitSite>& sites,
+               std::vector<MetricSite>& metric_sites) {
   std::error_code ec;
   if (fs::is_regular_file(root, ec)) {
     std::string raw;
     if (!read_file(root, raw)) return false;
     scan_source(root.string(), raw, sites);
+    scan_metric_sites(root.string(), raw, metric_sites);
     return true;
   }
   if (!fs::is_directory(root, ec)) return false;
@@ -207,7 +263,9 @@ bool scan_root(const fs::path& repo_root, const fs::path& root,
   for (const auto& f : files) {
     std::string raw;
     if (!read_file(f, raw)) return false;
-    scan_source(fs::relative(f, repo_root, ec).generic_string(), raw, sites);
+    const std::string rel = fs::relative(f, repo_root, ec).generic_string();
+    scan_source(rel, raw, sites);
+    scan_metric_sites(rel, raw, metric_sites);
   }
   return true;
 }
@@ -323,6 +381,57 @@ bool parse_readme_table(const fs::path& path, std::set<std::string>& kinds) {
   return true;
 }
 
+/// Pull the documented metrics out of README.md's "Metrics reference"
+/// table — the one whose header row mentions both "metric" and "kind".
+/// Each row's first cell carries the backticked name, the second cell
+/// the kind word (counter/gauge/timer/histogram/resource).
+bool parse_metrics_table(const fs::path& path,
+                         std::map<std::string, std::string>& kind_by_name) {
+  std::string raw;
+  if (!read_file(path, raw)) {
+    std::fprintf(stderr, "schema_audit: cannot read %s\n",
+                 path.string().c_str());
+    return false;
+  }
+  std::istringstream in(raw);
+  std::string line;
+  bool in_table = false;
+  while (std::getline(in, line)) {
+    if (!in_table) {
+      if (line.find('|') != std::string::npos &&
+          line.find("metric") != std::string::npos &&
+          line.find("kind") != std::string::npos) {
+        in_table = true;
+      }
+      continue;
+    }
+    const std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '|') break;  // table ended
+    const std::size_t c1 = line.find('|', i + 1);
+    if (c1 == std::string::npos) continue;
+    const std::size_t c2 = line.find('|', c1 + 1);
+    if (c2 == std::string::npos) continue;
+    const std::string name_cell = line.substr(i + 1, c1 - i - 1);
+    const std::size_t bq = name_cell.find('`');
+    if (bq == std::string::npos) continue;  // |---|---| separator row
+    const std::size_t eq = name_cell.find('`', bq + 1);
+    if (eq == std::string::npos) continue;
+    const std::string name = name_cell.substr(bq + 1, eq - bq - 1);
+    std::string kind = line.substr(c1 + 1, c2 - c1 - 1);
+    kind.erase(0, kind.find_first_not_of(" \t"));
+    kind.erase(kind.find_last_not_of(" \t") + 1);
+    if (metric_name_like(name) && !kind.empty()) kind_by_name[name] = kind;
+  }
+  if (kind_by_name.empty()) {
+    std::fprintf(stderr,
+                 "schema_audit: metrics reference table in %s parsed "
+                 "empty\n",
+                 path.string().c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -343,8 +452,9 @@ int main(int argc, char** argv) {
   }
 
   std::vector<EmitSite> sites;
+  std::vector<MetricSite> metric_sites;
   for (const auto& r : scan_roots) {
-    if (!scan_root(root, r, sites)) {
+    if (!scan_root(root, r, sites, metric_sites)) {
       std::fprintf(stderr, "schema_audit: cannot scan %s\n",
                    r.string().c_str());
       return 2;
@@ -354,11 +464,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "schema_audit: found no emit sites — wrong root?\n");
     return 2;
   }
+  if (metric_sites.empty()) {
+    std::fprintf(stderr,
+                 "schema_audit: found no metric registrations — wrong "
+                 "root?\n");
+    return 2;
+  }
 
   std::set<std::string> ruled;
   std::set<std::string> documented;
+  std::map<std::string, std::string> metric_docs;
   if (!parse_rule_table(root / "tests" / "trace_schema_check.cpp", ruled) ||
-      !parse_readme_table(root / "README.md", documented)) {
+      !parse_readme_table(root / "README.md", documented) ||
+      !parse_metrics_table(root / "README.md", metric_docs)) {
     return 2;
   }
 
@@ -398,9 +516,50 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Metric namespace vs README "Metrics reference" ---
+  std::map<std::string, std::vector<const MetricSite*>> metrics_by_name;
+  for (const auto& site : metric_sites) {
+    metrics_by_name[site.name].push_back(&site);
+  }
+  for (const auto& [name, where] : metrics_by_name) {
+    const auto doc = metric_docs.find(name);
+    if (doc == metric_docs.end()) {
+      for (const auto* site : where) {
+        std::fprintf(stderr,
+                     "schema_audit: %s:%d: metric \"%s\" has no row in the "
+                     "README metrics reference table\n",
+                     site->file.c_str(), site->line, name.c_str());
+      }
+      ++drift;
+      continue;
+    }
+    for (const auto* site : where) {
+      if (site->kind != doc->second) {
+        std::fprintf(stderr,
+                     "schema_audit: %s:%d: metric \"%s\" is a %s but the "
+                     "README metrics reference says %s\n",
+                     site->file.c_str(), site->line, name.c_str(),
+                     site->kind.c_str(), doc->second.c_str());
+        ++drift;
+      }
+    }
+  }
+  for (const auto& [name, kind] : metric_docs) {
+    if (metrics_by_name.count(name) == 0) {
+      std::fprintf(stderr,
+                   "schema_audit: README metrics reference documents %s "
+                   "\"%s\" but nothing registers it\n",
+                   kind.c_str(), name.c_str());
+      ++drift;
+    }
+  }
+
   std::printf("schema_audit: %zu emit sites, %zu kinds, %zu ruled, "
-              "%zu documented\n",
-              sites.size(), by_kind.size(), ruled.size(), documented.size());
+              "%zu documented; %zu metric sites, %zu metrics, "
+              "%zu documented metrics\n",
+              sites.size(), by_kind.size(), ruled.size(), documented.size(),
+              metric_sites.size(), metrics_by_name.size(),
+              metric_docs.size());
   if (drift > 0) {
     std::fprintf(stderr, "schema_audit: %d schema drift problem(s)\n", drift);
     return 1;
